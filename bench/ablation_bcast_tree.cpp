@@ -1,0 +1,56 @@
+// Ablation: shape of the 2-Step broadcast phase — the paper's
+// store-and-forward halving pattern vs the segmented pipelined binary
+// tree the T3D model gives the vendor collective.
+//
+// Expectations: for a large combined message (s*L of half a megabyte) the
+// pipeline wins by a wide margin, and the advantage shrinks for small
+// broadcasts — store-and-forward is fine when the message fits one
+// segment.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Ablation — 2-Step broadcast: pipelined vs "
+                       "store-and-forward (T3D 128)");
+
+  TextTable t;
+  t.row()
+      .cell("s")
+      .cell("L")
+      .cell("store&forward [ms]")
+      .cell("pipelined [ms]")
+      .cell("speedup");
+  std::map<int, double> speedup;
+  for (const int s : {4, 32, 128}) {
+    const Bytes L = 4096;
+    auto piped = machine::t3d(128);
+    auto plain = machine::t3d(128);
+    plain.bcast_segment_bytes = 0;  // fall back to store-and-forward
+    const auto alg = stop::make_two_step(true);
+    const double a =
+        bench::time_ms(alg, stop::make_problem(plain, dist::Kind::kEqual,
+                                               s, L));
+    const double b =
+        bench::time_ms(alg, stop::make_problem(piped, dist::Kind::kEqual,
+                                               s, L));
+    speedup[s] = a / b;
+    t.row()
+        .num(static_cast<std::int64_t>(s))
+        .cell(human_bytes(L))
+        .num(a, 2)
+        .num(b, 2)
+        .num(a / b, 2);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(speedup[128] > 1.4,
+               "pipelining a 512K broadcast wins clearly (end-to-end, "
+               "gather included)");
+  check.expect(speedup[32] > 1.2, "pipelining a 128K broadcast still wins");
+  check.expect(speedup[4] < 1.1,
+               "small broadcasts gain nothing — pipelining has per-segment "
+               "overhead");
+  check.expect(speedup[128] > speedup[4],
+               "the advantage grows with the broadcast size");
+  return check.exit_code();
+}

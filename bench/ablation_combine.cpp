@@ -1,0 +1,45 @@
+// Ablation: the message-combining CPU cost that the paper blames for
+// Br_Lin's poor T3D showing.  Sweeping combine_per_byte_us shows the
+// crossover: with cheap combining Br_Lin beats MPI_Alltoall on the T3D
+// (as it does on the Paragon); at the calibrated cost the order flips.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Ablation — combining cost sweep on the T3D");
+
+  TextTable t;
+  t.row()
+      .cell("combine us/B")
+      .cell("Br_Lin [ms]")
+      .cell("MPI_Alltoall [ms]")
+      .cell("Br_Lin wins");
+  std::map<double, bool> br_wins;
+  std::map<double, double> br_ms;
+  const std::vector<double> costs = {0.0, 0.005, 0.015, 0.025, 0.05};
+  for (const double cost : costs) {
+    auto machine = machine::t3d(128);
+    machine.comm.combine_per_byte_us = cost;
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, 64, 4096);
+    const double br = bench::time_ms(stop::make_br_lin(), pb);
+    const double a2a = bench::time_ms(stop::make_pers_alltoall(true), pb);
+    br_wins[cost] = br < a2a;
+    br_ms[cost] = br;
+    t.row()
+        .num(cost, 3)
+        .num(br, 2)
+        .num(a2a, 2)
+        .cell(br < a2a ? "yes" : "no");
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(br_wins[0.0],
+               "free combining: Br_Lin would beat MPI_Alltoall on the T3D "
+               "too");
+  check.expect(!br_wins[0.025],
+               "at the calibrated combining cost the T3D ordering flips");
+  check.expect(br_ms[0.05] > br_ms[0.0] * 1.5,
+               "Br_Lin's critical path is combine-bound at high cost");
+  return check.exit_code();
+}

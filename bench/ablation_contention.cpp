@@ -1,0 +1,42 @@
+// Ablation: full-path link reservation (the wormhole circuit
+// approximation) on vs off, on the Paragon model.
+//
+// Expectations: the model is monotone (removing contention never slows a
+// run); the message-flooding PersAlltoAll suffers most from contention at
+// large messages; the Br_* algorithms, designed to spread traffic, lose
+// the least — which is exactly why they win on the real machine.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Ablation — link contention on/off (Paragon 10x10)");
+
+  auto machine = machine::paragon(10, 10);
+  const stop::Problem with =
+      stop::make_problem(machine, dist::Kind::kEqual, 40, 16384);
+  machine.net.model_contention = false;
+  const stop::Problem without =
+      stop::make_problem(machine, dist::Kind::kEqual, 40, 16384);
+
+  TextTable t;
+  t.row().cell("algorithm").cell("with [ms]").cell("without [ms]").cell(
+      "slowdown");
+  std::map<std::string, double> slowdown;
+  for (const auto& alg : stop::all_algorithms()) {
+    const double w = bench::time_ms(alg, with);
+    const double wo = bench::time_ms(alg, without);
+    slowdown[alg->name()] = w / wo;
+    t.row().cell(alg->name()).num(w, 2).num(wo, 2).num(w / wo, 3);
+    check.expect(w * 1.0000001 >= wo,
+                 alg->name() + ": removing contention never hurts");
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(slowdown["PersAlltoAll"] > 1.3,
+               "PersAlltoAll floods the mesh: contention costs it > 30%");
+  check.expect(slowdown["Br_xy_source"] < slowdown["PersAlltoAll"],
+               "Br_xy_source spreads traffic better than PersAlltoAll");
+  check.expect(slowdown["Br_Lin"] < slowdown["PersAlltoAll"],
+               "Br_Lin spreads traffic better than PersAlltoAll");
+  return check.exit_code();
+}

@@ -1,0 +1,48 @@
+// Ablation: sensitivity of the Paragon orderings to the software-overhead
+// and bandwidth calibration.  The paper's headline (Br_* >> 2-Step,
+// PersAlltoAll) should be robust across a band of plausible mid-90s
+// parameters, not an artifact of one tuned point.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Ablation — Paragon calibration robustness");
+
+  struct Variant {
+    std::string name;
+    double overhead_scale;
+    double bandwidth_scale;
+  };
+  const std::vector<Variant> variants = {
+      {"calibrated", 1.0, 1.0},
+      {"slow software (x2 overhead)", 2.0, 1.0},
+      {"fast software (x0.5)", 0.5, 1.0},
+      {"slow wire (x0.5 bandwidth)", 1.0, 0.5},
+      {"fast wire (x2 bandwidth)", 1.0, 2.0},
+  };
+
+  TextTable t;
+  t.row()
+      .cell("variant")
+      .cell("Br_xy_source")
+      .cell("Br_Lin")
+      .cell("2-Step")
+      .cell("PersAlltoAll");
+  for (const Variant& v : variants) {
+    auto machine = machine::paragon(10, 10);
+    machine.comm.send_overhead_us *= v.overhead_scale;
+    machine.comm.recv_overhead_us *= v.overhead_scale;
+    machine.net.bytes_per_us *= v.bandwidth_scale;
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, 30, 4096);
+    const double xy = bench::time_ms(stop::make_br_xy_source(), pb);
+    const double br = bench::time_ms(stop::make_br_lin(), pb);
+    const double ts = bench::time_ms(stop::make_two_step(false), pb);
+    const double pa = bench::time_ms(stop::make_pers_alltoall(false), pb);
+    t.row().cell(v.name).num(xy, 2).num(br, 2).num(ts, 2).num(pa, 2);
+    check.expect(xy < ts && xy < pa && br < ts && br < pa,
+                 "Br_* still ahead under '" + v.name + "'");
+  }
+  std::printf("%s\n", t.render().c_str());
+  return check.exit_code();
+}

@@ -1,0 +1,78 @@
+// Ablation: dimension order of the mesh routing (XY vs YX).  The paper's
+// conclusions must not hinge on which dimension the wormhole router fixes
+// first — the Br_* family's advantage has to survive flipping it.
+//
+// Finding: the message-combining algorithms are routing-order robust
+// (within ~25%), but the permutation-flood PersAlltoAll swings by ±60%
+// (its p-1 shift permutations align with whichever dimension goes first)
+// — one more way the uncoordinated traffic patterns are fragile.
+#include "util.h"
+
+namespace {
+
+spb::machine::MachineConfig paragon_yx(int rows, int cols) {
+  auto m = spb::machine::paragon(rows, cols);
+  m.topology =
+      std::make_shared<spb::net::Mesh2D>(rows, cols, /*y_first=*/true);
+  m.name += " (YX routing)";
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Ablation — XY vs YX mesh routing (10x10 Paragon)");
+
+  const auto xy = machine::paragon(10, 10);
+  const auto yx = paragon_yx(10, 10);
+
+  TextTable t;
+  t.row()
+      .cell("algorithm")
+      .cell("dist")
+      .cell("XY [ms]")
+      .cell("YX [ms]")
+      .cell("YX/XY");
+  double pers_swing = 1.0;
+  for (const auto& alg :
+       {stop::make_two_step(false), stop::make_pers_alltoall(false),
+        stop::make_br_lin(), stop::make_br_xy_source()}) {
+    const bool combining = alg->name() != "PersAlltoAll";
+    for (const dist::Kind kind : {dist::Kind::kEqual, dist::Kind::kRow}) {
+      const stop::Problem pbx = stop::make_problem(xy, kind, 30, 4096);
+      const stop::Problem pby = stop::make_problem(yx, kind, 30, 4096);
+      const double a = bench::time_ms(alg, pbx);
+      const double b = bench::time_ms(alg, pby);
+      t.row()
+          .cell(alg->name())
+          .cell(dist::kind_name(kind))
+          .num(a, 2)
+          .num(b, 2)
+          .num(b / a, 3);
+      if (combining) {
+        check.expect(b > a * 0.75 && b < a * 1.35,
+                     alg->name() + "/" + dist::kind_name(kind) +
+                         ": routing order moves the time < 35%");
+      } else {
+        pers_swing = std::max({pers_swing, b / a, a / b});
+      }
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(pers_swing > 1.25,
+               "PersAlltoAll's permutation flood is routing-order "
+               "sensitive (swing " + fixed(pers_swing, 2) + "x)");
+
+  // The headline ordering survives the flip.
+  const stop::Problem pby =
+      stop::make_problem(yx, dist::Kind::kEqual, 30, 4096);
+  check.expect(bench::time_ms(stop::make_br_xy_source(), pby) <
+                   bench::time_ms(stop::make_two_step(false), pby),
+               "Br_xy_source still beats 2-Step under YX routing");
+  check.expect(bench::time_ms(stop::make_br_lin(), pby) <
+                   bench::time_ms(stop::make_pers_alltoall(false), pby),
+               "Br_Lin still beats PersAlltoAll under YX routing");
+  return check.exit_code();
+}

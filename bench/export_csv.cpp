@@ -1,0 +1,261 @@
+// Dumps the figure series as CSV files for external plotting — one file
+// per reproduced figure — into the directory given as argv[1] (default
+// "results").  The fig* bench binaries remain the source of truth for the
+// claims; this tool only re-emits the raw series in a machine-friendly
+// format.
+//
+//   $ ./export_csv results/
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace {
+
+using namespace spb;
+
+FILE* open_csv(const std::filesystem::path& dir, const std::string& name,
+               const std::string& header) {
+  const std::filesystem::path path = dir / name;
+  FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%s\n", header.c_str());
+  std::printf("  %s\n", path.string().c_str());
+  return f;
+}
+
+void fig03(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(10, 10);
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false),      stop::make_two_step(true),
+      stop::make_pers_alltoall(false), stop::make_pers_alltoall(true),
+      stop::make_br_lin(),             stop::make_br_xy_source(),
+      stop::make_br_xy_dim()};
+  std::string header = "s";
+  for (const auto& a : algorithms) header += "," + a->name();
+  FILE* f = open_csv(dir, "fig03.csv", header);
+  for (int s = 5; s <= 100; s += 5) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, 4096);
+    std::fprintf(f, "%d", s);
+    for (const auto& a : algorithms)
+      std::fprintf(f, ",%.4f", stop::run_ms(*a, pb));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig04(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(10, 10);
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false), stop::make_pers_alltoall(false),
+      stop::make_br_lin(), stop::make_br_xy_source(),
+      stop::make_br_xy_dim()};
+  std::string header = "L";
+  for (const auto& a : algorithms) header += "," + a->name();
+  FILE* f = open_csv(dir, "fig04.csv", header);
+  for (Bytes L = 32; L <= 16384; L *= 2) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kDiagRight, 30, L);
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(L));
+    for (const auto& a : algorithms)
+      std::fprintf(f, ",%.4f", stop::run_ms(*a, pb));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig05(const std::filesystem::path& dir) {
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false), stop::make_pers_alltoall(false),
+      stop::make_br_lin(), stop::make_br_xy_source()};
+  std::string header = "p";
+  for (const auto& a : algorithms) header += "," + a->name();
+  FILE* f = open_csv(dir, "fig05.csv", header);
+  const int shapes[][2] = {{2, 2},  {2, 4},  {4, 4},  {4, 8},
+                           {8, 8},  {8, 16}, {16, 16}};
+  for (const auto& sh : shapes) {
+    const auto machine = machine::paragon(sh[0], sh[1]);
+    const int s = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(machine.p))));
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kDiagRight, s, 1024);
+    std::fprintf(f, "%d", machine.p);
+    for (const auto& a : algorithms)
+      std::fprintf(f, ",%.4f", stop::run_ms(*a, pb));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig09(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(16, 16);
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,
+                                         dist::Kind::kBand,
+                                         dist::Kind::kCross,
+                                         dist::Kind::kSquare};
+  std::string header = "s";
+  for (const dist::Kind k : kinds)
+    header += ",gain_" + dist::kind_name(k);
+  FILE* f = open_csv(dir, "fig09.csv", header);
+  for (int s = 16; s <= 192; s += 16) {
+    std::fprintf(f, "%d", s);
+    for (const dist::Kind k : kinds) {
+      const stop::Problem pb = stop::make_problem(machine, k, s, 6144);
+      const double b = stop::run_ms(*base, pb);
+      const double r = stop::run_ms(*repos, pb);
+      std::fprintf(f, ",%.5f", (b - r) / b);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig06(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(10, 10);
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_br_lin(), stop::make_br_xy_source(),
+      stop::make_br_xy_dim()};
+  std::string header = "dist";
+  for (const auto& a : algorithms) header += "," + a->name();
+  FILE* f = open_csv(dir, "fig06.csv", header);
+  for (const dist::Kind k : dist::all_kinds()) {
+    if (k == dist::Kind::kRandom) continue;
+    const stop::Problem pb = stop::make_problem(machine, k, 30, 2048);
+    std::fprintf(f, "%s", dist::kind_name(k).c_str());
+    for (const auto& a : algorithms)
+      std::fprintf(f, ",%.4f", stop::run_ms(*a, pb));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig07(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(10, 10);
+  FILE* f = open_csv(dir, "fig07.csv",
+                     "s,L,Br_Lin,Br_xy_source,Br_xy_dim");
+  for (const int s : {2, 4, 5, 8, 10, 16, 20, 40, 80}) {
+    const Bytes L = 80 * 1024 / static_cast<Bytes>(s);
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    std::fprintf(f, "%d,%llu,%.4f,%.4f,%.4f\n", s,
+                 static_cast<unsigned long long>(L),
+                 stop::run_ms(*stop::make_br_lin(), pb),
+                 stop::run_ms(*stop::make_br_xy_source(), pb),
+                 stop::run_ms(*stop::make_br_xy_dim(), pb));
+  }
+  std::fclose(f);
+}
+
+void fig08(const std::filesystem::path& dir) {
+  FILE* f = open_csv(dir, "fig08.csv", "rows,cols,s8,s15,s60");
+  const int shapes[][2] = {{4, 30}, {5, 24}, {6, 20},
+                           {8, 15}, {10, 12}, {12, 10}};
+  for (const auto& sh : shapes) {
+    const auto machine = machine::paragon(sh[0], sh[1]);
+    std::fprintf(f, "%d,%d", sh[0], sh[1]);
+    for (const int s : {8, 15, 60}) {
+      const stop::Problem pb =
+          stop::make_problem(machine, dist::Kind::kEqual, s, 4096);
+      std::fprintf(f, ",%.4f", stop::run_ms(*stop::make_br_lin(), pb));
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig10(const std::filesystem::path& dir) {
+  const auto machine = machine::paragon(16, 16);
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  FILE* f = open_csv(dir, "fig10.csv", "L,gain_E,gain_B,gain_Cr,gain_Sq");
+  for (Bytes L = 32; L <= 16384; L *= 2) {
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(L));
+    for (const dist::Kind k :
+         {dist::Kind::kEqual, dist::Kind::kBand, dist::Kind::kCross,
+          dist::Kind::kSquare}) {
+      const stop::Problem pb = stop::make_problem(machine, k, 75, L);
+      const double b = stop::run_ms(*base, pb);
+      std::fprintf(f, ",%.5f", (b - stop::run_ms(*repos, pb)) / b);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void fig11b(const std::filesystem::path& dir) {
+  const auto machine = machine::t3d(128);
+  FILE* f = open_csv(dir, "fig11b.csv", "s,MPI_AllGather");
+  for (const int s : {8, 16, 32, 48, 64, 96, 128}) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, 16384);
+    std::fprintf(f, "%d,%.4f\n", s,
+                 stop::run_ms(*stop::make_two_step(true), pb));
+  }
+  std::fclose(f);
+}
+
+void fig12(const std::filesystem::path& dir) {
+  const auto machine = machine::t3d(128);
+  FILE* f = open_csv(dir, "fig12.csv",
+                     "s,L,Alltoall_E,Alltoall_R,Alltoall_Sq,AllGather_E");
+  for (const int s : {8, 16, 32, 64, 128}) {
+    const Bytes L = 128 * 1024 / static_cast<Bytes>(s);
+    std::fprintf(f, "%d,%llu", s, static_cast<unsigned long long>(L));
+    for (const dist::Kind k :
+         {dist::Kind::kEqual, dist::Kind::kRow, dist::Kind::kSquare}) {
+      const stop::Problem pb = stop::make_problem(machine, k, s, L);
+      std::fprintf(f, ",%.4f",
+                   stop::run_ms(*stop::make_pers_alltoall(true), pb));
+    }
+    const stop::Problem pe =
+        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    std::fprintf(f, ",%.4f\n", stop::run_ms(*stop::make_two_step(true), pe));
+  }
+  std::fclose(f);
+}
+
+void fig13a(const std::filesystem::path& dir) {
+  const auto machine = machine::t3d(128);
+  FILE* f = open_csv(dir, "fig13a.csv",
+                     "s,MPI_AllGather,MPI_Alltoall,Br_Lin");
+  for (const int s : {5, 10, 20, 30, 40, 56, 64, 80, 96, 112, 128}) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, 4096);
+    std::fprintf(f, "%d,%.4f,%.4f,%.4f\n", s,
+                 stop::run_ms(*stop::make_two_step(true), pb),
+                 stop::run_ms(*stop::make_pers_alltoall(true), pb),
+                 stop::run_ms(*stop::make_br_lin(), pb));
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::create_directories(dir);
+  std::printf("writing figure series:\n");
+  fig03(dir);
+  fig04(dir);
+  fig05(dir);
+  fig06(dir);
+  fig07(dir);
+  fig08(dir);
+  fig09(dir);
+  fig10(dir);
+  fig11b(dir);
+  fig12(dir);
+  fig13a(dir);
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension (beyond the paper): the Br_Lin halving pattern on a hypercube.
+//
+// The paper notes Br_Lin's linear array "does not have to be a physical
+// one"; on an iPSC-style hypercube it is better than logical — pairing i
+// with i + p/2 is a dimension exchange, so every halving iteration uses a
+// dedicated link per node and Br_Lin runs contention-free.  The same
+// machine generation debated mesh vs hypercube; this bench shows what the
+// debate looked like for s-to-p broadcasting.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Extension — Br_Lin on hypercube vs mesh (p=64)");
+
+  const auto cube = machine::hypercube(6);
+  auto mesh = machine::paragon(8, 8);
+  // Same software and wire parameters; only the topology differs.
+  mesh.net = cube.net;
+  mesh.comm = cube.comm;
+  mesh.mpi_extra_us = cube.mpi_extra_us;
+
+  const auto br = stop::make_br_lin();
+  const auto pers = stop::make_pers_alltoall(false);
+
+  TextTable t;
+  t.row()
+      .cell("s")
+      .cell("L")
+      .cell("Br_Lin mesh")
+      .cell("Br_Lin cube")
+      .cell("cube gain")
+      .cell("PersA2A cube");
+  std::map<int, double> gain;
+  for (const int s : {8, 32, 64}) {
+    const Bytes L = 16384;
+    const stop::Problem pm =
+        stop::make_problem(mesh, dist::Kind::kEqual, s, L);
+    const stop::Problem pc =
+        stop::make_problem(cube, dist::Kind::kEqual, s, L);
+    const double on_mesh = bench::time_ms(br, pm);
+    const double on_cube = bench::time_ms(br, pc);
+    gain[s] = on_mesh / on_cube;
+    t.row()
+        .num(static_cast<std::int64_t>(s))
+        .cell(human_bytes(L))
+        .num(on_mesh, 2)
+        .num(on_cube, 2)
+        .num(on_mesh / on_cube, 2)
+        .num(bench::time_ms(pers, pc), 2);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(gain[64] > 1.05,
+               "the hypercube's dedicated dimension links beat the mesh "
+               "at full load");
+  check.expect(gain[64] >= gain[8],
+               "the topology advantage grows with traffic");
+
+  // Contention-free claim, checked on the network counters: Br_Lin on the
+  // cube must stall (wait for links) for ~nothing.
+  const stop::Problem pc =
+      stop::make_problem(cube, dist::Kind::kEqual, 64, 16384);
+  const stop::RunResult r = stop::run(*br, pc);
+  check.expect(r.outcome.network.total_stall_us <
+                   0.01 * r.outcome.network.total_link_busy_us,
+               "Br_Lin on the hypercube is effectively contention-free");
+  return check.exit_code();
+}

@@ -1,0 +1,59 @@
+// Extension of the paper's closing T3D conjecture: "a random distribution
+// appears to be a good choice for the T3D.  However, generating a random
+// distribution and communicating such a distribution to all processors
+// may entail more overhead than what was needed in the repositioning
+// algorithms on the Paragon."
+//
+// We can measure what the authors could only conjecture: how close the
+// equal distribution gets to genuinely random placements, and what a
+// repositioning pass to a random target would cost on top.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Extension — random distributions on the T3D");
+
+  const auto machine = machine::t3d(128);
+  const Bytes L = 4096;
+  const int s = 48;
+  const auto br = stop::make_br_lin();
+  const auto a2a = stop::make_pers_alltoall(true);
+
+  TextTable t;
+  t.row().cell("distribution").cell("Br_Lin [ms]").cell(
+      "MPI_Alltoall [ms]");
+  double br_equal = 0;
+  double br_square = 0;
+  double br_random_sum = 0;
+  constexpr int kRandomTrials = 5;
+  for (const dist::Kind kind :
+       {dist::Kind::kEqual, dist::Kind::kSquare, dist::Kind::kCross}) {
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
+    const double b = bench::time_ms(br, pb);
+    if (kind == dist::Kind::kEqual) br_equal = b;
+    if (kind == dist::Kind::kSquare) br_square = b;
+    t.row().cell(dist::kind_name(kind)).num(b, 2).num(
+        bench::time_ms(a2a, pb), 2);
+  }
+  for (int seed = 1; seed <= kRandomTrials; ++seed) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kRandom, s, L,
+                           static_cast<std::uint64_t>(seed));
+    const double b = bench::time_ms(br, pb);
+    br_random_sum += b;
+    t.row()
+        .cell("Rand(seed " + std::to_string(seed) + ")")
+        .num(b, 2)
+        .num(bench::time_ms(a2a, pb), 2);
+  }
+  std::printf("%s\n", t.render().c_str());
+  const double br_random = br_random_sum / kRandomTrials;
+
+  check.expect(br_random < br_square,
+               "random placements beat the clustered square block for "
+               "Br_Lin");
+  check.expect_ratio(br_equal, br_random, 0.6, 1.4,
+                     "the equal distribution indeed 'resembles a uniformly "
+                     "random distribution' in cost");
+  return check.exit_code();
+}

@@ -1,0 +1,68 @@
+// Extension: measuring the approach the paper dismissed without a figure —
+// every source running its own independent one-to-all broadcast
+// (Uncoord_1toAll), "attractive for dynamic broadcasting situations since
+// it does not require synchronization", but flooding the machine with
+// s*(p-1) uncombined messages.
+//
+// Where the dismissal bites in our model: the per-message software cost.
+// Every rank must receive (and mostly forward) one message per source —
+// 2s operations against Br_*'s O(log p) — so for small and moderate
+// message lengths the coordinated algorithms win decisively, and the
+// total message count explodes exactly as the paper says.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check(
+      "Extension — uncoordinated 1-to-all floods (10x10 Paragon)");
+
+  const auto machine = machine::paragon(10, 10);
+  const auto unco = stop::find_algorithm("Uncoord_1toAll");
+  const auto br = stop::make_br_xy_source();
+
+  TextTable t;
+  t.row()
+      .cell("s")
+      .cell("L")
+      .cell("Uncoord [ms]")
+      .cell("Br_xy_source [ms]")
+      .cell("Uncoord msgs")
+      .cell("Br msgs");
+  std::map<std::pair<int, Bytes>, double> ratio;
+  std::uint64_t unco_msgs_30 = 0;
+  std::uint64_t br_msgs_30 = 0;
+  for (const int s : {10, 30, 60}) {
+    for (const Bytes L : {Bytes{512}, Bytes{4096}}) {
+      const stop::Problem pb =
+          stop::make_problem(machine, dist::Kind::kEqual, s, L);
+      const stop::RunResult ru = stop::run(*unco, pb);
+      const stop::RunResult rb = stop::run(*br, pb);
+      ratio[{s, L}] = ru.time_us / rb.time_us;
+      if (s == 30 && L == 512) {
+        unco_msgs_30 = ru.outcome.metrics.total_sends;
+        br_msgs_30 = rb.outcome.metrics.total_sends;
+      }
+      t.row()
+          .num(static_cast<std::int64_t>(s))
+          .cell(human_bytes(L))
+          .num(ru.time_us / 1000.0, 2)
+          .num(rb.time_us / 1000.0, 2)
+          .num(static_cast<std::int64_t>(ru.outcome.metrics.total_sends))
+          .num(static_cast<std::int64_t>(rb.outcome.metrics.total_sends));
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(unco_msgs_30 >= 30u * 99u,
+               "s*(p-1) messages in the system, as the paper warns");
+  check.expect(unco_msgs_30 > 4 * br_msgs_30,
+               "several times the coordinated algorithm's message count");
+  for (const int s : {30, 60}) {
+    check.expect(ratio[{s, 512}] > 1.3,
+                 "uncoordinated broadcasts lose clearly at small L, s=" +
+                     std::to_string(s));
+  }
+  check.expect(ratio[{60, 4096}] > 1.0,
+               "still behind at L=4K for many sources");
+  return check.exit_code();
+}

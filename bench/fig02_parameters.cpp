@@ -1,0 +1,114 @@
+// Figure 2 (table): algorithm-dependent and distribution-dependent
+// parameters for 2-Step, PersAlltoAll and Br_Lin on the equal
+// distribution — measured from the runtime's per-rank counters and printed
+// next to the paper's asymptotic claims.
+//
+//   congestion   max sends+recvs one processor handles in one iteration
+//   wait         max number of blocking receives of any processor
+//   #send/rec    max total send+recv operations of any processor
+//   av_msg_lgth  max over ranks of the mean message length
+//   av_act_proc  average number of active processors per iteration
+//
+// The paper distinguishes s = 2^l from s != 2^l for Br_Lin: with a
+// power-of-two source count the equal distribution aligns with the halving
+// pattern, early iterations only grow messages, and performance suffers.
+#include <cmath>
+
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 2 — algorithm/distribution parameters");
+
+  const auto machine = machine::paragon(16, 16);
+  const int p = machine.p;
+  const Bytes L = 1024;
+
+  struct Row {
+    std::string algorithm;
+    int s;
+    stop::RunResult result;
+  };
+  std::vector<Row> rows;
+  for (const int s : {32, 37}) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    for (const auto& alg :
+         {stop::make_two_step(false), stop::make_pers_alltoall(false),
+          stop::make_br_lin()}) {
+      rows.push_back({alg->name(), s, stop::run(*alg, pb)});
+    }
+  }
+
+  TextTable t;
+  t.row()
+      .cell("algorithm")
+      .cell("s")
+      .cell("congestion")
+      .cell("wait")
+      .cell("#send/rec")
+      .cell("av_msg_lgth")
+      .cell("av_act_proc")
+      .cell("time[ms]");
+  for (const auto& r : rows) {
+    const auto& m = r.result.outcome.metrics;
+    t.row()
+        .cell(r.algorithm)
+        .num(static_cast<std::int64_t>(r.s))
+        .num(static_cast<std::int64_t>(m.congestion))
+        .num(static_cast<std::int64_t>(m.max_waits))
+        .num(static_cast<std::int64_t>(m.max_send_recv))
+        .num(m.av_msg_lgth, 0)
+        .num(m.av_act_proc, 1)
+        .num(r.result.time_us / 1000.0, 2);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "paper's asymptotics (equal distribution):\n"
+      "  2-Step        congestion O(s), wait O(1), #send/rec O(p),\n"
+      "                av_msg_lgth O(sL), av_act_proc O(p/log p)\n"
+      "  PersAlltoAll  congestion O(1), wait O(1), #send/rec O(p),\n"
+      "                av_msg_lgth O(L), av_act_proc O(p)\n"
+      "  Br_Lin        congestion O(1), wait O(log p), #send/rec O(log p);\n"
+      "                s = 2^l grows messages before spreading sources\n\n");
+
+  const auto& two_step_32 = rows[0].result.outcome.metrics;
+  const auto& pers_32 = rows[1].result.outcome.metrics;
+  const auto& br_32 = rows[2].result.outcome.metrics;
+  const auto& br_37 = rows[5].result.outcome.metrics;
+
+  check.expect(two_step_32.congestion >= 30,
+               "2-Step congestion is O(s): the gather concentrates ~s "
+               "receives at P0 in one step");
+  check.expect(pers_32.congestion <= 4,
+               "PersAlltoAll congestion is O(1) per round");
+  check.expect(br_32.congestion <= 6, "Br_Lin congestion is O(1)");
+  check.expect(two_step_32.max_send_recv >=
+                   static_cast<std::uint64_t>(30),
+               "2-Step #send/rec at the root is O(s)");
+  check.expect(pers_32.max_send_recv >=
+                   static_cast<std::uint64_t>(p - 1),
+               "PersAlltoAll sources issue p-1 sends");
+  const auto log_p = static_cast<std::uint64_t>(std::log2(p));
+  check.expect(br_32.max_send_recv <= 3 * log_p + 4,
+               "Br_Lin #send/rec is O(log p)");
+  check.expect(br_32.max_waits <= log_p + 2 && br_32.max_waits >= 1,
+               "Br_Lin waits once per iteration at most: O(log p)");
+  check.expect(pers_32.av_msg_lgth < 1.2 * static_cast<double>(L) + 64,
+               "PersAlltoAll never combines: av_msg_lgth stays O(L)");
+  check.expect(br_32.av_msg_lgth > 3 * static_cast<double>(L),
+               "Br_Lin combines: av_msg_lgth grows well beyond L");
+  check.expect(two_step_32.av_msg_lgth >
+                   0.5 * static_cast<double>(L) * 32,
+               "2-Step's root handles O(sL) messages");
+
+  // The s = 2^l alignment: with s=32 on p=256 every source pairs with a
+  // source in the early iterations, so fewer processors are active on
+  // average than with s=37, and the run is slower despite fewer sources.
+  check.expect(br_32.av_act_proc < br_37.av_act_proc,
+               "Br_Lin s=2^l activates processors slower than s!=2^l");
+  check.expect(rows[2].result.time_us > rows[5].result.time_us,
+               "Br_Lin on E(32) is slower than on E(37) despite fewer "
+               "sources (the paper's power-of-two penalty)");
+  return check.exit_code();
+}

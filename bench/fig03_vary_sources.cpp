@@ -1,0 +1,71 @@
+// Figure 3: performance on a 10x10 Paragon, equal distribution, L = 4K,
+// number of sources varying from 1 to 100.  Seven algorithms, including
+// the MPI flavours of the two library-based baselines.
+//
+// Paper claims reproduced:
+//  * Br_Lin / Br_xy_source / Br_xy_dim give the best, almost identical
+//    performance;
+//  * 2-Step and PersAlltoAll perform poorly, their MPI versions worse
+//    than the NX versions;
+//  * the three Br_* curves scale linearly with the number of sources.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 3 — 10x10 Paragon, E(s), L=4K, s=1..100");
+
+  const auto machine = machine::paragon(10, 10);
+  const Bytes L = 4096;
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false),     stop::make_two_step(true),
+      stop::make_pers_alltoall(false), stop::make_pers_alltoall(true),
+      stop::make_br_lin(),            stop::make_br_xy_source(),
+      stop::make_br_xy_dim(),
+  };
+  const std::vector<int> source_counts = {1,  5,  10, 20, 30, 40,
+                                          50, 60, 70, 80, 90, 100};
+
+  TextTable t;
+  t.row().cell("s");
+  for (const auto& a : algorithms) t.cell(a->name());
+  std::map<std::string, std::map<int, double>> ms;
+  for (const int s : source_counts) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    t.row().num(static_cast<std::int64_t>(s));
+    for (const auto& a : algorithms) {
+      const double v = bench::time_ms(a, pb);
+      ms[a->name()][s] = v;
+      t.num(v, 2);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  for (const int s : {30, 60, 100}) {
+    for (const std::string br :
+         {"Br_Lin", "Br_xy_source", "Br_xy_dim"}) {
+      check.expect(ms[br][s] < ms["2-Step"][s],
+                   br + " beats 2-Step at s=" + std::to_string(s));
+      check.expect(ms[br][s] < ms["PersAlltoAll"][s],
+                   br + " beats PersAlltoAll at s=" + std::to_string(s));
+    }
+  }
+  for (const int s : {10, 50, 100}) {
+    check.expect(ms["MPI_AllGather"][s] > ms["2-Step"][s],
+                 "MPI 2-Step slower than NX at s=" + std::to_string(s));
+    check.expect(ms["MPI_Alltoall"][s] > ms["PersAlltoAll"][s],
+                 "MPI PersAlltoAll slower than NX at s=" +
+                     std::to_string(s));
+  }
+  // "The three curves giving the best (and almost identical) performance".
+  for (const int s : {20, 60}) {
+    check.expect_ratio(ms["Br_xy_source"][s], ms["Br_Lin"][s], 0.6, 1.6,
+                       "Br_xy_source ~ Br_Lin at s=" + std::to_string(s));
+    check.expect_ratio(ms["Br_xy_dim"][s], ms["Br_xy_source"][s], 0.6, 1.6,
+                       "Br_xy_dim ~ Br_xy_source at s=" + std::to_string(s));
+  }
+  // Linear scaling: time(s=100)/time(s=20) ~ 100/20 within a loose band.
+  check.expect_ratio(ms["Br_Lin"][100], ms["Br_Lin"][20], 2.0, 8.0,
+                     "Br_Lin scales roughly linearly in s");
+  return check.exit_code();
+}

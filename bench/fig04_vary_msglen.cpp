@@ -1,0 +1,56 @@
+// Figure 4: 10x10 Paragon, right diagonal distribution Dr(30), message
+// length varying from 32 bytes to 16K.
+//
+// Paper claims reproduced:
+//  * 2-Step and PersAlltoAll perform poorly regardless of message size;
+//  * PersAlltoAll's curve is almost flat up to L ~ 1K (overhead-bound);
+//  * the Br_* algorithms barely move until ~512 bytes and then grow
+//    linearly with L.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 4 — 10x10 Paragon, Dr(30), L=32..16K");
+
+  const auto machine = machine::paragon(10, 10);
+  const int s = 30;
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false), stop::make_pers_alltoall(false),
+      stop::make_br_lin(), stop::make_br_xy_source(),
+      stop::make_br_xy_dim(),
+  };
+  const std::vector<Bytes> lengths = {32,   128,  512,   1024,
+                                      2048, 4096, 8192, 16384};
+
+  TextTable t;
+  t.row().cell("L");
+  for (const auto& a : algorithms) t.cell(a->name());
+  std::map<std::string, std::map<Bytes, double>> ms;
+  for (const Bytes L : lengths) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    t.row().cell(human_bytes(L));
+    for (const auto& a : algorithms) {
+      const double v = bench::time_ms(a, pb);
+      ms[a->name()][L] = v;
+      t.num(v, 2);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  for (const Bytes L : lengths) {
+    check.expect(ms["Br_Lin"][L] < ms["2-Step"][L] &&
+                     ms["Br_Lin"][L] < ms["PersAlltoAll"][L],
+                 "Br_Lin ahead of both baselines at L=" + human_bytes(L));
+  }
+  check.expect_ratio(ms["PersAlltoAll"][1024], ms["PersAlltoAll"][32], 1.0,
+                     1.5, "PersAlltoAll almost flat from 32B to 1K");
+  check.expect_ratio(ms["Br_xy_source"][512], ms["Br_xy_source"][32], 1.0,
+                     1.8, "Br_xy_source moves little until 512B");
+  // Linear growth for large messages: 16K ~ 2x 8K within a band.
+  check.expect_ratio(ms["Br_xy_source"][16384], ms["Br_xy_source"][8192],
+                     1.5, 2.5, "Br_xy_source linear in L for large L");
+  check.expect_ratio(ms["2-Step"][16384], ms["2-Step"][8192], 1.5, 2.5,
+                     "2-Step linear in L for large L");
+  return check.exit_code();
+}

@@ -1,0 +1,70 @@
+// Figure 6: three Br_* algorithms on a 10x10 Paragon, L = 2K, s = 30,
+// across source distributions (R, C, E, Dr, Dl, B, Sq, Cr).
+//
+// Paper claims reproduced:
+//  * Br_xy_source performs (roughly) the same on R, C, E and the
+//    diagonals — rows/columns are its ideal distributions;
+//  * square block and cross cost considerably more for all three;
+//  * Br_Lin handles the square block and cross best of the three (its
+//    halving spreads sources to fresh rows/columns early);
+//  * Br_xy_dim blows up on the row distribution — on a square mesh it
+//    processes rows first, exactly the wrong choice ("the importance of
+//    choosing the right dimension first").
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 6 — 10x10 Paragon, L=2K, s=30, distributions");
+
+  const auto machine = machine::paragon(10, 10);
+  const int s = 30;
+  const Bytes L = 2048;
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_br_lin(), stop::make_br_xy_source(),
+      stop::make_br_xy_dim()};
+  const std::vector<dist::Kind> kinds = {
+      dist::Kind::kRow,       dist::Kind::kColumn, dist::Kind::kEqual,
+      dist::Kind::kDiagRight, dist::Kind::kDiagLeft, dist::Kind::kBand,
+      dist::Kind::kSquare,    dist::Kind::kCross};
+
+  TextTable t;
+  t.row().cell("distribution");
+  for (const auto& a : algorithms) t.cell(a->name());
+  std::map<std::string, std::map<std::string, double>> ms;
+  for (const dist::Kind kind : kinds) {
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
+    t.row().cell(dist::kind_name(kind) + "(30)");
+    for (const auto& a : algorithms) {
+      const double v = bench::time_ms(a, pb);
+      ms[a->name()][dist::kind_name(kind)] = v;
+      t.num(v, 2);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  auto& xy_source = ms["Br_xy_source"];
+  check.expect_ratio(xy_source["C"], xy_source["R"], 0.9, 1.1,
+                     "Br_xy_source: column ~ row distribution");
+  check.expect_ratio(xy_source["E"], xy_source["R"], 0.8, 1.25,
+                     "Br_xy_source: equal ~ row distribution");
+  check.expect_ratio(xy_source["Dr"], xy_source["R"], 0.8, 1.4,
+                     "Br_xy_source: diagonals near the ideal ones");
+  check.expect(xy_source["Sq"] > xy_source["R"] * 1.1,
+               "square block costs Br_xy_source considerably more");
+  check.expect(xy_source["Cr"] > xy_source["R"] * 1.2,
+               "cross costs Br_xy_source considerably more");
+
+  for (const std::string hard : {"Sq", "Cr"}) {
+    check.expect(ms["Br_Lin"][hard] <= ms["Br_xy_source"][hard] * 1.05 &&
+                     ms["Br_Lin"][hard] <= ms["Br_xy_dim"][hard] * 1.05,
+                 "Br_Lin performs best on the hard " + hard +
+                     " distribution");
+  }
+
+  check.expect(ms["Br_xy_dim"]["R"] > ms["Br_xy_source"]["R"] * 1.25,
+               "Br_xy_dim's big increase on the row distribution (wrong "
+               "dimension first)");
+  check.expect_ratio(ms["Br_xy_dim"]["C"], ms["Br_xy_source"]["C"], 0.8,
+                     1.2, "Br_xy_dim fine on the column distribution");
+  return check.exit_code();
+}

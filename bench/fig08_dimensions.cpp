@@ -1,0 +1,62 @@
+// Figure 8: a 120-node Paragon in different shapes (4x30 ... 10x12/12x10),
+// equal distribution, L = 4K, three source counts.
+//
+// Paper claims reproduced:
+//  * for a small source count (s=8) the machine shape hardly matters;
+//  * for more sources the shape changes performance considerably;
+//  * the paper's anomaly: s=15 can run *faster* than s=8 on some shapes,
+//    because E(15) lands on diagonal-ish positions that spread fast while
+//    E(8) tends to sit inside columns.
+#include <algorithm>
+
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 8 — p=120 Paragon, shapes vary, E(s), L=4K");
+
+  struct Shape {
+    int rows;
+    int cols;
+  };
+  const std::vector<Shape> shapes = {{4, 30}, {5, 24}, {6, 20},
+                                     {8, 15}, {10, 12}, {12, 10}};
+  const Bytes L = 4096;
+  const auto alg = stop::make_br_lin();
+  const std::vector<int> source_counts = {8, 15, 60};
+
+  TextTable t;
+  t.row().cell("shape");
+  for (const int s : source_counts)
+    t.cell("s=" + std::to_string(s) + " [ms]");
+  std::map<int, std::vector<double>> by_s;
+  for (const Shape& sh : shapes) {
+    const auto machine = machine::paragon(sh.rows, sh.cols);
+    t.row().cell(std::to_string(sh.rows) + "x" + std::to_string(sh.cols));
+    for (const int s : source_counts) {
+      const stop::Problem pb =
+          stop::make_problem(machine, dist::Kind::kEqual, s, L);
+      const double v = bench::time_ms(alg, pb);
+      by_s[s].push_back(v);
+      t.num(v, 2);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const auto spread = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end()) /
+           *std::min_element(v.begin(), v.end());
+  };
+  check.expect(spread(by_s[8]) < 1.5,
+               "s=8: machine shape changes Br_Lin's time by < 1.5x");
+  check.expect(spread(by_s[60]) > spread(by_s[8]),
+               "more sources make the machine shape matter more");
+  // The anomaly exists on at least one shape: s=15 faster than s=8.
+  bool anomaly = false;
+  for (std::size_t i = 0; i < by_s[8].size(); ++i)
+    anomaly |= by_s[15][i] < by_s[8][i];
+  check.expect(anomaly,
+               "on some 120-node shape, 15 sources run faster than 8 "
+               "(distribution/dimension interaction)");
+  return check.exit_code();
+}

@@ -1,0 +1,71 @@
+// Figure 9: percentage difference between Repos_xy_source and
+// Br_xy_source on a 16x16 Paragon, L = 6K, sources varying 16..192, four
+// input distributions (E, B, Cr, Sq).  Positive = repositioning wins.
+//
+// Paper claims reproduced:
+//  * significant gains on the cross and square-block distributions;
+//  * the band distribution is already near-ideal on a square mesh, so
+//    repositioning costs a little instead of helping;
+//  * the gain tapers off as the number of sources grows large.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check(
+      "Figure 9 — Repos_xy_source vs Br_xy_source, 16x16, L=6K");
+
+  const auto machine = machine::paragon(16, 16);
+  const Bytes L = 6144;
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,
+                                         dist::Kind::kBand,
+                                         dist::Kind::kCross,
+                                         dist::Kind::kSquare};
+  const std::vector<int> source_counts = {16, 32, 48, 64, 96, 128, 160, 192};
+
+  TextTable t;
+  t.row().cell("s");
+  for (const dist::Kind k : kinds) t.cell(dist::kind_name(k) + " gain");
+  // gain = (base - repos) / base, positive when repositioning is faster.
+  std::map<std::string, std::map<int, double>> gain;
+  for (const int s : source_counts) {
+    t.row().num(static_cast<std::int64_t>(s));
+    for (const dist::Kind k : kinds) {
+      const stop::Problem pb = stop::make_problem(machine, k, s, L);
+      const double base_ms = bench::time_ms(base, pb);
+      const double repos_ms = bench::time_ms(repos, pb);
+      const double g = (base_ms - repos_ms) / base_ms;
+      gain[dist::kind_name(k)][s] = g;
+      t.cell(signed_percent(g, 1));
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  for (const int s : {32, 48, 64}) {
+    check.expect(gain["Cr"][s] > 0.05,
+                 "repositioning wins on the cross distribution at s=" +
+                     std::to_string(s));
+    check.expect(gain["Sq"][s] > 0.05,
+                 "repositioning wins on the square block at s=" +
+                     std::to_string(s));
+  }
+  const auto average = [&](const std::string& k) {
+    double sum = 0;
+    for (const int s : source_counts) sum += gain[k][s];
+    return sum / static_cast<double>(source_counts.size());
+  };
+  check.expect(average("Cr") > 0.10 && average("Sq") > 0.05,
+               "significant average gain on the hard distributions");
+  for (const int s : {32, 96}) {
+    check.expect(gain["B"][s] < 0.05,
+                 "the near-ideal band distribution gains nothing at s=" +
+                     std::to_string(s));
+    check.expect(gain["B"][s] > -0.25,
+                 "repositioning the band costs only a few percent at s=" +
+                     std::to_string(s));
+  }
+  check.expect(gain["Cr"][192] < gain["Cr"][48],
+               "the cross gain tapers off for large source counts");
+  return check.exit_code();
+}

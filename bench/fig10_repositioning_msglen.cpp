@@ -1,0 +1,63 @@
+// Figure 10: the same Repos_xy_source vs Br_xy_source comparison on a
+// 16x16 Paragon with s = 75, message length varying 32B..16K.
+//
+// Paper claims reproduced:
+//  * for messages under ~1K, repositioning pays only for the cross
+//    distribution;
+//  * the benefit grows with the message length for the hard
+//    distributions, then tapers off at the largest lengths.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check(
+      "Figure 10 — Repos_xy_source vs Br_xy_source, 16x16, s=75");
+
+  const auto machine = machine::paragon(16, 16);
+  const int s = 75;
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,
+                                         dist::Kind::kBand,
+                                         dist::Kind::kCross,
+                                         dist::Kind::kSquare};
+  const std::vector<Bytes> lengths = {32,   256,  1024, 2048,
+                                      4096, 8192, 16384};
+
+  TextTable t;
+  t.row().cell("L");
+  for (const dist::Kind k : kinds) t.cell(dist::kind_name(k) + " gain");
+  std::map<std::string, std::map<Bytes, double>> gain;
+  for (const Bytes L : lengths) {
+    t.row().cell(human_bytes(L));
+    for (const dist::Kind k : kinds) {
+      const stop::Problem pb = stop::make_problem(machine, k, s, L);
+      const double base_ms = bench::time_ms(base, pb);
+      const double repos_ms = bench::time_ms(repos, pb);
+      const double g = (base_ms - repos_ms) / base_ms;
+      gain[dist::kind_name(k)][L] = g;
+      t.cell(signed_percent(g, 1));
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // "For a message size of less than 1K, repositioning pays only for the
+  // cross distribution."
+  check.expect(gain["Cr"][256] > 0.0,
+               "sub-1K messages: the cross distribution already pays");
+  check.expect(gain["Sq"][256] < 0.05 && gain["E"][256] < 0.0 &&
+                   gain["B"][256] < 0.0,
+               "sub-1K messages: no other distribution pays yet");
+  check.expect(gain["Cr"][8192] > gain["Cr"][256],
+               "the cross gain grows with the message length");
+  check.expect(gain["Sq"][8192] > gain["Sq"][256],
+               "the square-block gain grows with the message length");
+  check.expect(gain["Cr"][8192] > 0.10,
+               "large messages: double-digit gain on the cross");
+  for (const Bytes L : {Bytes{1024}, Bytes{16384}}) {
+    check.expect(gain["B"][L] < 0.08,
+                 "the band distribution never gains much (L=" +
+                     human_bytes(L) + ")");
+  }
+  return check.exit_code();
+}

@@ -1,0 +1,60 @@
+// Section 5.2 (text): Part_xy_source vs Repos_xy_source vs Br_xy_source
+// on a 16x16 Paragon.  "Our results showed that for the Intel Paragon the
+// partitioning approach hardly ever gives a better performance than
+// repositioning alone.  The reason lies in the cost of the final
+// permutation" — the cross-seam exchange of s*L-byte messages.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check(
+      "Section 5.2 — partitioning vs repositioning, 16x16 Paragon");
+
+  const auto machine = machine::paragon(16, 16);
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  const auto part = stop::make_partitioning(base);
+
+  TextTable t;
+  t.row()
+      .cell("dist")
+      .cell("s")
+      .cell("L")
+      .cell("Br_xy_source")
+      .cell("Repos")
+      .cell("Part");
+  int part_wins = 0;
+  int cases = 0;
+  double worst_part_vs_repos = 0;
+  for (const dist::Kind kind :
+       {dist::Kind::kEqual, dist::Kind::kCross, dist::Kind::kSquare}) {
+    for (const int s : {32, 64, 128}) {
+      for (const Bytes L : {Bytes{2048}, Bytes{8192}}) {
+        const stop::Problem pb = stop::make_problem(machine, kind, s, L);
+        const double b = bench::time_ms(base, pb);
+        const double r = bench::time_ms(repos, pb);
+        const double p = bench::time_ms(part, pb);
+        t.row()
+            .cell(dist::kind_name(kind))
+            .num(static_cast<std::int64_t>(s))
+            .cell(human_bytes(L))
+            .num(b, 2)
+            .num(r, 2)
+            .num(p, 2);
+        ++cases;
+        if (p < r) ++part_wins;
+        worst_part_vs_repos = std::max(worst_part_vs_repos, p / r);
+      }
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(part_wins <= cases / 4,
+               "partitioning hardly ever beats repositioning (" +
+                   std::to_string(part_wins) + "/" + std::to_string(cases) +
+                   " wins)");
+  check.expect(worst_part_vs_repos > 1.15,
+               "the final permutation makes partitioning markedly slower "
+               "in the worst case");
+  return check.exit_code();
+}

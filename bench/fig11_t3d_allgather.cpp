@@ -1,0 +1,78 @@
+// Figure 11: MPI_AllGather scalability on the T3D.
+//  (a) machine size 32..256, s = 32, total message volume 128K (L = 4K),
+//      across source distributions;
+//  (b) p = 128, L = 16K, source count varying — "the convergence and
+//      deterioration of MPI_AllGather when s approaches p is as expected".
+//
+// Reproduced claims: times grow moderately with machine size; for small
+// machines the distribution has little impact; at fixed L the time
+// deteriorates steeply as s approaches p.
+//
+// Documented divergence (see EXPERIMENTS.md): the paper measured the equal
+// distribution ~28% faster than the others at larger machine sizes and
+// could only conjecture why.  In our model MPI_AllGather is the gather+
+// broadcast the paper describes, whose root bottleneck makes the cost
+// independent of *where* the sources sit — so all distributions coincide
+// and that 28% gap does not reproduce.  We print the per-distribution
+// series regardless so the comparison is visible.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 11 — MPI_AllGather scalability on the T3D");
+
+  const auto allgather = stop::make_two_step(true);
+  const std::vector<dist::Kind> kinds = {
+      dist::Kind::kRow, dist::Kind::kEqual, dist::Kind::kDiagRight,
+      dist::Kind::kSquare, dist::Kind::kCross};
+
+  bench::section("(a) s=32, total 128K, machine size varies");
+  TextTable ta;
+  ta.row().cell("p");
+  for (const dist::Kind k : kinds) ta.cell(dist::kind_name(k));
+  std::map<int, std::map<std::string, double>> a_ms;
+  for (const int p : {32, 64, 128, 256}) {
+    const auto machine = machine::t3d(p);
+    ta.row().num(static_cast<std::int64_t>(p));
+    for (const dist::Kind k : kinds) {
+      const stop::Problem pb = stop::make_problem(machine, k, 32, 4096);
+      const double v = bench::time_ms(allgather, pb);
+      a_ms[p][dist::kind_name(k)] = v;
+      ta.num(v, 2);
+    }
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  check.expect(a_ms[256]["E"] > a_ms[32]["E"],
+               "the time grows with the machine size");
+  check.expect_ratio(a_ms[256]["E"], a_ms[32]["E"], 1.0, 4.0,
+                     "growth stays moderate (scalable collective)");
+  // Small machines: distribution spread tiny.
+  double lo32 = 1e9;
+  double hi32 = 0;
+  for (const dist::Kind k : kinds) {
+    lo32 = std::min(lo32, a_ms[32][dist::kind_name(k)]);
+    hi32 = std::max(hi32, a_ms[32][dist::kind_name(k)]);
+  }
+  check.expect(hi32 / lo32 < 1.1,
+               "p=32: the source distribution has little impact");
+
+  bench::section("(b) p=128, L=16K, source count varies");
+  const auto machine = machine::t3d(128);
+  TextTable tb;
+  tb.row().cell("s").cell("MPI_AllGather [ms]");
+  std::map<int, double> b_ms;
+  for (const int s : {8, 16, 32, 64, 96, 128}) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, 16384);
+    b_ms[s] = bench::time_ms(allgather, pb);
+    tb.row().num(static_cast<std::int64_t>(s)).num(b_ms[s], 2);
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  check.expect(b_ms[128] > b_ms[32] && b_ms[32] > b_ms[8],
+               "fixed L: MPI_AllGather deteriorates as s grows");
+  check.expect(b_ms[128] / b_ms[8] > 3.0,
+               "the deterioration toward s ~ p is steep");
+  return check.exit_code();
+}

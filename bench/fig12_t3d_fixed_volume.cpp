@@ -1,0 +1,66 @@
+// Figure 12: 128-processor T3D, total message volume fixed at 128K, the
+// number of sources varying, across distributions.
+//
+// The paper's claim — "for a given problem size, better performance is
+// obtained when the broadcast data is initially distributed over a large
+// number of source processors" — reproduces cleanly for MPI_Alltoall,
+// whose source-side fan-out cost shrinks as the per-source message
+// shrinks.  For the root-serialized MPI_AllGather our model shows the
+// opposite mild trend (each extra source adds a fixed root cost while the
+// broadcast volume stays put); EXPERIMENTS.md discusses the divergence.
+#include "util.h"
+
+int main() {
+  using namespace spb;
+  bench::Checker check("Figure 12 — T3D p=128, total 128K, s varies");
+
+  const auto machine = machine::t3d(128);
+  const Bytes total = 128 * 1024;
+  const auto alltoall = stop::make_pers_alltoall(true);
+  const auto allgather = stop::make_two_step(true);
+  const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,
+                                         dist::Kind::kRow,
+                                         dist::Kind::kSquare};
+
+  TextTable t;
+  t.row().cell("s").cell("L");
+  for (const dist::Kind k : kinds)
+    t.cell("Alltoall/" + dist::kind_name(k));
+  t.cell("AllGather/E");
+  std::map<std::string, std::map<int, double>> ms;
+  for (const int s : {8, 16, 32, 64, 128}) {
+    const Bytes L = total / static_cast<Bytes>(s);
+    t.row().num(static_cast<std::int64_t>(s)).cell(human_bytes(L));
+    for (const dist::Kind k : kinds) {
+      const stop::Problem pb = stop::make_problem(machine, k, s, L);
+      const double v = bench::time_ms(alltoall, pb);
+      ms["a2a_" + dist::kind_name(k)][s] = v;
+      t.num(v, 2);
+    }
+    const stop::Problem pe =
+        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    ms["gather"][s] = bench::time_ms(allgather, pe);
+    t.num(ms["gather"][s], 2);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(ms["a2a_E"][64] < ms["a2a_E"][8],
+               "MPI_Alltoall: spreading 128K over 64 sources beats 8");
+  check.expect(ms["a2a_E"][32] < ms["a2a_E"][16],
+               "MPI_Alltoall: 32 sources beat 16");
+  check.expect(ms["a2a_Sq"][64] < ms["a2a_Sq"][8],
+               "the trend holds on the square-block distribution too");
+  // Our model adds a receive-side floor that turns the curve gently
+  // U-shaped at s -> p; the improvement-from-spreading regime covers
+  // s <= p/2, which is where the paper's observation lives.
+  check.expect(ms["a2a_E"][128] < ms["a2a_E"][8],
+               "even s = p beats the most concentrated case");
+  // "The type of distribution has significant impact when s <= p/4" —
+  // beyond that the curves bunch up.
+  const double spread_128 =
+      std::max({ms["a2a_E"][128], ms["a2a_R"][128], ms["a2a_Sq"][128]}) /
+      std::min({ms["a2a_E"][128], ms["a2a_R"][128], ms["a2a_Sq"][128]});
+  check.expect(spread_128 < 1.25,
+               "distributions converge once s approaches p");
+  return check.exit_code();
+}

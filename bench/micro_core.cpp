@@ -1,0 +1,129 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): event
+// queue throughput, route construction, payload merging, halving-schedule
+// construction, ideal-placement search, and a full end-to-end run.  These
+// guard the simulator's own performance — the figure benches sweep
+// hundreds of runs and stay fast because these stay fast.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "coll/halving.h"
+#include "dist/ideal.h"
+#include "mp/payload.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace {
+
+using namespace spb;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i)
+      q.push(static_cast<double>((i * 7919) % 1000), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_MeshRoute(benchmark::State& state) {
+  const net::Mesh2D mesh(16, 16);
+  int a = 0;
+  for (auto _ : state) {
+    const int b = (a * 31 + 17) % mesh.node_count();
+    benchmark::DoNotOptimize(mesh.route(a, b));
+    a = (a + 1) % mesh.node_count();
+  }
+}
+BENCHMARK(BM_MeshRoute);
+
+void BM_TorusRoute(benchmark::State& state) {
+  const net::Torus3D torus(8, 8, 8);
+  int a = 0;
+  for (auto _ : state) {
+    const int b = (a * 31 + 17) % torus.node_count();
+    benchmark::DoNotOptimize(torus.route(a, b));
+    a = (a + 1) % torus.node_count();
+  }
+}
+BENCHMARK(BM_TorusRoute);
+
+void BM_PayloadMerge(benchmark::State& state) {
+  const int chunks = static_cast<int>(state.range(0));
+  std::vector<mp::Chunk> even;
+  std::vector<mp::Chunk> odd;
+  for (int i = 0; i < chunks; ++i) {
+    even.push_back({2 * i, 64});
+    odd.push_back({2 * i + 1, 64});
+  }
+  const mp::Payload a = mp::Payload::of(even);
+  const mp::Payload b = mp::Payload::of(odd);
+  for (auto _ : state) {
+    mp::Payload m = a;
+    m.merge(b);
+    benchmark::DoNotOptimize(m.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * chunks);
+}
+BENCHMARK(BM_PayloadMerge)->Arg(16)->Arg(256);
+
+void BM_HalvingSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; i += 3) active[static_cast<std::size_t>(i)] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coll::HalvingSchedule::compute(active).iterations());
+  }
+}
+BENCHMARK(BM_HalvingSchedule)->Arg(100)->Arg(256);
+
+void BM_ActivityProfile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; i += 5) active[static_cast<std::size_t>(i)] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coll::HalvingSchedule::activity_profile(active).back());
+  }
+}
+BENCHMARK(BM_ActivityProfile)->Arg(256);
+
+void BM_IdealSearchUncached(benchmark::State& state) {
+  // Unique (n, k) per iteration defeats the memo cache and measures the
+  // greedy + hill-climb search itself.
+  int n = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::ideal_positions(n, 7).size());
+    ++n;
+    if (n > 192) n = 64;
+  }
+}
+BENCHMARK(BM_IdealSearchUncached)->Iterations(64);
+
+void BM_EndToEndBrLin(benchmark::State& state) {
+  const auto machine = machine::paragon(10, 10);
+  const auto alg = stop::make_br_lin();
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, 30, 4096);
+  for (auto _ : state) benchmark::DoNotOptimize(stop::run_ms(*alg, pb));
+}
+BENCHMARK(BM_EndToEndBrLin);
+
+void BM_EndToEndPersAlltoAllT3D(benchmark::State& state) {
+  const auto machine = machine::t3d(128);
+  const auto alg = stop::make_pers_alltoall(true);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, 64, 4096);
+  for (auto _ : state) benchmark::DoNotOptimize(stop::run_ms(*alg, pb));
+}
+BENCHMARK(BM_EndToEndPersAlltoAllT3D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+#include "util.h"
+
+#include <cstdio>
+
+#include "common/str.h"
+
+namespace spb::bench {
+
+double time_ms(const stop::AlgorithmPtr& alg, const stop::Problem& pb) {
+  return stop::run_ms(*alg, pb);
+}
+
+Checker::Checker(std::string bench_name) : name_(std::move(bench_name)) {
+  std::printf("==== %s ====\n", name_.c_str());
+}
+
+void Checker::expect(bool ok, const std::string& claim) {
+  ++checks_;
+  if (!ok) ++failures_;
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+void Checker::expect_ratio(double a, double b, double lo, double hi,
+                           const std::string& claim) {
+  const double ratio = b != 0 ? a / b : 0;
+  expect(ratio >= lo && ratio <= hi,
+         claim + " (ratio " + fixed(ratio, 2) + ", want " + fixed(lo, 2) +
+             ".." + fixed(hi, 2) + ")");
+}
+
+int Checker::exit_code() const {
+  std::printf("---- %s: %d/%d checks passed ----\n\n", name_.c_str(),
+              checks_ - failures_, checks_);
+  return failures_ == 0 ? 0 : 1;
+}
+
+void section(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+}  // namespace spb::bench

@@ -1,0 +1,50 @@
+// Shared scaffolding for the figure-reproduction benches: run-and-average
+// helpers, series printing, and qualitative shape checks that turn each
+// bench into an acceptance test (failed expectations set a non-zero exit
+// code but keep printing, so one bad series does not hide the rest).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "stop/run.h"
+
+namespace spb::bench {
+
+/// Milliseconds for one algorithm/problem pair (single deterministic run —
+/// the simulator has no noise to average away).
+double time_ms(const stop::AlgorithmPtr& alg, const stop::Problem& pb);
+
+/// Global pass/fail state of the current bench binary.
+class Checker {
+ public:
+  explicit Checker(std::string bench_name);
+
+  /// Records an expectation; prints PASS/FAIL with the label.
+  void expect(bool ok, const std::string& claim);
+
+  /// Ratio check with tolerance: ok iff lo <= a/b <= hi.
+  void expect_ratio(double a, double b, double lo, double hi,
+                    const std::string& claim);
+
+  /// Exit code for main(): 0 if everything held.
+  int exit_code() const;
+
+  int failures() const { return failures_; }
+
+ private:
+  std::string name_;
+  int checks_ = 0;
+  int failures_ = 0;
+};
+
+/// Prints a section header.
+void section(const std::string& title);
+
+}  // namespace spb::bench

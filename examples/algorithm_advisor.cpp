@@ -1,0 +1,82 @@
+// Algorithm advisor: given a machine, a source distribution, a source
+// count and a message length, runs every s-to-p algorithm in the library
+// and recommends the fastest — together with the paper's rule of thumb
+// for the Paragon (Section 5.2): reposition when s < p/2, p > 16, and
+// 1K <= L <= 16K.
+//
+//   $ ./algorithm_advisor paragon 16 16 Cr 75 6144
+//   $ ./algorithm_advisor t3d 128 - E 40 4096
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+int main(int argc, char** argv) {
+  using namespace spb;
+
+  // Defaults reproduce the paper's headline repositioning case.
+  std::string machine_kind = argc > 1 ? argv[1] : "paragon";
+  const int arg_a = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int arg_b = argc > 3 && std::strcmp(argv[3], "-") != 0
+                        ? std::atoi(argv[3])
+                        : 16;
+  const std::string dist_name = argc > 4 ? argv[4] : "Cr";
+  const int s = argc > 5 ? std::atoi(argv[5]) : 75;
+  const Bytes length = argc > 6 ? static_cast<Bytes>(std::atoll(argv[6]))
+                                : 6144;
+
+  machine::MachineConfig machine;
+  if (machine_kind == "t3d") {
+    machine = machine::t3d(arg_a);
+  } else if (machine_kind == "paragon") {
+    machine = machine::paragon(arg_a, arg_b);
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s {paragon ROWS COLS | t3d P -} DIST S L\n",
+                 argv[0]);
+    return 2;
+  }
+  const stop::Problem pb = stop::make_problem(
+      machine, dist::kind_from_name(dist_name), s, length);
+
+  std::printf("advising for %s, %s(%d), L=%llu B\n\n",
+              machine.name.c_str(), dist_name.c_str(), s,
+              static_cast<unsigned long long>(length));
+
+  TextTable t;
+  t.row().cell("algorithm").cell("time [ms]").cell("vs best");
+  std::string best_name;
+  double best_ms = 0;
+  std::vector<std::pair<std::string, double>> results;
+  for (const auto& alg : stop::all_algorithms()) {
+    if (machine.p == 1 && alg->name().rfind("Part", 0) == 0) continue;
+    const double ms = stop::run_ms(*alg, pb);
+    results.emplace_back(alg->name(), ms);
+    if (best_name.empty() || ms < best_ms) {
+      best_name = alg->name();
+      best_ms = ms;
+    }
+  }
+  for (const auto& [name, ms] : results) {
+    t.row().cell(name).num(ms, 3).cell(
+        ms == best_ms ? "<- best" : "+" + fixed((ms / best_ms - 1) * 100, 1) + "%");
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("recommendation: %s (%.3f ms)\n\n", best_name.c_str(),
+              best_ms);
+
+  const bool repos_regime = s < machine.p / 2 && machine.p > 16 &&
+                            length >= 1024 && length <= 16384;
+  std::printf(
+      "paper's Paragon rule of thumb (s < p/2, p > 16, 1K <= L <= 16K): "
+      "%s\n",
+      repos_regime
+          ? "conditions hold — expect Repos_xy_source to be competitive"
+          : "conditions do not hold — repositioning may not pay");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Renders every source-distribution family of the paper's Section 4 on a
+// mesh of your choosing — handy for eyeballing what R(s), Dr(s), Cr(s) and
+// friends actually look like, including the ideal distributions the
+// repositioning algorithms generate.
+//
+//   $ ./distribution_gallery [rows] [cols] [s]     (default 10 10 30)
+#include <cstdio>
+#include <cstdlib>
+
+#include "dist/distribution.h"
+#include "dist/ideal.h"
+#include "dist/render.h"
+
+int main(int argc, char** argv) {
+  using namespace spb;
+  const int rows = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int cols = argc > 2 ? std::atoi(argv[2]) : 10;
+  const int s = argc > 3 ? std::atoi(argv[3]) : 30;
+  if (rows < 1 || cols < 1 || s < 1 || s > rows * cols) {
+    std::fprintf(stderr, "usage: %s [rows] [cols] [s]\n", argv[0]);
+    return 2;
+  }
+  const dist::Grid grid{rows, cols};
+
+  std::printf("source distributions for s=%d on a %dx%d mesh\n\n", s, rows,
+              cols);
+  for (const dist::Kind kind : dist::all_kinds()) {
+    std::printf("%s(%d):\n%s\n", dist::kind_name(kind).c_str(), s,
+                dist::render(grid, dist::generate(kind, grid, s)).c_str());
+  }
+  std::printf("ideal rows for Br_xy_source (repositioning target):\n%s\n",
+              dist::render(grid, dist::ideal_rows(grid, s)).c_str());
+  std::printf("ideal linear placement for Br_Lin:\n%s",
+              dist::render(grid, dist::ideal_linear(grid, s)).c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Link-contention heatmap: runs one algorithm on a simulated Paragon and
+// prints, for every mesh node, how busy its hottest outgoing link was —
+// as a digit 0..9 scaled to the globally hottest link.  The 2-Step gather
+// funnel into P0 and the even spread of Br_xy_source are immediately
+// visible.
+//
+//   $ ./link_heatmap                      # defaults: 10x10, Dr(30), 8K
+//   $ ./link_heatmap 2-Step
+//   $ ./link_heatmap Br_xy_source 16 16 Sq 64 8192
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace {
+
+void heatmap(const spb::machine::MachineConfig& machine,
+             const spb::stop::AlgorithmPtr& alg,
+             const spb::stop::Problem& pb) {
+  using namespace spb;
+  const stop::RunResult r = stop::run(*alg, pb);
+  const auto& busy = r.outcome.link_busy_us;
+  const net::Topology& topo = *machine.topology;
+  const int slots = topo.slots_per_node();
+
+  std::vector<double> node_max(static_cast<std::size_t>(topo.node_count()),
+                               0.0);
+  double global_max = 0;
+  for (LinkId l = 0; l < topo.link_space(); ++l) {
+    const NodeId n = l / slots;
+    node_max[static_cast<std::size_t>(n)] =
+        std::max(node_max[static_cast<std::size_t>(n)],
+                 busy[static_cast<std::size_t>(l)]);
+    global_max = std::max(global_max, busy[static_cast<std::size_t>(l)]);
+  }
+
+  std::printf("%s on %s: %.2f ms, hottest link busy %.0f us\n",
+              alg->name().c_str(), machine.name.c_str(),
+              r.time_us / 1000.0, global_max);
+  for (int row = 0; row < machine.rows; ++row) {
+    std::printf("  ");
+    for (int col = 0; col < machine.cols; ++col) {
+      const NodeId n = row * machine.cols + col;  // identity mapping
+      const double v = node_max[static_cast<std::size_t>(n)];
+      const int digit =
+          global_max > 0
+              ? std::min(9, static_cast<int>(v / global_max * 9.999))
+              : 0;
+      std::printf("%d", digit);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spb;
+  const std::string alg_name = argc > 1 ? argv[1] : "";
+  const int rows = argc > 2 ? std::atoi(argv[2]) : 10;
+  const int cols = argc > 3 ? std::atoi(argv[3]) : 10;
+  const std::string dist_name = argc > 4 ? argv[4] : "Dr";
+  const int s = argc > 5 ? std::atoi(argv[5]) : 30;
+  const Bytes length = argc > 6 ? static_cast<Bytes>(std::atoll(argv[6]))
+                                : 8192;
+
+  const auto machine = machine::paragon(rows, cols);
+  const stop::Problem pb = stop::make_problem(
+      machine, dist::kind_from_name(dist_name), s, length);
+
+  std::printf(
+      "per-node hottest-outgoing-link utilization (0..9, relative to the "
+      "run's hottest link)\n\n");
+  if (!alg_name.empty()) {
+    heatmap(machine, stop::find_algorithm(alg_name), pb);
+  } else {
+    for (const char* name :
+         {"2-Step", "PersAlltoAll", "Br_Lin", "Br_xy_source"}) {
+      heatmap(machine, stop::find_algorithm(name), pb);
+    }
+  }
+  return 0;
+}

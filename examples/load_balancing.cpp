@@ -1,0 +1,63 @@
+// Dynamic load balancing for distributed spatial data structures (the
+// paper's reference [9]): after a rebalancing step, the processors whose
+// region boundaries moved must broadcast their updated index entries to
+// everyone.  The sources "tend to follow regular patterns" — here, whole
+// rows of the processor mesh own latitude bands of the spatial domain, so
+// a rebalance makes a few bands the sources (a row distribution), while a
+// skewed hot spot produces a square block of busy processors.
+//
+// The example shows why the repositioning algorithm is the paper's
+// recommendation on the Paragon: it is nearly free when the pattern is
+// already friendly and rescues the hot-spot case.
+//
+//   $ ./load_balancing
+#include <cstdio>
+
+#include "dist/render.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace {
+
+void report(const char* scenario, const spb::stop::Problem& pb) {
+  using namespace spb;
+  const auto base = stop::make_br_xy_source();
+  const auto repos = stop::make_repositioning(base);
+  const double base_ms = stop::run_ms(*base, pb);
+  const double repos_ms = stop::run_ms(*repos, pb);
+  std::printf("%s — %d sources, %llu B index updates\n%s", scenario, pb.s(),
+              static_cast<unsigned long long>(pb.message_bytes),
+              dist::render(pb.grid(), pb.sources).c_str());
+  std::printf("  Br_xy_source        %6.2f ms\n", base_ms);
+  std::printf("  Repos_xy_source     %6.2f ms  (%+.1f%%)\n\n", repos_ms,
+              (base_ms - repos_ms) / base_ms * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spb;
+  const auto machine = machine::paragon(16, 16);
+  const Bytes index_bytes = 6144;
+
+  std::printf("spatial-index rebalancing broadcasts on a %s\n\n",
+              machine.name.c_str());
+
+  // Friendly case: three latitude bands rebalanced -> row distribution.
+  report("band rebalance (rows)",
+         stop::make_problem(machine, dist::Kind::kRow, 48, index_bytes));
+
+  // Hot spot: a cluster of overloaded processors in one corner.
+  report("hot spot (square block)",
+         stop::make_problem(machine, dist::Kind::kSquare, 48, index_bytes));
+
+  // Worst case: a row of boundary processors plus a column of them.
+  report("boundary cross",
+         stop::make_problem(machine, dist::Kind::kCross, 48, index_bytes));
+
+  std::printf(
+      "Repositioning turns every initial pattern into the ideal row\n"
+      "distribution first, so the broadcast cost stays predictable no\n"
+      "matter how the rebalance scattered the sources.\n");
+  return 0;
+}

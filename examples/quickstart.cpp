@@ -1,0 +1,40 @@
+// Quickstart: broadcast 30 messages of 2 KB from a right-diagonal source
+// distribution on a simulated 10x10 Intel Paragon, with every algorithm in
+// the library, and print the resulting times.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "common/table.h"
+#include "dist/render.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+int main() {
+  using namespace spb;
+
+  const auto machine = machine::paragon(10, 10);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kDiagRight, /*s=*/30,
+                         /*message_bytes=*/2048);
+
+  std::printf("s-to-p broadcasting: s=%d sources, p=%d processors, L=%llu B\n",
+              pb.s(), pb.p(),
+              static_cast<unsigned long long>(pb.message_bytes));
+  std::printf("machine: %s\nsource distribution Dr(30):\n%s\n",
+              pb.machine.name.c_str(),
+              dist::render(pb.grid(), pb.sources).c_str());
+
+  TextTable table;
+  table.row().cell("algorithm").cell("time [ms]").cell("max send+recv/rank");
+  for (const auto& alg : stop::all_algorithms()) {
+    const stop::RunResult r = stop::run(*alg, pb);
+    table.row()
+        .cell(alg->name())
+        .num(r.time_us / 1000.0, 3)
+        .num(static_cast<std::int64_t>(r.outcome.metrics.max_send_recv));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nEvery run verified: all 100 ranks hold all 30 messages.\n");
+  return 0;
+}

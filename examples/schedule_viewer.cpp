@@ -1,0 +1,61 @@
+// Prints the recursive-halving schedule of Br_Lin for a given segment size
+// and source placement: per iteration, every transfer (-> one-sided send,
+// <-> exchange) and the resulting active count.  The paper's Section 2
+// merge pattern, made inspectable.
+//
+//   $ ./schedule_viewer                # n=10, sources {0, 5}
+//   $ ./schedule_viewer 16 0,3,9
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "coll/halving.h"
+
+int main(int argc, char** argv) {
+  using namespace spb;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  if (n < 1) {
+    std::fprintf(stderr, "usage: %s [n] [src0,src1,...]\n", argv[0]);
+    return 2;
+  }
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  if (argc > 2) {
+    for (const char* p = argv[2]; *p != '\0';) {
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p || v < 0 || v >= n) {
+        std::fprintf(stderr, "bad source list\n");
+        return 2;
+      }
+      active[static_cast<std::size_t>(v)] = 1;
+      p = *end == ',' ? end + 1 : end;
+    }
+  } else {
+    active[0] = 1;
+    if (n > 5) active[5] = 1;
+  }
+
+  const auto sched = coll::HalvingSchedule::compute(active);
+  std::printf("halving schedule, n=%d, %d initially active, %d iterations\n",
+              n, sched.active_count_after(0), sched.iterations());
+  for (int iter = 0; iter < sched.iterations(); ++iter) {
+    std::printf("\niteration %d:\n", iter);
+    for (int pos = 0; pos < n; ++pos) {
+      for (const coll::Action& a : sched.actions(iter, pos)) {
+        if (a.type != coll::Action::Type::kSend) continue;
+        // Detect the matching reverse send to print an exchange once.
+        bool exchange = false;
+        for (const coll::Action& back : sched.actions(iter, a.peer))
+          exchange |= back.type == coll::Action::Type::kSend &&
+                      back.peer == pos;
+        if (exchange && a.peer < pos) continue;  // printed from the lower side
+        std::printf("  %3d %s %3d\n", pos, exchange ? "<->" : " ->", a.peer);
+      }
+    }
+    std::printf("  active: %d -> %d\n", sched.active_count_after(iter),
+                sched.active_count_after(iter + 1));
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Calibration probe: prints the three Figure-13(a) curves (p=128, L=4K,
+// equal distribution) under machine-parameter overrides, so the effect of
+// any knob on the T3D orderings is one command away:
+//
+//   t3d_probe [send_recv_overhead_us] [combine_per_byte] [combine_fixed]
+//             [bytes_per_us] [inject_channels]
+//
+//   $ ./t3d_probe              # the calibrated machine
+//   $ ./t3d_probe 25 0 15      # what if combining bytes were free?
+#include <cstdio>
+#include <cstdlib>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+int main(int argc, char** argv) {
+  using namespace spb;
+  auto machine = machine::t3d(128);
+  if (argc > 1) {
+    machine.comm.send_overhead_us = machine.comm.recv_overhead_us =
+        std::atof(argv[1]);
+  }
+  if (argc > 2) machine.comm.combine_per_byte_us = std::atof(argv[2]);
+  if (argc > 3) machine.comm.combine_fixed_us = std::atof(argv[3]);
+  if (argc > 4) machine.net.bytes_per_us = std::atof(argv[4]);
+  if (argc > 5) {
+    machine.net.inject_channels = machine.net.eject_channels =
+        std::atoi(argv[5]);
+  }
+  const auto allgather = stop::make_two_step(true);
+  const auto alltoall = stop::make_pers_alltoall(true);
+  const auto brlin = stop::make_br_lin();
+  std::printf("%6s %14s %14s %14s\n", "s", "MPI_AllGather", "MPI_Alltoall",
+              "Br_Lin");
+  for (int s : {5, 10, 20, 40, 64, 96, 128}) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, 4096);
+    std::printf("%6d %14.3f %14.3f %14.3f\n", s,
+                stop::run_ms(*allgather, pb), stop::run_ms(*alltoall, pb),
+                stop::run_ms(*brlin, pb));
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Communication timeline: runs one algorithm with tracing enabled and
+// prints an ASCII Gantt chart — one row per rank, time left to right:
+//   S sending (injection)   w blocked waiting for a message
+//   r receive processing    c computing (merging)   . idle
+//
+// The halving structure of Br_Lin (synchronized iterations, growing
+// transfers) versus the fire-hose of PersAlltoAll is plain to see.
+//
+//   $ ./timeline                 # Br_Lin and PersAlltoAll, 1x8, E(3)
+//   $ ./timeline 2-Step 16
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace {
+
+void show(const std::string& name, const spb::stop::Problem& pb) {
+  using namespace spb;
+  const auto alg = stop::find_algorithm(name);
+  const stop::RunResult r =
+      stop::run(*alg, pb, {.verify = true, .trace = true});
+  std::printf("%s on %s, %d sources, %.2f ms, %zu trace events\n",
+              name.c_str(), pb.machine.name.c_str(), pb.s(),
+              r.time_us / 1000.0, r.trace.size());
+  std::printf("%s\n", r.trace.render_timeline(pb.p(), 72).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spb;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 8;
+  const auto machine = machine::paragon(1, p);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, std::max(1, p / 3),
+                         4096);
+  if (argc > 1) {
+    show(argv[1], pb);
+  } else {
+    show("Br_Lin", pb);
+    show("PersAlltoAll", pb);
+  }
+  return 0;
+}

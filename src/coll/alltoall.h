@@ -1,0 +1,39 @@
+// Personalized all-to-all exchange schedule (paper reference [8]): the
+// message exchange consists of n-1 permutations over n participants.  On
+// power-of-two participant counts round t pairs position i with i XOR t (a
+// perfect matching); otherwise round t sends to (i + t) mod n and receives
+// from (i - t) mod n.
+//
+// Used by PersAlltoAll / MPI_Alltoall: every *source* pushes its original
+// (uncombined) message to every other participant; receives are drained
+// after all sends so no round ever waits on a message — the low-wait
+// behaviour the paper credits for MPI_Alltoall's T3D win.
+//
+// Participants are given as a position-indexed rank sequence so the same
+// code serves whole-machine runs and the Part_* group runs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mp/runtime.h"
+#include "sim/task.h"
+
+namespace spb::coll {
+
+/// True when n participants use the XOR matching schedule.
+bool uses_xor_schedule(int n);
+
+/// Destination position of position `pos` in round `t` (1 <= t < n).
+int exchange_partner(int n, int pos, int t);
+
+/// Runs position `my_pos`'s part of the exchange.  `seq` maps positions to
+/// ranks; `is_source[pos]` flags the positions holding an original; `data`
+/// is this rank's payload and accumulates everything.  Marks one metrics
+/// iteration per send round and per receive.
+sim::Task personalized_exchange(
+    mp::Comm& comm, std::shared_ptr<const std::vector<Rank>> seq, int my_pos,
+    std::shared_ptr<const std::vector<char>> is_source, mp::Payload& data);
+
+}  // namespace spb::coll

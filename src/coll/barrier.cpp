@@ -1,0 +1,23 @@
+#include "coll/barrier.h"
+
+#include "mp/payload.h"
+
+namespace spb::coll {
+
+sim::Task dissemination_barrier(mp::Comm& comm) {
+  const int p = comm.size();
+  const Rank me = comm.rank();
+  // Token payloads carry 1 byte; the source id doubles as the round stamp
+  // so the mailbox keeps rounds apart via per-source FIFO.
+  for (int step = 1; step < p; step <<= 1) {
+    const Rank to = static_cast<Rank>((me + step) % p);
+    const Rank from = static_cast<Rank>(((me - step) % p + p) % p);
+    // Named local (see pipeline.cpp: GCC 12 mishandles non-trivial prvalue
+    // arguments inside co_await expressions).
+    mp::Payload token = mp::Payload::original(me, 1);
+    co_await comm.send(to, std::move(token));
+    (void)co_await comm.recv(from);
+  }
+}
+
+}  // namespace spb::coll

@@ -1,0 +1,16 @@
+// Dissemination barrier: ceil(log2 p) rounds; in round k, rank r signals
+// (r + 2^k) mod p and waits for (r - 2^k) mod p.  The paper's algorithms
+// avoid global synchronization, but user programs (and the examples) need
+// one, and it exercises the runtime's many-small-messages path.
+#pragma once
+
+#include "mp/runtime.h"
+#include "sim/task.h"
+
+namespace spb::coll {
+
+/// Runs rank `comm.rank()`'s part of a full barrier; returns when every
+/// rank is known to have entered it.
+sim::Task dissemination_barrier(mp::Comm& comm);
+
+}  // namespace spb::coll

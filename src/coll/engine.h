@@ -1,0 +1,39 @@
+// Coroutine executor for a HalvingSchedule: runs one rank's slice of the
+// schedule over the message-passing runtime, combining received messages
+// into `data` (with the configured CPU cost).  All Br_* algorithms, the
+// one-to-all broadcast and the repositioning algorithms funnel through
+// this.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coll/halving.h"
+#include "common/types.h"
+#include "mp/runtime.h"
+#include "sim/task.h"
+
+namespace spb::coll {
+
+/// Options for run_halving.
+struct HalvingOptions {
+  /// Call Comm::mark_iteration() after every halving iteration (the paper's
+  /// metric buckets).  Off when a halving phase is embedded in a larger
+  /// algorithm that marks its own phases.
+  bool mark_iterations = true;
+  /// Charge the message-combining CPU cost on merges (Br_* algorithms do;
+  /// the paper's PersAlltoAll-style algorithms do not combine).
+  bool combine_cost = true;
+};
+
+/// Executes position `my_pos` of `sched` where position i of the schedule
+/// is rank (*seq)[i].  `data` is the rank's payload, merged in place;
+/// it must outlive the task.  Shared pointers keep the schedule alive for
+/// the lifetime of all p coroutines.
+sim::Task run_halving(mp::Comm& comm,
+                      std::shared_ptr<const std::vector<Rank>> seq,
+                      int my_pos,
+                      std::shared_ptr<const HalvingSchedule> sched,
+                      mp::Payload& data, HalvingOptions opts = {});
+
+}  // namespace spb::coll

@@ -1,0 +1,34 @@
+#include "coll/gather.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "mp/mailbox.h"
+
+namespace spb::coll {
+
+sim::Task gather_to_root(mp::Comm& comm, Rank root,
+                         std::shared_ptr<const std::vector<Rank>> senders,
+                         mp::Payload& data) {
+  SPB_REQUIRE(senders != nullptr, "gather needs a sender list");
+  const Rank me = comm.rank();
+  const bool sending =
+      std::binary_search(senders->begin(), senders->end(), me);
+
+  if (me == root) {
+    int expected = static_cast<int>(senders->size());
+    if (sending) --expected;  // the root's own data is already local
+    for (int k = 0; k < expected; ++k) {
+      mp::Message m = co_await comm.recv(mp::kAnySource, mp::tags::kData);
+      // Gatherv semantics: each message lands at its pre-computed offset in
+      // the root's buffer — no combining cost, unlike the Br_* merges.
+      data.merge(m.payload);
+    }
+  } else if (sending) {
+    co_await comm.send(root, data);
+  }
+  comm.mark_iteration();
+}
+
+}  // namespace spb::coll

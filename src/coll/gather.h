@@ -1,0 +1,24 @@
+// Gather-to-root: every sender transmits its payload directly to the root,
+// which combines them in arrival order.  This is deliberately the naive
+// pattern of the paper's 2-Step algorithm — the root's ejection channel is
+// the hot spot that makes 2-Step uncompetitive on the Paragon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mp/runtime.h"
+#include "sim/task.h"
+
+namespace spb::coll {
+
+/// Runs rank `comm.rank()`'s part of the gather.  `senders` is the sorted
+/// list of ranks holding data (the root may or may not be among them);
+/// `data` is this rank's payload (the root accumulates into it, senders
+/// keep their copy).  Marks one metrics iteration.
+sim::Task gather_to_root(mp::Comm& comm, Rank root,
+                         std::shared_ptr<const std::vector<Rank>> senders,
+                         mp::Payload& data);
+
+}  // namespace spb::coll

@@ -1,0 +1,114 @@
+#include "coll/pipeline.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace spb::coll {
+
+BcastTree BcastTree::from_halving(int n, int root_pos) {
+  SPB_REQUIRE(n >= 1, "tree needs at least one position");
+  SPB_REQUIRE(root_pos >= 0 && root_pos < n, "root out of range");
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  active[static_cast<std::size_t>(root_pos)] = 1;
+  const HalvingSchedule sched = HalvingSchedule::compute(active);
+
+  BcastTree t;
+  t.root = root_pos;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  t.children.assign(static_cast<std::size_t>(n), {});
+  for (int iter = 0; iter < sched.iterations(); ++iter) {
+    for (int pos = 0; pos < n; ++pos) {
+      for (const Action& a : sched.actions(iter, pos)) {
+        if (a.type == Action::Type::kSend) {
+          t.children[static_cast<std::size_t>(pos)].push_back(a.peer);
+        } else {
+          SPB_CHECK_MSG(t.parent[static_cast<std::size_t>(pos)] == -1,
+                        "position " << pos << " received twice in a single-"
+                                       "source halving schedule");
+          t.parent[static_cast<std::size_t>(pos)] = a.peer;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+BcastTree BcastTree::binary(int n, int root_pos) {
+  SPB_REQUIRE(n >= 1, "tree needs at least one position");
+  SPB_REQUIRE(root_pos >= 0 && root_pos < n, "root out of range");
+  // Heap-shaped tree over logical indices 0..n-1, then relabel so logical
+  // 0 is the root position (all other positions keep their identity by
+  // swapping with the position that held logical root_pos... simpler: the
+  // logical order is positions rotated so root_pos comes first).
+  const auto pos_of = [n, root_pos](int logical) {
+    return (logical + root_pos) % n;
+  };
+  BcastTree t;
+  t.root = root_pos;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  t.children.assign(static_cast<std::size_t>(n), {});
+  for (int j = 0; j < n; ++j) {
+    for (int c = 2 * j + 1; c <= 2 * j + 2 && c < n; ++c) {
+      const int parent_pos = pos_of(j);
+      const int child_pos = pos_of(c);
+      t.children[static_cast<std::size_t>(parent_pos)].push_back(child_pos);
+      t.parent[static_cast<std::size_t>(child_pos)] = parent_pos;
+    }
+  }
+  return t;
+}
+
+sim::Task pipelined_bcast(mp::Comm& comm,
+                          std::shared_ptr<const std::vector<Rank>> seq,
+                          int my_pos, std::shared_ptr<const BcastTree> tree,
+                          mp::Payload& data, Bytes total_wire,
+                          Bytes segment_bytes) {
+  SPB_REQUIRE(seq != nullptr && tree != nullptr,
+              "pipelined_bcast needs a sequence and a tree");
+  SPB_REQUIRE(segment_bytes > 0, "segment size must be positive");
+  SPB_REQUIRE(total_wire > 0, "broadcast size must be positive");
+  const int n = static_cast<int>(seq->size());
+  SPB_REQUIRE(my_pos >= 0 && my_pos < n, "position out of range");
+  if (n == 1) co_return;
+
+  const int segments = static_cast<int>(
+      ceil_div(static_cast<std::int64_t>(total_wire),
+               static_cast<std::int64_t>(segment_bytes)));
+  const Bytes seg_wire = static_cast<Bytes>(ceil_div(
+      static_cast<std::int64_t>(total_wire), segments));
+
+  const auto& children = tree->children[static_cast<std::size_t>(my_pos)];
+  const int parent = tree->parent[static_cast<std::size_t>(my_pos)];
+  const bool am_root = my_pos == tree->root;
+  SPB_CHECK(am_root == (parent == -1));
+
+  for (int k = 0; k < segments; ++k) {
+    const bool last = k == segments - 1;
+    if (!am_root) {
+      mp::Message m = co_await comm.recv(
+          (*seq)[static_cast<std::size_t>(parent)], mp::tags::kData);
+      if (last) {
+        // The final segment carries the payload; a broadcast lands in its
+        // destination buffer, so no combining cost — dedup only collapses
+        // a source rank's own chunk with the broadcast copy of it.
+        data.merge_dedup(m.payload);
+      }
+    }
+    // Earlier segments are timing-bearing filler; the payload rides last.
+    for (const int child : children) {
+      // Named local, not a ternary temporary in the co_await expression:
+      // GCC 12 destroys conditional-expression argument temporaries of a
+      // suspended call twice (frame teardown + statement end).
+      mp::Payload outgoing;
+      if (last) outgoing = data;
+      co_await comm.send_sized((*seq)[static_cast<std::size_t>(child)],
+                               std::move(outgoing), seg_wire,
+                               mp::tags::kData);
+    }
+    comm.mark_iteration();
+  }
+}
+
+}  // namespace spb::coll

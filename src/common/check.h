@@ -1,0 +1,63 @@
+// Precondition / invariant checking in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures().  Violations throw spb::CheckError with a
+// formatted description of the failing expression and location; benches and
+// examples report them instead of corrupting results silently.
+//
+// SPB_CHECK   — always-on invariant check (cheap; used on hot-ish paths too,
+//               the simulator is far from instruction-bound).
+// SPB_REQUIRE — precondition check on public API entry points, with a
+//               user-facing message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spb {
+
+/// Thrown when a SPB_CHECK / SPB_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace spb
+
+#define SPB_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::spb::detail::check_failed("SPB_CHECK", #cond, __FILE__, __LINE__,   \
+                                  "");                                      \
+  } while (0)
+
+#define SPB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream spb_check_os_;                                     \
+      spb_check_os_ << msg;                                                 \
+      ::spb::detail::check_failed("SPB_CHECK", #cond, __FILE__, __LINE__,   \
+                                  spb_check_os_.str());                     \
+    }                                                                       \
+  } while (0)
+
+#define SPB_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream spb_check_os_;                                     \
+      spb_check_os_ << msg;                                                 \
+      ::spb::detail::check_failed("SPB_REQUIRE", #cond, __FILE__, __LINE__, \
+                                  spb_check_os_.str());                     \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,57 @@
+// Small integer helpers used throughout the algorithms: ceiling division,
+// power-of-two tests, integer logs.  The paper's analysis distinguishes
+// power-of-two source counts / machine dimensions from the general case, so
+// these show up in almost every module.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace spb {
+
+/// ceil(a / b) for non-negative a, positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2 x) for x >= 1.
+constexpr int ilog2_floor(std::int64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2 x) for x >= 1.  This is the iteration count of the recursive
+/// halving used by Br_Lin on a segment of x processors.
+constexpr int ilog2_ceil(std::int64_t x) {
+  return ilog2_floor(x) + (is_pow2(x) ? 0 : 1);
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::int64_t next_pow2(std::int64_t x) {
+  std::int64_t r = 1;
+  while (r < x) r <<= 1;
+  return r;
+}
+
+/// Integer square root: floor(sqrt(x)) for x >= 0.
+constexpr std::int64_t isqrt(std::int64_t x) {
+  std::int64_t r = 0;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// Smallest k with k*k >= x (side of the paper's Sq(s) square block).
+constexpr std::int64_t ceil_sqrt(std::int64_t x) {
+  std::int64_t r = isqrt(x);
+  return r * r == x ? r : r + 1;
+}
+
+}  // namespace spb

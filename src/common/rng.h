@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// The T3D model needs a seeded random rank-to-node mapping, the Random
+// source distribution needs seeded sampling, and property tests need
+// reproducible fuzzing.  We use splitmix64 for seeding and xoshiro256** as
+// the workhorse generator — both tiny, fast, and identical on every
+// platform (std::mt19937 would also work, but its distributions are not
+// portable across standard libraries, and reproducibility of the benchmark
+// series matters here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spb {
+
+/// splitmix64 step: used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire-style rejection (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fisher-Yates shuffle of an arbitrary vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of {0, 1, ..., n-1}.
+  std::vector<std::int32_t> permutation(std::int32_t n);
+
+  /// k distinct values sampled uniformly from {0, ..., n-1}, sorted.
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t n,
+                                                       std::int32_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spb

@@ -1,0 +1,33 @@
+// Streaming descriptive statistics (Welford) used by the runtime metrics and
+// by the benchmark harness when averaging over repeated runs.
+#pragma once
+
+#include <cstdint>
+
+namespace spb {
+
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spb

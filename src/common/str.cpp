@@ -1,0 +1,50 @@
+#include "common/str.h"
+
+#include <cstdio>
+
+namespace spb {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G"};
+  int unit = 0;
+  std::uint64_t v = bytes;
+  while (unit < 3 && v >= 1024 && v % 1024 == 0) {
+    v /= 1024;
+    ++unit;
+  }
+  return std::to_string(v) + kSuffix[unit];
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string signed_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace spb

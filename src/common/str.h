@@ -1,0 +1,29 @@
+// String formatting helpers for benchmark and example output: human-readable
+// byte sizes ("4K", "16K"), fixed-precision numbers, joining, padding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spb {
+
+/// "32", "512", "1K", "4K", "16K", "2M" — the paper labels message sizes in
+/// this style.  Exact multiples of 1024 use the suffix form.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision decimal rendering of a double ("7.31").
+std::string fixed(double value, int decimals);
+
+/// Percent rendering with sign ("+12.4%", "-6.5%").
+std::string signed_percent(double fraction, int decimals);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left/right padding to a field width (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace spb

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace spb {
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& text) {
+  SPB_REQUIRE(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back({text, false});
+  return *this;
+}
+
+TextTable& TextTable::num(double value, int decimals) {
+  SPB_REQUIRE(!rows_.empty(), "call row() before num()");
+  rows_.back().push_back({fixed(value, decimals), true});
+  return *this;
+}
+
+TextTable& TextTable::num(std::int64_t value) {
+  SPB_REQUIRE(!rows_.empty(), "call row() before num()");
+  rows_.back().push_back({std::to_string(value), true});
+  return *this;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].text.size());
+  }
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += r[c].right_align ? pad_left(r[c].text, widths[c])
+                              : pad_right(r[c].text, widths[c]);
+    }
+    out += '\n';
+    if (i == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < r.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+      out += std::string(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace spb

@@ -1,0 +1,36 @@
+// Minimal text-table renderer used by every bench binary to print the
+// paper's figure series in aligned columns.  Numeric cells are right-
+// aligned, text cells left-aligned; the first row is the header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spb {
+
+class TextTable {
+ public:
+  /// Starts a new row; subsequent cell() calls append to it.
+  TextTable& row();
+
+  /// Appends a text cell (left-aligned).
+  TextTable& cell(const std::string& text);
+
+  /// Appends a numeric cell (right-aligned), fixed decimals.
+  TextTable& num(double value, int decimals = 2);
+
+  /// Appends an integer cell (right-aligned).
+  TextTable& num(std::int64_t value);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool right_align = false;
+  };
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace spb

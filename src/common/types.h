@@ -1,0 +1,39 @@
+// Fundamental value types shared by every spb subsystem.
+//
+// The simulator measures time in *simulated microseconds* stored in a
+// double; all byte counts are 64-bit.  Ranks (logical processor indices in
+// the message-passing runtime) and NodeIds (physical positions in the
+// interconnect) are kept as distinct types so that a rank is never silently
+// used where a physical node is expected — the Cray T3D model maps ranks to
+// nodes through a random permutation, and conflating the two is the classic
+// bug in that code path.
+#pragma once
+
+#include <cstdint>
+
+namespace spb {
+
+/// Logical processor index in the message-passing runtime, 0 <= rank < p.
+using Rank = std::int32_t;
+
+/// Physical node index in an interconnect topology.
+using NodeId = std::int32_t;
+
+/// Directed channel index inside a Topology (see net/topology.h).
+using LinkId = std::int32_t;
+
+/// Simulated time in microseconds.  Simulations are single-threaded and
+/// deterministic; ties are broken by event sequence numbers, never by
+/// floating-point noise.
+using SimTime = double;
+
+/// Message / payload sizes in bytes.
+using Bytes = std::uint64_t;
+
+/// Sentinel for "no rank" (e.g. an unpaired element in a halving step).
+inline constexpr Rank kNoRank = -1;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace spb

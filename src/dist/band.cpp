@@ -1,0 +1,32 @@
+#include <vector>
+
+#include "common/math.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> band_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  const int b = static_cast<int>(ceil_div(grid.cols, grid.rows));
+
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  std::vector<bool> offset_used(static_cast<std::size_t>(grid.cols), false);
+  int placed = 0;
+  // Layer m widens every band by one right diagonal; the nominal width is
+  // ceil(s/(b*r)) but we simply keep layering until s sources are placed,
+  // which also covers degenerate shapes where neighbouring bands collide.
+  for (int m = 0; placed < s && m < grid.cols; ++m) {
+    for (int k = 0; k < b && placed < s; ++k) {
+      const int offset = (detail::spaced(k, b, grid.cols) + m) % grid.cols;
+      if (offset_used[static_cast<std::size_t>(offset)]) continue;
+      offset_used[static_cast<std::size_t>(offset)] = true;
+      for (int row = 0; row < grid.rows && placed < s; ++row, ++placed)
+        out.push_back(grid.rank_of(row, (row + offset) % grid.cols));
+    }
+  }
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

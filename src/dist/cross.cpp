@@ -1,0 +1,50 @@
+#include <vector>
+
+#include "common/math.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> cross_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  // Roughly half the sources in full rows, the rest poured into evenly
+  // spaced columns top-down, skipping cells the rows already claimed.  For
+  // Cr(30) on 10x10 this reproduces the paper's Figure 1 exactly: rows 0
+  // and 5 full, column 0 full, column 5 holding 4 sources (2 of them row
+  // overlaps).
+  const int nr =
+      std::max<int>(1, static_cast<int>(ceil_div(s, 2 * grid.cols)));
+  const int nc =
+      std::max<int>(1, static_cast<int>(ceil_div(s, 2 * grid.rows)));
+
+  std::vector<bool> taken(static_cast<std::size_t>(grid.p()), false);
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  const auto place = [&](Rank r) {
+    if (taken[static_cast<std::size_t>(r)]) return;
+    taken[static_cast<std::size_t>(r)] = true;
+    out.push_back(r);
+  };
+
+  for (int j = 0; j < nr && static_cast<int>(out.size()) < s; ++j) {
+    const int row = detail::spaced(j, nr, grid.rows);
+    for (int col = 0; col < grid.cols && static_cast<int>(out.size()) < s;
+         ++col)
+      place(grid.rank_of(row, col));
+  }
+  for (int k = 0; k < nc && static_cast<int>(out.size()) < s; ++k) {
+    const int col = detail::spaced(k, nc, grid.cols);
+    for (int row = 0; row < grid.rows && static_cast<int>(out.size()) < s;
+         ++row)
+      place(grid.rank_of(row, col));
+  }
+  // Near-full meshes can exhaust the planned cross; pour the remainder in
+  // row-major order so the generator always yields exactly s sources.
+  for (Rank r = 0; static_cast<int>(out.size()) < s && r < grid.p(); ++r)
+    place(r);
+
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

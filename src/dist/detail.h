@@ -1,0 +1,38 @@
+// Internal helpers shared by the distribution family implementations.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "dist/grid.h"
+
+namespace spb::dist::detail {
+
+inline void require_valid_s(const Grid& grid, int s) {
+  SPB_REQUIRE(s >= 1 && s <= grid.p(),
+              "source count " << s << " outside 1.." << grid.p());
+}
+
+/// Sorts, and verifies the generator produced exactly s distinct in-range
+/// ranks — every family funnels through this.
+inline std::vector<Rank> finalize(const Grid& grid, std::vector<Rank> v,
+                                  int s) {
+  std::sort(v.begin(), v.end());
+  SPB_CHECK_MSG(static_cast<int>(v.size()) == s,
+                "generator produced " << v.size() << " sources, wanted " << s);
+  SPB_CHECK_MSG(std::adjacent_find(v.begin(), v.end()) == v.end(),
+                "generator produced duplicate sources");
+  SPB_CHECK(v.front() >= 0 && v.back() < grid.p());
+  return v;
+}
+
+/// Evenly spaced index j of n picks over a dimension of size `size`
+/// (floor(j*size/n)), the spacing rule the paper uses for rows, columns and
+/// diagonals.
+inline int spaced(int j, int n, int size) {
+  return static_cast<int>((static_cast<long long>(j) * size) / n);
+}
+
+}  // namespace spb::dist::detail

@@ -1,0 +1,45 @@
+#include "common/math.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+namespace {
+
+// Shared skeleton: i = ceil(s/r) diagonals, the anchor diagonal first, the
+// rest evenly spaced in the column dimension (with wraparound), each filled
+// top row to bottom row, the last possibly partial.  `col_at(row, offset)`
+// distinguishes right diagonals from left ones.
+template <typename ColAt>
+std::vector<Rank> diagonals(const Grid& grid, int s, ColAt col_at) {
+  detail::require_valid_s(grid, s);
+  const int i = static_cast<int>(ceil_div(s, grid.rows));
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  int placed = 0;
+  for (int k = 0; k < i && placed < s; ++k) {
+    const int offset = detail::spaced(k, i, grid.cols);
+    for (int row = 0; row < grid.rows && placed < s; ++row, ++placed)
+      out.push_back(grid.rank_of(row, col_at(row, offset)));
+  }
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace
+
+std::vector<Rank> diag_right_distribution(const Grid& grid, int s) {
+  // Dr: anchor runs (0,0), (1,1), ..., wrapping columns.
+  return diagonals(grid, s, [&grid](int row, int offset) {
+    return (row + offset) % grid.cols;
+  });
+}
+
+std::vector<Rank> diag_left_distribution(const Grid& grid, int s) {
+  // Dl: anchor runs (0,c-1), (1,c-2), ..., wrapping columns.
+  return diagonals(grid, s, [&grid](int row, int offset) {
+    const int c = grid.cols;
+    return ((grid.cols - 1 - row - offset) % c + c) % c;
+  });
+}
+
+}  // namespace spb::dist

@@ -1,0 +1,74 @@
+#include "dist/distribution.h"
+
+#include "common/check.h"
+
+namespace spb::dist {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRow:
+      return "R";
+    case Kind::kColumn:
+      return "C";
+    case Kind::kEqual:
+      return "E";
+    case Kind::kDiagRight:
+      return "Dr";
+    case Kind::kDiagLeft:
+      return "Dl";
+    case Kind::kBand:
+      return "B";
+    case Kind::kCross:
+      return "Cr";
+    case Kind::kSquare:
+      return "Sq";
+    case Kind::kRandom:
+      return "Rand";
+  }
+  SPB_CHECK_MSG(false, "unreachable distribution kind");
+  return {};
+}
+
+Kind kind_from_name(const std::string& name) {
+  for (const Kind k : all_kinds())
+    if (kind_name(k) == name) return k;
+  SPB_REQUIRE(false, "unknown distribution name '" << name << "'");
+  return Kind::kEqual;  // unreachable
+}
+
+const std::vector<Kind>& all_kinds() {
+  static const std::vector<Kind> kinds = {
+      Kind::kRow,      Kind::kColumn, Kind::kEqual,
+      Kind::kDiagRight, Kind::kDiagLeft, Kind::kBand,
+      Kind::kCross,    Kind::kSquare, Kind::kRandom,
+  };
+  return kinds;
+}
+
+std::vector<Rank> generate(Kind kind, const Grid& grid, int s,
+                           std::uint64_t seed) {
+  switch (kind) {
+    case Kind::kRow:
+      return row_distribution(grid, s);
+    case Kind::kColumn:
+      return column_distribution(grid, s);
+    case Kind::kEqual:
+      return equal_distribution(grid, s);
+    case Kind::kDiagRight:
+      return diag_right_distribution(grid, s);
+    case Kind::kDiagLeft:
+      return diag_left_distribution(grid, s);
+    case Kind::kBand:
+      return band_distribution(grid, s);
+    case Kind::kCross:
+      return cross_distribution(grid, s);
+    case Kind::kSquare:
+      return square_distribution(grid, s);
+    case Kind::kRandom:
+      return random_distribution(grid, s, seed);
+  }
+  SPB_CHECK_MSG(false, "unreachable distribution kind");
+  return {};
+}
+
+}  // namespace spb::dist

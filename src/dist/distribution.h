@@ -1,0 +1,73 @@
+// The paper's source-distribution families (Section 4), defined on the
+// logical r x c grid with row-major rank indexing, plus a seeded uniform
+// random distribution.  Every generator returns a sorted vector of exactly
+// s distinct ranks.
+//
+//   R(s)   i = ceil(s/c) evenly spaced rows, filled left to right; all but
+//          the last full.
+//   C(s)   analogous for columns.
+//   E(s)   rank floor(j*p/s) for j = 0..s-1 — processor (0,0) plus every
+//          floor(p/s)-th or ceil(p/s)-th processor.
+//   Dr(s)  ceil(s/r) right diagonals (top-left to bottom-right, wrapping in
+//          the column dimension), the main diagonal first, the rest evenly
+//          spaced; the last possibly partial.
+//   Dl(s)  left diagonals, starting with (0, c-1) .. (r-1, c-1-(r-1) mod c).
+//   B(s)   b = ceil(c/r) evenly spaced bands of right diagonals, each of
+//          width ceil(s/(b*r)).
+//   Cr(s)  union of a row and a column pattern with roughly s/2 sources
+//          each: ceil(s/(2c)) full rows, then evenly spaced columns filled
+//          top-down (skipping cells that are already sources) until s.
+//   Sq(s)  a ceil(sqrt(s)) x ceil(sqrt(s)) block anchored at (0,0), filled
+//          column by column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dist/grid.h"
+
+namespace spb::dist {
+
+enum class Kind {
+  kRow,        // R(s)
+  kColumn,     // C(s)
+  kEqual,      // E(s)
+  kDiagRight,  // Dr(s)
+  kDiagLeft,   // Dl(s)
+  kBand,       // B(s)
+  kCross,      // Cr(s)
+  kSquare,     // Sq(s)
+  kRandom,     // uniform, seeded
+};
+
+/// The paper's abbreviation: "R", "C", "E", "Dr", "Dl", "B", "Cr", "Sq",
+/// "Rand".
+std::string kind_name(Kind kind);
+
+/// Parses a kind_name() string back into a Kind (throws CheckError on
+/// unknown names).
+Kind kind_from_name(const std::string& name);
+
+/// All kinds, in the paper's order.
+const std::vector<Kind>& all_kinds();
+
+/// Generates the distribution: s sorted distinct source ranks on the grid.
+/// `seed` only affects kRandom.
+std::vector<Rank> generate(Kind kind, const Grid& grid, int s,
+                           std::uint64_t seed = 1);
+
+// Individual families (exposed for direct use and focused tests).
+std::vector<Rank> row_distribution(const Grid& grid, int s);
+std::vector<Rank> column_distribution(const Grid& grid, int s);
+std::vector<Rank> equal_distribution(const Grid& grid, int s);
+std::vector<Rank> diag_right_distribution(const Grid& grid, int s);
+std::vector<Rank> diag_left_distribution(const Grid& grid, int s);
+std::vector<Rank> band_distribution(const Grid& grid, int s);
+std::vector<Rank> cross_distribution(const Grid& grid, int s);
+std::vector<Rank> square_distribution(const Grid& grid, int s);
+std::vector<Rank> random_distribution(const Grid& grid, int s,
+                                      std::uint64_t seed);
+
+}  // namespace spb::dist

@@ -1,0 +1,17 @@
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> equal_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  // Rank floor(j*p/s): processor (0,0) is a source and consecutive sources
+  // are floor(p/s) or ceil(p/s) ranks apart, exactly the paper's E(s).
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  for (int j = 0; j < s; ++j)
+    out.push_back(static_cast<Rank>(detail::spaced(j, s, grid.p())));
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

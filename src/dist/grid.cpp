@@ -1,0 +1,33 @@
+#include "dist/grid.h"
+
+namespace spb::dist {
+
+std::vector<Rank> Grid::row_ranks(int row) const {
+  SPB_REQUIRE(row >= 0 && row < rows, "row out of range");
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) out.push_back(rank_of(row, c));
+  return out;
+}
+
+std::vector<Rank> Grid::col_ranks(int col) const {
+  SPB_REQUIRE(col >= 0 && col < cols, "column out of range");
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) out.push_back(rank_of(r, col));
+  return out;
+}
+
+std::vector<int> Grid::row_counts(const std::vector<Rank>& sources) const {
+  std::vector<int> counts(static_cast<std::size_t>(rows), 0);
+  for (const Rank s : sources) ++counts[static_cast<std::size_t>(row_of(s))];
+  return counts;
+}
+
+std::vector<int> Grid::col_counts(const std::vector<Rank>& sources) const {
+  std::vector<int> counts(static_cast<std::size_t>(cols), 0);
+  for (const Rank s : sources) ++counts[static_cast<std::size_t>(col_of(s))];
+  return counts;
+}
+
+}  // namespace spb::dist

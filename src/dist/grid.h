@@ -1,0 +1,44 @@
+// Logical mesh view of the rank space: rank = row * cols + col (row-major,
+// matching the paper's processor indexing).  Source distributions and the
+// Br_xy_* algorithms are defined in terms of this grid; on the Paragon it
+// coincides with the physical mesh, on the T3D it is purely logical.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace spb::dist {
+
+struct Grid {
+  int rows = 1;
+  int cols = 1;
+
+  int p() const { return rows * cols; }
+
+  Rank rank_of(int row, int col) const {
+    SPB_CHECK(row >= 0 && row < rows && col >= 0 && col < cols);
+    return row * cols + col;
+  }
+  int row_of(Rank r) const {
+    SPB_CHECK(r >= 0 && r < p());
+    return r / cols;
+  }
+  int col_of(Rank r) const {
+    SPB_CHECK(r >= 0 && r < p());
+    return r % cols;
+  }
+
+  /// All ranks of one row, left to right.
+  std::vector<Rank> row_ranks(int row) const;
+  /// All ranks of one column, top to bottom.
+  std::vector<Rank> col_ranks(int col) const;
+
+  /// Sources per row / per column for a source set (the max_r / max_c
+  /// quantities driving Br_xy_source's dimension choice).
+  std::vector<int> row_counts(const std::vector<Rank>& sources) const;
+  std::vector<int> col_counts(const std::vector<Rank>& sources) const;
+};
+
+}  // namespace spb::dist

@@ -1,0 +1,15 @@
+#include "common/rng.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> random_distribution(const Grid& grid, int s,
+                                      std::uint64_t seed) {
+  detail::require_valid_s(grid, s);
+  Rng rng(seed);
+  std::vector<Rank> out = rng.sample_without_replacement(grid.p(), s);
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

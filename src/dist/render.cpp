@@ -1,0 +1,21 @@
+#include "dist/render.h"
+
+#include <algorithm>
+
+namespace spb::dist {
+
+std::string render(const Grid& grid, const std::vector<Rank>& sources) {
+  std::vector<char> mark(static_cast<std::size_t>(grid.p()), 0);
+  for (const Rank s : sources)
+    if (s >= 0 && s < grid.p()) mark[static_cast<std::size_t>(s)] = 1;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(grid.p() + grid.rows));
+  for (int r = 0; r < grid.rows; ++r) {
+    for (int c = 0; c < grid.cols; ++c)
+      out += mark[static_cast<std::size_t>(grid.rank_of(r, c))] ? 'S' : '.';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spb::dist

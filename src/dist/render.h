@@ -1,0 +1,16 @@
+// ASCII rendering of a source distribution on its grid ('S' = source,
+// '.' = empty), used by examples and failure messages — a misplaced
+// diagonal is obvious at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dist/grid.h"
+
+namespace spb::dist {
+
+std::string render(const Grid& grid, const std::vector<Rank>& sources);
+
+}  // namespace spb::dist

@@ -1,0 +1,35 @@
+#include "common/math.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> row_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  const int i = static_cast<int>(ceil_div(s, grid.cols));
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  int placed = 0;
+  for (int j = 0; j < i && placed < s; ++j) {
+    const int row = detail::spaced(j, i, grid.rows);
+    for (int col = 0; col < grid.cols && placed < s; ++col, ++placed)
+      out.push_back(grid.rank_of(row, col));
+  }
+  return detail::finalize(grid, std::move(out), s);
+}
+
+std::vector<Rank> column_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  const int i = static_cast<int>(ceil_div(s, grid.rows));
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  int placed = 0;
+  for (int j = 0; j < i && placed < s; ++j) {
+    const int col = detail::spaced(j, i, grid.cols);
+    for (int row = 0; row < grid.rows && placed < s; ++row, ++placed)
+      out.push_back(grid.rank_of(row, col));
+  }
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

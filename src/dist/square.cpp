@@ -1,0 +1,28 @@
+#include "common/math.h"
+#include "dist/detail.h"
+#include "dist/distribution.h"
+
+namespace spb::dist {
+
+std::vector<Rank> square_distribution(const Grid& grid, int s) {
+  detail::require_valid_s(grid, s);
+  // ceil(sqrt(s)) x ceil(sqrt(s)) block anchored at (0,0), filled column by
+  // column.  If the mesh is shorter than the nominal side the block leans
+  // wider, and on very narrow meshes it grows taller instead — always the
+  // most compact block that fits.
+  const int side = static_cast<int>(ceil_sqrt(s));
+  const int height =
+      std::min(grid.rows,
+               std::max(side, static_cast<int>(ceil_div(s, grid.cols))));
+  const int width = static_cast<int>(ceil_div(s, height));
+  SPB_CHECK(width <= grid.cols);
+  std::vector<Rank> out;
+  out.reserve(static_cast<std::size_t>(s));
+  int placed = 0;
+  for (int col = 0; col < width && placed < s; ++col)
+    for (int row = 0; row < height && placed < s; ++row, ++placed)
+      out.push_back(grid.rank_of(row, col));
+  return detail::finalize(grid, std::move(out), s);
+}
+
+}  // namespace spb::dist

@@ -1,0 +1,22 @@
+#include "mp/mailbox.h"
+
+#include <utility>
+
+namespace spb::mp {
+
+void Mailbox::deliver(Message msg) { inbox_.push_back(std::move(msg)); }
+
+bool Mailbox::try_take(Rank src, int tag, Message& out) {
+  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+    const bool src_ok = src == kAnySource || it->src == src;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (src_ok && tag_ok) {
+      out = std::move(*it);
+      inbox_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace spb::mp

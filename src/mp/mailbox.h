@@ -1,0 +1,35 @@
+// Per-rank buffer of arrived-but-not-yet-received messages.
+//
+// Sends are eager: the message is injected regardless of whether the
+// destination has posted a receive, and parks here on arrival.  Receives
+// match by (source rank, tag) — either may be a wildcard — in arrival
+// order, which preserves FIFO per (src, dst, tag) triple.
+#pragma once
+
+#include <deque>
+
+#include "common/types.h"
+#include "mp/message.h"
+
+namespace spb::mp {
+
+/// Source filter accepted by recv: a concrete rank or any source.
+inline constexpr Rank kAnySource = -2;
+
+class Mailbox {
+ public:
+  /// Parks an arrived message.
+  void deliver(Message msg);
+
+  /// If a message matching `src` (or kAnySource) and `tag` (or kAnyTag) is
+  /// buffered, moves the earliest-arrived one into `out`, returns true.
+  bool try_take(Rank src, int tag, Message& out);
+
+  bool empty() const { return inbox_.empty(); }
+  std::size_t size() const { return inbox_.size(); }
+
+ private:
+  std::deque<Message> inbox_;  // arrival order
+};
+
+}  // namespace spb::mp

@@ -1,0 +1,34 @@
+// An in-flight or delivered message.
+#pragma once
+
+#include "common/types.h"
+#include "mp/payload.h"
+
+namespace spb::mp {
+
+/// Matches any tag in recv().
+inline constexpr int kAnyTag = -1;
+
+/// Conventional tags used by the algorithm phases; any-source receives
+/// always pin a tag so a later phase's traffic cannot be stolen by an
+/// earlier phase still draining.
+namespace tags {
+inline constexpr int kData = 0;      // broadcast payload traffic
+inline constexpr int kExchange = 1;  // Part_* final inter-group exchange
+inline constexpr int kPermute = 2;   // repositioning permutation
+}  // namespace tags
+
+struct Message {
+  Rank src = kNoRank;
+  Rank dst = kNoRank;
+  int tag = tags::kData;
+  Payload payload;
+  /// Bytes on the wire (payload + envelope), what timing was computed from.
+  Bytes wire_bytes = 0;
+  /// When the sender issued the send.
+  SimTime sent_at = 0;
+  /// When the complete message reached the destination node.
+  SimTime arrived_at = 0;
+};
+
+}  // namespace spb::mp

@@ -1,0 +1,86 @@
+#include "mp/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spb::mp {
+
+IterationCounters& RankMetrics::current() {
+  SPB_CHECK(!finalized_);
+  if (iters_.empty()) iters_.emplace_back();
+  return iters_.back();
+}
+
+void RankMetrics::on_send(Bytes message_bytes) {
+  ++sends_;
+  bytes_sent_ += message_bytes;
+  auto& it = current();
+  ++it.sends;
+  it.bytes += message_bytes;
+}
+
+void RankMetrics::on_recv(Bytes message_bytes, bool blocked,
+                          SimTime wait_us) {
+  ++recvs_;
+  bytes_received_ += message_bytes;
+  if (blocked) {
+    ++waits_;
+    wait_us_ += wait_us;
+  }
+  auto& it = current();
+  ++it.recvs;
+  it.bytes += message_bytes;
+}
+
+void RankMetrics::mark_iteration() {
+  current();  // materialize the iteration even if it stayed silent
+  iters_.emplace_back();
+}
+
+void RankMetrics::finalize() {
+  if (finalized_) return;
+  // Drop a trailing empty iteration created by the last mark_iteration().
+  if (!iters_.empty() && !iters_.back().active()) iters_.pop_back();
+  finalized_ = true;
+}
+
+std::uint32_t RankMetrics::congestion() const {
+  std::uint32_t worst = 0;
+  for (const auto& it : iters_) worst = std::max(worst, it.sends + it.recvs);
+  return worst;
+}
+
+double RankMetrics::avg_message_bytes() const {
+  const std::uint64_t n = sends_ + recvs_;
+  if (n == 0) return 0;
+  return static_cast<double>(bytes_sent_ + bytes_received_) /
+         static_cast<double>(n);
+}
+
+RunMetrics RunMetrics::aggregate(const std::vector<RankMetrics>& ranks) {
+  RunMetrics m;
+  std::size_t max_iters = 0;
+  for (const auto& r : ranks) {
+    m.total_sends += r.sends();
+    m.total_recvs += r.recvs();
+    m.total_bytes_sent += r.bytes_sent();
+    m.congestion = std::max(m.congestion, r.congestion());
+    m.max_waits = std::max(m.max_waits, r.waits());
+    m.max_send_recv = std::max(m.max_send_recv, r.send_recv_total());
+    m.av_msg_lgth = std::max(m.av_msg_lgth, r.avg_message_bytes());
+    max_iters = std::max(max_iters, r.iterations().size());
+  }
+  m.iterations = max_iters;
+  if (max_iters > 0) {
+    std::uint64_t active_sum = 0;
+    for (const auto& r : ranks)
+      for (const auto& it : r.iterations())
+        if (it.active()) ++active_sum;
+    m.av_act_proc =
+        static_cast<double>(active_sum) / static_cast<double>(max_iters);
+  }
+  return m;
+}
+
+}  // namespace spb::mp

@@ -1,0 +1,94 @@
+#include "mp/payload.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::mp {
+
+Payload Payload::original(Rank source, Bytes bytes) {
+  SPB_REQUIRE(source >= 0, "source rank must be non-negative");
+  SPB_REQUIRE(bytes > 0, "an original message must have positive size");
+  Payload p;
+  p.chunks_.push_back({source, bytes});
+  return p;
+}
+
+Payload Payload::of(std::vector<Chunk> chunks) {
+  std::sort(chunks.begin(), chunks.end(),
+            [](const Chunk& a, const Chunk& b) { return a.source < b.source; });
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    SPB_REQUIRE(chunks[i - 1].source != chunks[i].source,
+                "duplicate source " << chunks[i].source << " in payload");
+  Payload p;
+  p.chunks_ = std::move(chunks);
+  return p;
+}
+
+Bytes Payload::total_bytes() const {
+  Bytes total = 0;
+  for (const Chunk& c : chunks_) total += c.bytes;
+  return total;
+}
+
+bool Payload::has_source(Rank source) const {
+  return std::binary_search(
+      chunks_.begin(), chunks_.end(), Chunk{source, 0},
+      [](const Chunk& a, const Chunk& b) { return a.source < b.source; });
+}
+
+namespace {
+
+// Merge two sorted chunk vectors.  If allow_dup, identical sources collapse
+// to one chunk (sizes must agree); otherwise duplicates are an error.
+std::vector<Chunk> merge_sorted(const std::vector<Chunk>& a,
+                                const std::vector<Chunk>& b, bool allow_dup) {
+  std::vector<Chunk> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].source < b[j].source) {
+      out.push_back(a[i++]);
+    } else if (b[j].source < a[i].source) {
+      out.push_back(b[j++]);
+    } else {
+      SPB_CHECK_MSG(allow_dup,
+                    "source " << a[i].source << " received twice");
+      SPB_CHECK_MSG(a[i].bytes == b[j].bytes,
+                    "source " << a[i].source << " has conflicting sizes "
+                              << a[i].bytes << " vs " << b[j].bytes);
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+  return out;
+}
+
+}  // namespace
+
+void Payload::merge(const Payload& other) {
+  chunks_ = merge_sorted(chunks_, other.chunks_, /*allow_dup=*/false);
+}
+
+void Payload::merge_dedup(const Payload& other) {
+  chunks_ = merge_sorted(chunks_, other.chunks_, /*allow_dup=*/true);
+}
+
+std::string Payload::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << chunks_[i].source << ':' << chunks_[i].bytes;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace spb::mp

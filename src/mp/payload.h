@@ -1,0 +1,73 @@
+// Symbolic message payloads.
+//
+// A broadcast message is represented as a set of chunks, each "the original
+// message of source rank s, b bytes long".  Transfer times depend only on
+// byte counts, so carrying real buffers would add memory traffic (up to
+// p * s * L ~ 1 GB at the largest experiment sizes) without changing any
+// simulated number.  Chunk algebra gives us exact correctness checking
+// instead: after a run, every rank must hold precisely one chunk per source
+// with the right size.
+//
+// Payloads keep their chunks sorted by source rank and reject duplicate
+// sources on merge with a CheckError — a duplicate means an algorithm sent
+// the same source's data to the same rank twice, which the paper's
+// combining model never does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::mp {
+
+/// One source's original message.
+struct Chunk {
+  Rank source = kNoRank;
+  Bytes bytes = 0;
+  bool operator==(const Chunk&) const = default;
+};
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// The initial payload of a source rank: one chunk of `bytes` bytes.
+  static Payload original(Rank source, Bytes bytes);
+
+  /// Builds from arbitrary chunks (sorted and validated).
+  static Payload of(std::vector<Chunk> chunks);
+
+  bool empty() const { return chunks_.empty(); }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// Sum of chunk sizes.
+  Bytes total_bytes() const;
+
+  /// True iff a chunk from `source` is present.
+  bool has_source(Rank source) const;
+
+  /// Merges `other` into this payload.  The chunk sets must be disjoint —
+  /// receiving the same source twice indicates an algorithm bug.
+  void merge(const Payload& other);
+
+  /// Like merge() but silently keeps one copy of duplicated sources
+  /// (duplicate sizes must agree).  PersAlltoAll-style algorithms that
+  /// deliberately send originals redundantly use this.
+  void merge_dedup(const Payload& other);
+
+  /// Removes all chunks (used when a rank forwards its data away during
+  /// repositioning).
+  void clear() { chunks_.clear(); }
+
+  bool operator==(const Payload&) const = default;
+
+  /// "{0:4096, 7:4096}" — diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<Chunk> chunks_;  // sorted by source, unique sources
+};
+
+}  // namespace spb::mp

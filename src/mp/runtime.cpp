@@ -1,0 +1,297 @@
+#include "mp/runtime.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::mp {
+
+// ----------------------------------------------------------------- Comm
+
+int Comm::size() const { return rt_->size(); }
+
+SimTime Comm::now() const { return rt_->sim_.now(); }
+
+Bytes Comm::wire_bytes(const Payload& p) const {
+  return wire_bytes_for(p.total_bytes(), p.chunk_count());
+}
+
+Bytes Comm::wire_bytes_for(Bytes payload_bytes, std::size_t chunks) const {
+  const CommParams& cp = rt_->params_;
+  return cp.header_bytes + cp.chunk_header_bytes * chunks + payload_bytes;
+}
+
+double Comm::combine_cost_us(Bytes bytes) const {
+  const CommParams& cp = rt_->params_;
+  return cp.combine_fixed_us +
+         cp.combine_per_byte_us * static_cast<double>(bytes);
+}
+
+Comm::SendAwaiter Comm::send(Rank dst, Payload payload, int tag) {
+  SPB_REQUIRE(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  SPB_REQUIRE(dst != rank_, "rank " << rank_ << " sending to itself");
+  SPB_REQUIRE(tag >= 0, "message tags must be non-negative");
+  return SendAwaiter{this, dst, std::move(payload), tag, 0};
+}
+
+Comm::SendAwaiter Comm::send_sized(Rank dst, Payload payload,
+                                   Bytes wire_bytes, int tag) {
+  SPB_REQUIRE(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  SPB_REQUIRE(dst != rank_, "rank " << rank_ << " sending to itself");
+  SPB_REQUIRE(tag >= 0, "message tags must be non-negative");
+  SPB_REQUIRE(wire_bytes > 0, "send_sized needs a positive wire size");
+  return SendAwaiter{this, dst, std::move(payload), tag, wire_bytes};
+}
+
+Comm::RecvAwaiter Comm::recv(Rank src, int tag) {
+  SPB_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
+              "recv from invalid rank " << src);
+  SPB_REQUIRE(src != rank_, "rank " << rank_ << " receiving from itself");
+  SPB_REQUIRE(tag == kAnyTag || tag >= 0, "invalid tag " << tag);
+  return RecvAwaiter{this, src, tag, {}};
+}
+
+Comm::ComputeAwaiter Comm::compute(double us) {
+  SPB_REQUIRE(us >= 0, "negative compute time");
+  return ComputeAwaiter{this, us};
+}
+
+Comm::MergeAwaiter Comm::merge(Payload& into, Payload add, bool dedup) {
+  const double cost = combine_cost_us(add.total_bytes());
+  return MergeAwaiter{this, &into, std::move(add), dedup,
+                      ComputeAwaiter{this, cost}};
+}
+
+void Comm::mark_iteration() { metrics_.mark_iteration(); }
+
+void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Comm& c = *comm;
+  Runtime& rt = *c.rt_;
+  const CommParams& cp = rt.params_;
+
+  Message msg;
+  msg.src = c.rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.wire_bytes = wire_override > 0 ? wire_override : c.wire_bytes(payload);
+  msg.payload = std::move(payload);
+  msg.sent_at = rt.sim_.now();
+
+  c.metrics_.on_send(msg.wire_bytes);
+
+  const SimTime ready =
+      rt.sim_.now() + cp.send_overhead_us + cp.mpi_extra_us;
+  const net::Transfer t =
+      rt.net_.reserve(rt.mapping_.node_of(c.rank_), rt.mapping_.node_of(dst),
+                      msg.wire_bytes, ready);
+  msg.arrived_at = t.arrive;
+
+  if (rt.trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kSend;
+    e.rank = c.rank_;
+    e.peer = dst;
+    e.tag = tag;
+    e.wire_bytes = msg.wire_bytes;
+    e.begin_us = rt.sim_.now();
+    e.end_us = t.inject_done;
+    e.arrive_us = t.arrive;
+    rt.trace_.record(e);
+  }
+
+  // Delivery happens at the arrival time regardless of receiver state.
+  rt.sim_.at(t.arrive, [&rt, m = std::move(msg)]() mutable {
+    rt.deliver(std::move(m));
+  });
+  // The sender regains control once its injection is complete.
+  rt.sim_.at(t.inject_done, [h]() { h.resume(); });
+}
+
+void Comm::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Comm& c = *comm;
+  Runtime& rt = *c.rt_;
+  const CommParams& cp = rt.params_;
+  called_at = rt.sim_.now();
+
+  Message msg;
+  if (c.mailbox_.try_take(src, tag, msg)) {
+    blocked = false;
+    result = std::move(msg);
+    rt.sim_.after(cp.recv_overhead_us + cp.mpi_extra_us,
+                  [h]() { h.resume(); });
+    return;
+  }
+  blocked = true;
+  SPB_CHECK_MSG(!c.pending_.has_value(),
+                "rank " << c.rank_ << " has two receives in flight");
+  c.pending_ = Comm::PendingRecv{src, tag, this, h};
+}
+
+Message Comm::RecvAwaiter::await_resume() {
+  Comm& c = *comm;
+  c.metrics_.on_recv(result.wire_bytes, blocked,
+                     blocked ? result.arrived_at - called_at : 0.0);
+  if (c.rt_->trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kRecv;
+    e.rank = c.rank_;
+    e.peer = result.src;
+    e.tag = result.tag;
+    e.wire_bytes = result.wire_bytes;
+    e.begin_us = called_at;
+    e.end_us = c.rt_->sim_.now();
+    e.blocked = blocked;
+    c.rt_->trace_.record(e);
+  }
+  return std::move(result);
+}
+
+void Comm::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Runtime& rt = *comm->rt_;
+  comm->metrics_.on_compute(us);
+  if (rt.trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kCompute;
+    e.rank = comm->rank_;
+    e.begin_us = rt.sim_.now();
+    e.end_us = rt.sim_.now() + us;
+    rt.trace_.record(e);
+  }
+  rt.sim_.after(us, [h]() { h.resume(); });
+}
+
+void Comm::MergeAwaiter::await_resume() {
+  if (dedup) {
+    into->merge_dedup(add);
+  } else {
+    into->merge(add);
+  }
+}
+
+// -------------------------------------------------------------- Runtime
+
+Runtime::Runtime(std::shared_ptr<const net::Topology> topo,
+                 net::NetParams net, CommParams comm,
+                 net::RankMapping mapping)
+    : net_(std::move(topo), net),
+      params_(comm),
+      mapping_(std::move(mapping)) {
+  const int p = mapping_.rank_count();
+  for (Rank r = 0; r < p; ++r) {
+    SPB_REQUIRE(mapping_.node_of(r) < net_.topology().node_count(),
+                "rank " << r << " mapped outside the topology");
+  }
+  comms_.reserve(static_cast<std::size_t>(p));
+  // Comm's constructor is private (only the runtime mints endpoints), so
+  // make_unique cannot reach it; the raw new goes straight into the
+  // unique_ptr.
+  for (Rank r = 0; r < p; ++r)
+    comms_.push_back(std::unique_ptr<Comm>(new Comm(*this, r)));
+  tasks_.resize(static_cast<std::size_t>(p));
+  done_at_.assign(static_cast<std::size_t>(p), -1.0);
+}
+
+Comm& Runtime::comm(Rank r) {
+  SPB_REQUIRE(r >= 0 && r < size(), "rank " << r << " out of range");
+  return *comms_[static_cast<std::size_t>(r)];
+}
+
+void Runtime::spawn(Rank r, sim::Task task) {
+  SPB_REQUIRE(r >= 0 && r < size(), "rank " << r << " out of range");
+  SPB_REQUIRE(!ran_, "spawn() after run()");
+  SPB_REQUIRE(!tasks_[static_cast<std::size_t>(r)].valid(),
+              "rank " << r << " already has a program");
+  SPB_REQUIRE(task.valid(), "spawn() needs a valid task");
+  tasks_[static_cast<std::size_t>(r)] = std::move(task);
+}
+
+void Runtime::deliver(Message msg) {
+  Comm& dst = comm(msg.dst);
+  if (dst.pending_.has_value()) {
+    auto& p = *dst.pending_;
+    const bool src_ok = p.src == kAnySource || p.src == msg.src;
+    const bool tag_ok = p.tag == kAnyTag || p.tag == msg.tag;
+    if (src_ok && tag_ok) {
+      Comm::RecvAwaiter* aw = p.awaiter;
+      const std::coroutine_handle<> h = p.handle;
+      dst.pending_.reset();
+      aw->result = std::move(msg);
+      sim_.after(params_.recv_overhead_us + params_.mpi_extra_us,
+                 [h]() { h.resume(); });
+      return;
+    }
+  }
+  dst.mailbox_.deliver(std::move(msg));
+}
+
+RunOutcome Runtime::run() {
+  SPB_REQUIRE(!ran_, "Runtime::run() is one-shot");
+  ran_ = true;
+  const int p = size();
+  for (Rank r = 0; r < p; ++r)
+    SPB_REQUIRE(tasks_[static_cast<std::size_t>(r)].valid(),
+                "rank " << r << " has no program");
+
+  for (Rank r = 0; r < p; ++r) {
+    sim_.at(0.0, [this, r]() {
+      tasks_[static_cast<std::size_t>(r)].start(
+          [this, r]() { done_at_[static_cast<std::size_t>(r)] = sim_.now(); });
+    });
+  }
+  sim_.run();
+
+  // Surface program exceptions first: a CheckError inside a rank program is
+  // more informative than the secondary deadlock it may have caused.
+  for (const auto& t : tasks_) t.rethrow_if_failed();
+
+  std::ostringstream stuck;
+  int stuck_count = 0;
+  for (Rank r = 0; r < p; ++r) {
+    if (tasks_[static_cast<std::size_t>(r)].done()) continue;
+    ++stuck_count;
+    if (stuck_count <= 8) {
+      stuck << "\n  rank " << r;
+      const auto& pending = comms_[static_cast<std::size_t>(r)]->pending_;
+      if (pending.has_value()) {
+        stuck << " blocked in recv(";
+        if (pending->src == kAnySource) {
+          stuck << "any";
+        } else {
+          stuck << pending->src;
+        }
+        stuck << ")";
+      } else {
+        stuck << " suspended outside a receive";
+      }
+    }
+  }
+  if (stuck_count > 0) {
+    std::ostringstream os;
+    os << "deadlock: " << stuck_count << " of " << p
+       << " rank programs never finished" << stuck.str();
+    if (stuck_count > 8) os << "\n  ... and " << (stuck_count - 8) << " more";
+    throw DeadlockError(os.str());
+  }
+
+  RunOutcome out;
+  for (Rank r = 0; r < p; ++r) {
+    out.makespan_us =
+        std::max(out.makespan_us, done_at_[static_cast<std::size_t>(r)]);
+    comms_[static_cast<std::size_t>(r)]->metrics_.finalize();
+  }
+  std::vector<RankMetrics> per_rank;
+  per_rank.reserve(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r)
+    per_rank.push_back(comms_[static_cast<std::size_t>(r)]->metrics_);
+  out.metrics = RunMetrics::aggregate(per_rank);
+  out.network = net_.stats();
+  const int links = net_.topology().link_space();
+  out.link_busy_us.reserve(static_cast<std::size_t>(links));
+  for (LinkId l = 0; l < links; ++l)
+    out.link_busy_us.push_back(net_.link_busy_us(l));
+  out.events = sim_.events_executed();
+  return out;
+}
+
+}  // namespace spb::mp

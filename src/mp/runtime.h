@@ -1,0 +1,239 @@
+// The message-passing runtime: p logical ranks, each executing a coroutine
+// program, exchanging Payloads over a contention-aware NetworkModel.
+//
+// Programming model (MPI-flavoured, but simulated):
+//
+//   sim::Task program(mp::Comm& comm) {
+//     co_await comm.send(dst, payload);            // eager, buffered
+//     mp::Message m = co_await comm.recv(src);     // blocks until arrival
+//     co_await comm.merge(mine, std::move(m.payload));  // combine + CPU cost
+//     comm.mark_iteration();                       // metrics bucket boundary
+//   }
+//
+// Semantics:
+//  * send() is *eager*: it blocks the sender only for its software overhead
+//    plus the time its injection channel (and the reserved path) serializes
+//    the bytes, never for a matching receive.  Pairwise exchanges are
+//    therefore deadlock-free by construction.
+//  * recv() blocks until a matching message has fully arrived, then costs
+//    the receive software overhead.
+//  * All ranks start at simulated time 0 (the paper's algorithms begin
+//    after one global synchronization).
+//  * If the simulation drains with unfinished programs, run() throws
+//    DeadlockError naming every rank and the source it is stuck waiting on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mp/mailbox.h"
+#include "mp/message.h"
+#include "mp/metrics.h"
+#include "mp/payload.h"
+#include "mp/trace.h"
+#include "net/mapping.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace spb::mp {
+
+/// Software-layer costs, distinct from the wire-level net::NetParams.
+struct CommParams {
+  /// Sender-side software overhead per message, microseconds.
+  double send_overhead_us = 20.0;
+  /// Receiver-side software overhead per message, microseconds.
+  double recv_overhead_us = 20.0;
+  /// Extra software cost per send and per recv when the algorithm runs on
+  /// the (heavier) portable MPI layer instead of the native one.
+  double mpi_extra_us = 0.0;
+  /// Message combining: fixed cost plus per-byte copy cost.
+  double combine_fixed_us = 2.0;
+  double combine_per_byte_us = 0.008;
+  /// Envelope sizes added to the payload on the wire.
+  Bytes header_bytes = 32;
+  Bytes chunk_header_bytes = 8;
+};
+
+/// Thrown when programs are blocked forever.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Result of Runtime::run().
+struct RunOutcome {
+  /// Completion time of the slowest rank (the paper's reported time).
+  SimTime makespan_us = 0;
+  RunMetrics metrics;
+  net::NetworkStats network;
+  /// Busy time of every directed network link, indexed by LinkId — the
+  /// raw material of contention heatmaps (see examples/link_heatmap).
+  std::vector<double> link_busy_us;
+  std::uint64_t events = 0;
+};
+
+class Runtime;
+
+/// Per-rank communication endpoint handed to rank programs.
+class Comm {
+ public:
+  Rank rank() const { return rank_; }
+  int size() const;
+  SimTime now() const;
+
+  /// Wire size of a payload under the configured envelope overheads.
+  Bytes wire_bytes(const Payload& p) const;
+
+  /// Wire size of a hypothetical payload of `payload_bytes` in `chunks`
+  /// chunks (used to size segmented transfers before the data exists).
+  Bytes wire_bytes_for(Bytes payload_bytes, std::size_t chunks) const;
+
+  /// CPU cost of merging `bytes` of received data into a local buffer.
+  double combine_cost_us(Bytes bytes) const;
+
+  // --- awaitables -------------------------------------------------------
+
+  struct [[nodiscard]] SendAwaiter {
+    Comm* comm;
+    Rank dst;
+    Payload payload;
+    int tag;
+    /// 0 = compute from the payload; otherwise the explicit wire size used
+    /// by send_sized (segment traffic).
+    Bytes wire_override = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  struct [[nodiscard]] RecvAwaiter {
+    Comm* comm;
+    Rank src;
+    int tag;
+    Message result;
+    bool blocked = false;
+    SimTime called_at = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Message await_resume();
+  };
+
+  struct [[nodiscard]] ComputeAwaiter {
+    Comm* comm;
+    double us;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  struct [[nodiscard]] MergeAwaiter {
+    Comm* comm;
+    Payload* into;
+    Payload add;
+    bool dedup;
+    ComputeAwaiter compute;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      compute.await_suspend(h);
+    }
+    void await_resume();
+  };
+
+  /// Sends `payload` to rank dst (dst != rank()).  Completes when the
+  /// sender's side of the transfer is done (injection finished).
+  SendAwaiter send(Rank dst, Payload payload, int tag = tags::kData);
+
+  /// Sends a message with an explicit wire size, independent of the
+  /// payload (which may be empty).  Segmented transfers move their bytes
+  /// as sized filler messages and ship the symbolic payload on the last
+  /// segment.
+  SendAwaiter send_sized(Rank dst, Payload payload, Bytes wire_bytes,
+                         int tag = tags::kData);
+
+  /// Receives the next message matching `src` (or any source) and `tag`
+  /// (or any tag).  Any-source receives should pin a tag — see mp/message.h.
+  RecvAwaiter recv(Rank src = kAnySource, int tag = kAnyTag);
+
+  /// Spends `us` microseconds of CPU time.
+  ComputeAwaiter compute(double us);
+
+  /// Merges `add` into `into`, charging the combining CPU cost.  With
+  /// dedup, duplicate sources collapse (PersAlltoAll-style redundancy).
+  MergeAwaiter merge(Payload& into, Payload add, bool dedup = false);
+
+  /// Starts a new metrics iteration (see mp/metrics.h).
+  void mark_iteration();
+
+  const RankMetrics& metrics() const { return metrics_; }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime& rt, Rank rank) : rt_(&rt), rank_(rank) {}
+
+  Runtime* rt_;
+  Rank rank_;
+  Mailbox mailbox_;
+  RankMetrics metrics_;
+
+  /// The single receive this rank's coroutine may be parked on.
+  struct PendingRecv {
+    Rank src = kAnySource;
+    int tag = kAnyTag;
+    RecvAwaiter* awaiter = nullptr;
+    std::coroutine_handle<> handle;
+  };
+  std::optional<PendingRecv> pending_;
+};
+
+class Runtime {
+ public:
+  /// Builds a runtime for `mapping.rank_count()` ranks over the given
+  /// network.  The mapping must fit inside the topology.
+  Runtime(std::shared_ptr<const net::Topology> topo, net::NetParams net,
+          CommParams comm, net::RankMapping mapping);
+
+  int size() const { return mapping_.rank_count(); }
+  Comm& comm(Rank r);
+
+  /// Registers rank r's program.  Every rank needs exactly one program
+  /// before run().
+  void spawn(Rank r, sim::Task task);
+
+  /// Runs all programs from simulated time 0 until completion.  One-shot.
+  RunOutcome run();
+
+  /// Enables event tracing (before run()); see mp/trace.h.
+  void enable_trace() { trace_enabled_ = true; }
+  const Trace& trace() const { return trace_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  const net::NetworkModel& network() const { return net_; }
+  const CommParams& comm_params() const { return params_; }
+  const net::RankMapping& mapping() const { return mapping_; }
+
+ private:
+  friend class Comm;
+
+  /// Called at a message's arrival time: hand to a parked recv or buffer.
+  void deliver(Message msg);
+
+  sim::Simulator sim_;
+  net::NetworkModel net_;
+  CommParams params_;
+  net::RankMapping mapping_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::vector<sim::Task> tasks_;
+  std::vector<SimTime> done_at_;
+  bool ran_ = false;
+  bool trace_enabled_ = false;
+  Trace trace_;
+};
+
+}  // namespace spb::mp

@@ -1,0 +1,71 @@
+#include "mp/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spb::mp {
+
+std::vector<TraceEvent> Trace::for_rank(Rank r) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (e.rank == r) out.push_back(e);
+  return out;
+}
+
+SimTime Trace::horizon_us() const {
+  SimTime h = 0;
+  for (const TraceEvent& e : events_)
+    h = std::max(h, std::max(e.end_us, e.arrive_us));
+  return h;
+}
+
+std::string Trace::render_timeline(int ranks, int columns) const {
+  SPB_REQUIRE(ranks >= 1 && columns >= 1, "timeline needs a positive grid");
+  const SimTime horizon = std::max(horizon_us(), 1e-9);
+  const double per_bucket = horizon / columns;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(ranks),
+                                std::string(static_cast<std::size_t>(columns),
+                                            '.'));
+  const auto paint = [&](Rank r, SimTime from, SimTime to, char mark) {
+    if (r < 0 || r >= ranks || to <= from) return;
+    int lo = static_cast<int>(from / per_bucket);
+    int hi = static_cast<int>((to - 1e-12) / per_bucket);
+    lo = std::clamp(lo, 0, columns - 1);
+    hi = std::clamp(hi, 0, columns - 1);
+    for (int c = lo; c <= hi; ++c)
+      rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+  };
+
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kSend:
+        paint(e.rank, e.begin_us, e.end_us, 'S');
+        break;
+      case TraceEvent::Kind::kRecv:
+        if (e.blocked) paint(e.rank, e.begin_us, e.end_us, 'w');
+        // The trailing slice of a receive is software processing; mark the
+        // final bucket as 'r' so arrivals are visible even when short.
+        paint(e.rank, std::max(e.begin_us, e.end_us - per_bucket), e.end_us,
+              'r');
+        break;
+      case TraceEvent::Kind::kCompute:
+        paint(e.rank, e.begin_us, e.end_us, 'c');
+        break;
+    }
+  }
+
+  std::string out;
+  for (int r = 0; r < ranks; ++r) {
+    out += "rank ";
+    const std::string id = std::to_string(r);
+    out += std::string(3 - std::min<std::size_t>(3, id.size()), ' ') + id;
+    out += " |";
+    out += rows[static_cast<std::size_t>(r)];
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace spb::mp

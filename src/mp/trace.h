@@ -1,0 +1,58 @@
+// Optional execution tracing: when enabled on a Runtime, every send,
+// receive and compute burst is recorded with its timing, giving exact
+// communication timelines (see examples/timeline for an ASCII Gantt
+// rendering, and the tests for programmatic use).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::mp {
+
+struct TraceEvent {
+  enum class Kind { kSend, kRecv, kCompute };
+
+  Kind kind = Kind::kSend;
+  Rank rank = kNoRank;   // who performed the operation
+  Rank peer = kNoRank;   // the other side (kNoRank for compute)
+  int tag = 0;
+  Bytes wire_bytes = 0;  // 0 for compute
+
+  /// kSend: issue time.  kRecv: post time.  kCompute: start time.
+  SimTime begin_us = 0;
+  /// kSend: injection complete (sender released).  kRecv: message handed
+  /// to the program.  kCompute: end of the burst.
+  SimTime end_us = 0;
+  /// kSend only: when the complete message reached the destination.
+  SimTime arrive_us = 0;
+  /// kRecv only: whether the program had to block for the message.
+  bool blocked = false;
+};
+
+class Trace {
+ public:
+  void record(const TraceEvent& e) { events_.push_back(e); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one rank, in recording (time) order.
+  std::vector<TraceEvent> for_rank(Rank r) const;
+
+  /// Latest end/arrive timestamp in the trace.
+  SimTime horizon_us() const;
+
+  /// ASCII Gantt chart: one row per rank, `columns` time buckets; 'S' =
+  /// sending (injection), 'w' = blocked waiting for a message, 'r' =
+  /// receive processing, 'c' = computing, '.' = idle.  Later operations
+  /// overwrite earlier marks within a bucket.
+  std::string render_timeline(int ranks, int columns) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace spb::mp

@@ -1,0 +1,38 @@
+// Rank-to-node mappings.
+//
+// On the Paragon, an application gets a dedicated submesh exactly matching
+// its size, so logical rank i sits on physical node i (identity mapping).
+// On the T3D, the paper notes that "the mapping of virtual to physical
+// processors cannot be controlled by the user": the p ranks land on p nodes
+// of a larger physical torus in an order the algorithm cannot exploit.  We
+// model that as a seeded random injection of ranks into the node set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::net {
+
+class RankMapping {
+ public:
+  /// Identity: rank i on node i (requires p <= nodes).
+  static RankMapping identity(int p);
+
+  /// Random injection of p ranks into `nodes` physical nodes, seeded.
+  static RankMapping random(int p, int nodes, std::uint64_t seed);
+
+  /// Builds from an explicit table (tests; must be injective).
+  static RankMapping from_table(std::vector<NodeId> table);
+
+  NodeId node_of(Rank r) const;
+  int rank_count() const { return static_cast<int>(table_.size()); }
+  const std::vector<NodeId>& table() const { return table_; }
+
+ private:
+  explicit RankMapping(std::vector<NodeId> table);
+  std::vector<NodeId> table_;
+};
+
+}  // namespace spb::net

@@ -1,0 +1,136 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::net {
+
+NetworkModel::NetworkModel(std::shared_ptr<const Topology> topo,
+                           NetParams params)
+    : topo_(std::move(topo)), params_(params) {
+  SPB_REQUIRE(topo_ != nullptr, "NetworkModel needs a topology");
+  SPB_REQUIRE(params_.bytes_per_us > 0, "bandwidth must be positive");
+  SPB_REQUIRE(params_.alpha_us >= 0 && params_.per_hop_us >= 0,
+              "latencies must be non-negative");
+  SPB_REQUIRE(params_.inject_channels >= 1 && params_.eject_channels >= 1,
+              "need at least one NI channel per direction");
+  links_.resize(static_cast<std::size_t>(topo_->link_space()));
+  inject_.resize(static_cast<std::size_t>(topo_->node_count()) *
+                 static_cast<std::size_t>(params_.inject_channels));
+  eject_.resize(static_cast<std::size_t>(topo_->node_count()) *
+                static_cast<std::size_t>(params_.eject_channels));
+}
+
+NetworkModel::Channel& NetworkModel::inject_channel(NodeId n, int idx) {
+  return inject_[static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(params_.inject_channels) +
+                 static_cast<std::size_t>(idx)];
+}
+
+NetworkModel::Channel& NetworkModel::eject_channel(NodeId n, int idx) {
+  return eject_[static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(params_.eject_channels) +
+                static_cast<std::size_t>(idx)];
+}
+
+int NetworkModel::pick_inject(NodeId n) const {
+  int best = 0;
+  for (int i = 1; i < params_.inject_channels; ++i) {
+    const auto& c = inject_[static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(
+                                    params_.inject_channels) +
+                            static_cast<std::size_t>(i)];
+    const auto& b = inject_[static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(
+                                    params_.inject_channels) +
+                            static_cast<std::size_t>(best)];
+    if (c.free_at < b.free_at) best = i;
+  }
+  return best;
+}
+
+int NetworkModel::pick_eject(NodeId n) const {
+  int best = 0;
+  for (int i = 1; i < params_.eject_channels; ++i) {
+    const auto& c = eject_[static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(
+                                   params_.eject_channels) +
+                           static_cast<std::size_t>(i)];
+    const auto& b = eject_[static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(
+                                   params_.eject_channels) +
+                           static_cast<std::size_t>(best)];
+    if (c.free_at < b.free_at) best = i;
+  }
+  return best;
+}
+
+double NetworkModel::uncontended_us(int hops, Bytes bytes) const {
+  return params_.alpha_us + params_.per_hop_us * hops +
+         static_cast<double>(bytes) / params_.bytes_per_us;
+}
+
+double NetworkModel::link_busy_us(LinkId id) const {
+  SPB_REQUIRE(id >= 0 && id < topo_->link_space(), "link id out of range");
+  return links_[static_cast<std::size_t>(id)].busy_us;
+}
+
+Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
+                               SimTime ready) {
+  SPB_REQUIRE(src != dst, "reserve() is for remote transfers; local copies "
+                          "are handled by the runtime");
+  SPB_REQUIRE(src >= 0 && src < topo_->node_count(), "src out of range");
+  SPB_REQUIRE(dst >= 0 && dst < topo_->node_count(), "dst out of range");
+
+  const std::vector<LinkId> path = topo_->route(src, dst);
+  const double serialize =
+      static_cast<double>(bytes) / params_.bytes_per_us;
+
+  Transfer t;
+  t.hops = static_cast<int>(path.size());
+
+  if (!params_.model_contention) {
+    t.start = ready;
+    t.inject_done = ready + serialize;
+    t.arrive = ready + uncontended_us(t.hops, bytes);
+    ++stats_.transfers;
+    stats_.total_hops += static_cast<std::uint64_t>(t.hops);
+    stats_.total_bytes += bytes;
+    return t;
+  }
+
+  Channel& inj = inject_channel(src, pick_inject(src));
+  Channel& ej = eject_channel(dst, pick_eject(dst));
+
+  SimTime start = std::max(ready, std::max(inj.free_at, ej.free_at));
+  for (const LinkId l : path)
+    start = std::max(start, links_[static_cast<std::size_t>(l)].free_at);
+
+  const SimTime until = start + serialize;
+  inj.free_at = until;
+  inj.busy_us += serialize;
+  ej.free_at = until;
+  ej.busy_us += serialize;
+  for (const LinkId l : path) {
+    Channel& c = links_[static_cast<std::size_t>(l)];
+    c.free_at = until;
+    c.busy_us += serialize;
+    stats_.max_link_busy_us = std::max(stats_.max_link_busy_us, c.busy_us);
+    stats_.total_link_busy_us += serialize;
+  }
+
+  t.start = start;
+  t.inject_done = until;
+  t.arrive = start + params_.alpha_us + params_.per_hop_us * t.hops +
+             serialize;
+
+  ++stats_.transfers;
+  stats_.total_hops += static_cast<std::uint64_t>(t.hops);
+  stats_.total_bytes += bytes;
+  stats_.total_stall_us += start - ready;
+  return t;
+}
+
+}  // namespace spb::net

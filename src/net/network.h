@@ -1,0 +1,109 @@
+// Contention-aware network timing model.
+//
+// We approximate wormhole routing with full-path circuit reservation: a
+// message of B bytes from node u to node v claims every directed link on
+// its dimension-ordered route — plus u's injection channel and v's ejection
+// channel — for its serialization time B/bandwidth, starting at the
+// earliest instant all of them are free.  The head of the message then
+// arrives alpha + hops*t_hop after the reservation starts, and the tail
+// B/bandwidth later.
+//
+// This is deliberately the simplest model that exhibits the phenomena the
+// paper measures: hot-spot congestion (2-Step's gather at P0 serializes on
+// P0's ejection channel), source-side serialization (PersAlltoAll's p-1
+// sends queue on the source's injection channel), and link sharing between
+// concurrent transfers (the row/column phases of the Br_* algorithms).
+// Known approximation: all path links are reserved for the same window, so
+// a blocked message holds links it has not reached yet — which is in fact
+// how a blocked wormhole worm behaves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace spb::net {
+
+/// Timing/bandwidth parameters of the interconnect (not of the software
+/// layer on top; see mp::CommParams for send/receive overheads).
+struct NetParams {
+  /// Fixed network latency per message (routing setup), microseconds.
+  double alpha_us = 10.0;
+  /// Per-hop delay of the message head, microseconds.
+  double per_hop_us = 0.05;
+  /// Link bandwidth in bytes per microsecond (1 byte/us = 1 MB/s).
+  double bytes_per_us = 100.0;
+  /// Injection (node-to-network) DMA channels per node.
+  int inject_channels = 1;
+  /// Ejection (network-to-node) DMA channels per node.
+  int eject_channels = 1;
+  /// If false, link reservation is skipped entirely and only the latency /
+  /// bandwidth terms apply (the ablation_contention bench flips this).
+  bool model_contention = true;
+};
+
+/// Result of reserving a transfer.
+struct Transfer {
+  /// When the reservation actually started (>= the requested ready time).
+  SimTime start = 0;
+  /// When the source's injection channel is free again (sender may proceed).
+  SimTime inject_done = 0;
+  /// When the complete message is available at the destination node.
+  SimTime arrive = 0;
+  /// Hop count of the route used.
+  int hops = 0;
+};
+
+/// Aggregated contention statistics, for diagnostics and the metric tables.
+struct NetworkStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t total_hops = 0;
+  double total_link_busy_us = 0;   // sum over network links of busy time
+  double max_link_busy_us = 0;     // the hottest network link
+  double total_stall_us = 0;       // sum of (start - ready) over transfers
+  Bytes total_bytes = 0;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(std::shared_ptr<const Topology> topo, NetParams params);
+
+  /// Reserves the route from src to dst for a message of `bytes` bytes that
+  /// becomes ready to inject at `ready`.  src != dst.
+  Transfer reserve(NodeId src, NodeId dst, Bytes bytes, SimTime ready);
+
+  const Topology& topology() const { return *topo_; }
+  const NetParams& params() const { return params_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Pure timing of an uncontended transfer (used in tests as the lower
+  /// bound of reserve()).
+  double uncontended_us(int hops, Bytes bytes) const;
+
+  /// Busy time accumulated on one network link (tests, diagnostics).
+  double link_busy_us(LinkId id) const;
+
+ private:
+  struct Channel {
+    SimTime free_at = 0;
+    double busy_us = 0;
+  };
+
+  Channel& inject_channel(NodeId n, int idx);
+  Channel& eject_channel(NodeId n, int idx);
+  /// Least-loaded (earliest-free) channel among a node's k channels.
+  int pick_inject(NodeId n) const;
+  int pick_eject(NodeId n) const;
+
+  std::shared_ptr<const Topology> topo_;
+  NetParams params_;
+  std::vector<Channel> links_;    // indexed by LinkId
+  std::vector<Channel> inject_;   // node * inject_channels + idx
+  std::vector<Channel> eject_;    // node * eject_channels + idx
+  NetworkStats stats_;
+};
+
+}  // namespace spb::net

@@ -1,0 +1,226 @@
+#include "net/topology.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace spb::net {
+
+std::string Topology::describe_link(LinkId id) const {
+  SPB_REQUIRE(id >= 0 && id < link_space(), "link id " << id
+                                                       << " out of range");
+  const int slots = slots_per_node();
+  const NodeId node = id / slots;
+  const int dir = id % slots;
+  static constexpr const char* kDir[6] = {"+x", "-x", "+y", "-y", "+z", "-z"};
+  const Coord c = coord(node);
+  std::ostringstream os;
+  os << "link(" << c.x << "," << c.y << "," << c.z << ")";
+  // Mesh/torus slots have cardinal names; higher-degree topologies
+  // (hypercubes) label the dimension index instead.
+  if (slots <= 6) {
+    os << kDir[dir];
+  } else {
+    os << "dim" << dir;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Linear
+
+LinearArray::LinearArray(int n) : n_(n) {
+  SPB_REQUIRE(n >= 1, "LinearArray needs at least one node");
+}
+
+std::vector<LinkId> LinearArray::route(NodeId a, NodeId b) const {
+  SPB_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_, "node out of range");
+  std::vector<LinkId> path;
+  const int step = a < b ? 1 : -1;
+  const int dir = a < b ? 0 : 1;  // slot 0 = +x, slot 1 = -x
+  for (NodeId at = a; at != b; at += step) path.push_back(at * 2 + dir);
+  return path;
+}
+
+int LinearArray::hops(NodeId a, NodeId b) const {
+  SPB_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_, "node out of range");
+  return std::abs(a - b);
+}
+
+std::string LinearArray::name() const {
+  return "array " + std::to_string(n_);
+}
+
+// ---------------------------------------------------------------- Mesh2D
+
+Mesh2D::Mesh2D(int rows, int cols, bool y_first)
+    : rows_(rows), cols_(cols), y_first_(y_first) {
+  SPB_REQUIRE(rows >= 1 && cols >= 1, "Mesh2D needs positive dimensions");
+}
+
+Coord Mesh2D::coord(NodeId n) const {
+  SPB_REQUIRE(n >= 0 && n < node_count(), "node out of range");
+  return {n % cols_, n / cols_, 0};  // x = column, y = row
+}
+
+NodeId Mesh2D::node_at(const Coord& c) const {
+  SPB_REQUIRE(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_,
+              "coordinate out of range");
+  return c.y * cols_ + c.x;
+}
+
+std::vector<LinkId> Mesh2D::route(NodeId a, NodeId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  std::vector<LinkId> path;
+  // Walk the X dimension at row `row`, appending to path.
+  const auto walk_x = [&](int row) {
+    int x = ca.x;
+    const int xdir = cb.x > ca.x ? 0 : 1;  // slot 0 = +x, 1 = -x
+    const int xstep = cb.x > ca.x ? 1 : -1;
+    while (x != cb.x) {
+      path.push_back(node_at({x, row, 0}) * 4 + xdir);
+      x += xstep;
+    }
+  };
+  // Walk the Y dimension at column `col`.
+  const auto walk_y = [&](int col) {
+    int y = ca.y;
+    const int ydir = cb.y > ca.y ? 2 : 3;  // slot 2 = +y, 3 = -y
+    const int ystep = cb.y > ca.y ? 1 : -1;
+    while (y != cb.y) {
+      path.push_back(node_at({col, y, 0}) * 4 + ydir);
+      y += ystep;
+    }
+  };
+  if (y_first_) {
+    walk_y(ca.x);
+    walk_x(cb.y);
+  } else {
+    walk_x(ca.y);
+    walk_y(cb.x);
+  }
+  return path;
+}
+
+int Mesh2D::hops(NodeId a, NodeId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+std::string Mesh2D::name() const {
+  return "mesh2d " + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+// -------------------------------------------------------------- Hypercube
+
+Hypercube::Hypercube(int dims) : dims_(dims) {
+  SPB_REQUIRE(dims >= 1 && dims <= 16, "Hypercube needs 1..16 dimensions");
+}
+
+Coord Hypercube::coord(NodeId n) const {
+  SPB_REQUIRE(n >= 0 && n < node_count(), "node out of range");
+  return {n, 0, 0};
+}
+
+NodeId Hypercube::node_at(const Coord& c) const {
+  SPB_REQUIRE(c.x >= 0 && c.x < node_count() && c.y == 0 && c.z == 0,
+              "coordinate out of range");
+  return c.x;
+}
+
+std::vector<LinkId> Hypercube::route(NodeId a, NodeId b) const {
+  SPB_REQUIRE(a >= 0 && a < node_count() && b >= 0 && b < node_count(),
+              "node out of range");
+  // E-cube: fix differing bits from dimension 0 upward; link slot d of a
+  // node is its dimension-d channel.
+  std::vector<LinkId> path;
+  NodeId at = a;
+  for (int d = 0; d < dims_; ++d) {
+    const NodeId bit = NodeId{1} << d;
+    if ((at & bit) == (b & bit)) continue;
+    path.push_back(at * dims_ + d);
+    at ^= bit;
+  }
+  SPB_CHECK(at == b);
+  return path;
+}
+
+int Hypercube::hops(NodeId a, NodeId b) const {
+  SPB_REQUIRE(a >= 0 && a < node_count() && b >= 0 && b < node_count(),
+              "node out of range");
+  return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+std::string Hypercube::name() const {
+  return "hypercube " + std::to_string(dims_) + "d";
+}
+
+// ---------------------------------------------------------------- Torus3D
+
+Torus3D::Torus3D(int dx, int dy, int dz) : dx_(dx), dy_(dy), dz_(dz) {
+  SPB_REQUIRE(dx >= 1 && dy >= 1 && dz >= 1,
+              "Torus3D needs positive dimensions");
+}
+
+Coord Torus3D::coord(NodeId n) const {
+  SPB_REQUIRE(n >= 0 && n < node_count(), "node out of range");
+  return {n % dx_, (n / dx_) % dy_, n / (dx_ * dy_)};
+}
+
+NodeId Torus3D::node_at(const Coord& c) const {
+  SPB_REQUIRE(c.x >= 0 && c.x < dx_ && c.y >= 0 && c.y < dy_ && c.z >= 0 &&
+                  c.z < dz_,
+              "coordinate out of range");
+  return (c.z * dy_ + c.y) * dx_ + c.x;
+}
+
+int Torus3D::torus_delta(int from, int to, int size) {
+  int forward = to - from;
+  if (forward < 0) forward += size;
+  const int backward = forward - size;  // <= 0
+  // Shorter direction; positive (forward) on ties for determinism.
+  return forward <= -backward ? forward : backward;
+}
+
+std::vector<LinkId> Torus3D::route(NodeId a, NodeId b) const {
+  Coord at = coord(a);
+  const Coord cb = coord(b);
+  std::vector<LinkId> path;
+
+  // Walk one dimension with wraparound; dim_size in {dx_, dy_, dz_},
+  // pos_slot/neg_slot are the channel slots for the two directions.
+  const auto walk = [&](int Coord::* axis, int dim_size, int pos_slot,
+                        int neg_slot) {
+    const int delta = torus_delta(at.*axis, cb.*axis, dim_size);
+    const int step = delta >= 0 ? 1 : -1;
+    const int slot = delta >= 0 ? pos_slot : neg_slot;
+    for (int i = 0; i != delta; i += step) {
+      path.push_back(node_at(at) * 6 + slot);
+      at.*axis = (at.*axis + step + dim_size) % dim_size;
+    }
+  };
+  walk(&Coord::x, dx_, 0, 1);
+  walk(&Coord::y, dy_, 2, 3);
+  walk(&Coord::z, dz_, 4, 5);
+  SPB_CHECK(at == cb);
+  return path;
+}
+
+int Torus3D::hops(NodeId a, NodeId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  return std::abs(torus_delta(ca.x, cb.x, dx_)) +
+         std::abs(torus_delta(ca.y, cb.y, dy_)) +
+         std::abs(torus_delta(ca.z, cb.z, dz_));
+}
+
+std::string Torus3D::name() const {
+  return "torus3d " + std::to_string(dx_) + "x" + std::to_string(dy_) + "x" +
+         std::to_string(dz_);
+}
+
+}  // namespace spb::net

@@ -1,0 +1,164 @@
+// Interconnect topologies: linear array, 2-D mesh (Intel Paragon style) and
+// 3-D torus (Cray T3D style).
+//
+// A topology owns the geometry only — node coordinates, directed links, and
+// the deterministic dimension-ordered route between two nodes.  Timing and
+// contention live in net::NetworkModel.
+//
+// Link identifiers: every node has a fixed number of outgoing directed
+// channel slots (2 for the array, 4 for the mesh, 6 for the torus), and
+// LinkId = node * slots + direction.  Border slots of non-wrapping
+// topologies are simply never used by any route.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::net {
+
+/// Coordinates of a node; unused dimensions are zero.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of nodes.
+  virtual int node_count() const = 0;
+
+  /// Size of the LinkId space (node_count * outgoing slots per node).
+  virtual int link_space() const = 0;
+
+  /// Deterministic dimension-ordered route from a to b as a sequence of
+  /// directed links.  Empty iff a == b.
+  virtual std::vector<LinkId> route(NodeId a, NodeId b) const = 0;
+
+  /// Hop distance (length of route(a, b) without materializing it).
+  virtual int hops(NodeId a, NodeId b) const = 0;
+
+  /// Node coordinates, for diagnostics and tests.
+  virtual Coord coord(NodeId n) const = 0;
+
+  /// Inverse of coord().
+  virtual NodeId node_at(const Coord& c) const = 0;
+
+  /// Human-readable name, e.g. "mesh2d 10x10".
+  virtual std::string name() const = 0;
+
+  /// Human-readable link description for congestion diagnostics.
+  std::string describe_link(LinkId id) const;
+
+  /// Outgoing channel slots per node (2, 4 or 6).
+  virtual int slots_per_node() const = 0;
+};
+
+/// 1-D array of n nodes with bidirectional neighbour links (no wraparound).
+class LinearArray final : public Topology {
+ public:
+  explicit LinearArray(int n);
+
+  int node_count() const override { return n_; }
+  int link_space() const override { return n_ * 2; }
+  std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  int hops(NodeId a, NodeId b) const override;
+  Coord coord(NodeId n) const override { return {n, 0, 0}; }
+  NodeId node_at(const Coord& c) const override { return c.x; }
+  std::string name() const override;
+  int slots_per_node() const override { return 2; }
+
+ private:
+  int n_;
+};
+
+/// 2-D mesh of rows x cols nodes, no wraparound, dimension-ordered
+/// routing: XY by default (first along the row to the destination column,
+/// then along the column), YX when `y_first` is set — the
+/// ablation_routing bench compares the two.  Node (r, c) has id
+/// r * cols + c (row-major), matching the paper's processor indexing.
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(int rows, int cols, bool y_first = false);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool y_first() const { return y_first_; }
+
+  int node_count() const override { return rows_ * cols_; }
+  int link_space() const override { return node_count() * 4; }
+  std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  int hops(NodeId a, NodeId b) const override;
+  Coord coord(NodeId n) const override;
+  NodeId node_at(const Coord& c) const override;
+  std::string name() const override;
+  int slots_per_node() const override { return 4; }
+
+ private:
+  int rows_;
+  int cols_;
+  bool y_first_;
+};
+
+/// Hypercube of 2^dims nodes; node ids are bit strings, neighbours differ
+/// in one bit, e-cube routing fixes differing bits from the lowest to the
+/// highest.  Not one of the paper's machines, but the natural home of the
+/// Br_Lin pattern — pairing i with i + p/2 is exactly a top-dimension
+/// exchange, so every halving iteration uses a dedicated link per node
+/// (see bench/ext_hypercube).
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(int dims);
+
+  int dims() const { return dims_; }
+
+  int node_count() const override { return 1 << dims_; }
+  int link_space() const override { return node_count() * dims_; }
+  std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  int hops(NodeId a, NodeId b) const override;
+  Coord coord(NodeId n) const override;
+  NodeId node_at(const Coord& c) const override;
+  std::string name() const override;
+  int slots_per_node() const override { return dims_; }
+
+ private:
+  int dims_;
+};
+
+/// 3-D torus of dx x dy x dz nodes with wraparound in every dimension and
+/// dimension-ordered routing that takes the shorter wrap direction (positive
+/// direction on ties).  Models the T3D interconnect.
+class Torus3D final : public Topology {
+ public:
+  Torus3D(int dx, int dy, int dz);
+
+  int dx() const { return dx_; }
+  int dy() const { return dy_; }
+  int dz() const { return dz_; }
+
+  int node_count() const override { return dx_ * dy_ * dz_; }
+  int link_space() const override { return node_count() * 6; }
+  std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  int hops(NodeId a, NodeId b) const override;
+  Coord coord(NodeId n) const override;
+  NodeId node_at(const Coord& c) const override;
+  std::string name() const override;
+  int slots_per_node() const override { return 6; }
+
+ private:
+  /// Signed step count along one dimension of size `size`: the shorter wrap
+  /// direction, positive on ties.
+  static int torus_delta(int from, int to, int size);
+
+  int dx_;
+  int dy_;
+  int dz_;
+};
+
+}  // namespace spb::net

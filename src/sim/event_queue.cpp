@@ -1,0 +1,23 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::sim {
+
+void EventQueue::push(SimTime t, std::function<void()> fn) {
+  SPB_REQUIRE(fn != nullptr, "cannot schedule a null event callback");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Event EventQueue::pop() {
+  SPB_REQUIRE(!heap_.empty(), "pop() on an empty event queue");
+  // priority_queue::top() is const&; moving out of the callback requires a
+  // const_cast-free copy.  Events are popped once, so copy the function.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace spb::sim

@@ -1,0 +1,48 @@
+// Time-ordered event queue.  Events with equal timestamps are dispatched in
+// insertion order (a monotonically increasing sequence number breaks ties),
+// which makes every simulation bit-for-bit deterministic — a property the
+// tests assert and the benchmark harness relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::sim {
+
+/// A scheduled callback.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+class EventQueue {
+ public:
+  /// Enqueues fn at absolute time t.
+  void push(SimTime t, std::function<void()> fn);
+
+  /// Removes and returns the earliest event (FIFO among equal times).
+  Event pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Total number of events ever pushed.
+  std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace spb::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::sim {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  SPB_REQUIRE(t >= now_, "cannot schedule an event in the past (t="
+                             << t << ", now=" << now_ << ")");
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::after(SimTime delay, std::function<void()> fn) {
+  SPB_REQUIRE(delay >= 0, "negative delay " << delay);
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::step() {
+  Event e = queue_.pop();
+  SPB_CHECK(e.time >= now_);
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+}
+
+SimTime Simulator::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+bool Simulator::run_bounded(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && !queue_.empty(); ++i) step();
+  return queue_.empty();
+}
+
+}  // namespace spb::sim

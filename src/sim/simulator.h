@@ -1,0 +1,46 @@
+// The simulation clock and main loop.  Single-threaded, deterministic:
+// callbacks run strictly in (time, insertion) order, and the clock never
+// goes backwards.  Everything in spb — the network model, the message-
+// passing runtime, the rank coroutines — is driven from this loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace spb::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time in microseconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute time t (t must be >= now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules fn after a non-negative delay.
+  void after(SimTime delay, std::function<void()> fn);
+
+  /// Runs until the event queue is empty.  Returns the final clock value.
+  SimTime run();
+
+  /// Runs at most max_events events (guard against runaway simulations in
+  /// tests); returns true if the queue drained.
+  bool run_bounded(std::uint64_t max_events);
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  void step();
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace spb::sim

@@ -1,0 +1,17 @@
+#include "sim/task.h"
+
+namespace spb::sim {
+
+void Task::start(std::function<void()> on_done) {
+  SPB_REQUIRE(valid(), "start() on an empty Task");
+  SPB_REQUIRE(!h_.promise().finished, "start() on a finished Task");
+  h_.promise().on_done = std::move(on_done);
+  h_.resume();
+}
+
+void Task::rethrow_if_failed() const {
+  if (h_ && h_.promise().exception)
+    std::rethrow_exception(h_.promise().exception);
+}
+
+}  // namespace spb::sim

@@ -1,0 +1,120 @@
+// C++20 coroutine task type for simulated processes.
+//
+// A rank's "program" in the message-passing runtime is written as an
+// ordinary coroutine:
+//
+//   sim::Task program(mp::Comm& comm) {
+//     co_await comm.send(dst, payload);
+//     auto msg = co_await comm.recv(src);
+//     ...
+//   }
+//
+// Tasks are lazy (the runtime schedules the first resume at simulated time
+// 0), support nesting via `co_await subtask(...)` with symmetric transfer,
+// and propagate exceptions to the awaiter / runtime.  All execution is
+// single-threaded inside the Simulator loop, so no synchronization is
+// involved.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::sim {
+
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    /// Awaiter that resumes us when the sub-task finishes (or no-ops for a
+    /// top-level task, where on_done fires instead).
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    std::function<void()> on_done;
+    bool finished = false;
+
+    Task get_return_object() {
+      return Task(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto& p = h.promise();
+        p.finished = true;
+        if (p.on_done) p.on_done();
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_ && h_.promise().finished; }
+
+  /// Begins a top-level task: resumes the coroutine now and arranges for
+  /// on_done to run at completion.  Exceptions escaping the coroutine are
+  /// stored; call rethrow_if_failed() after the simulation drains.
+  void start(std::function<void()> on_done);
+
+  /// Rethrows an exception captured from the coroutine body, if any.
+  void rethrow_if_failed() const;
+
+  /// Awaiting a Task runs it as a child coroutine; control returns to the
+  /// parent when the child co_returns.  Implemented with symmetric transfer
+  /// so arbitrarily deep nesting does not grow the host stack.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept {
+        return !child || child.promise().finished;
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() const {
+        if (child && child.promise().exception)
+          std::rethrow_exception(child.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+}  // namespace spb::sim

@@ -1,0 +1,39 @@
+// Extension (the paper's own future-work hint): "Clearly, if the input
+// distribution is close to an ideal distribution, it does not pay to
+// reposition.  We point out that our algorithms do not analyze the input
+// distribution."
+//
+// AdaptiveRepositioning analyzes it: it computes the ideal targets like
+// Repos_* would, and repositions only when doing so is predicted to pay —
+// the decision combines how many sources would have to move (the
+// permutation's cost) with how far the input's activity-growth profile
+// trails the ideal's (the broadcast's gain).  bench/ext_adaptive shows it
+// tracking min(base, repositioned) across the distribution families.
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class AdaptiveRepositioning final : public Algorithm {
+ public:
+  /// `base` must be one of the Br_* algorithms (as for Repos_*).
+  explicit AdaptiveRepositioning(AlgorithmPtr base);
+
+  std::string name() const override { return name_; }
+  bool mpi_flavored() const override { return base_->mpi_flavored(); }
+  ProgramFactory prepare(const Frame& frame) const override;
+
+  /// The decision rule, exposed for tests: reposition iff the predicted
+  /// broadcast gain outweighs the permutation cost.
+  bool should_reposition(const Frame& frame) const;
+
+ private:
+  AlgorithmPtr base_;
+  AlgorithmPtr repositioning_;
+  std::string name_;
+};
+
+AlgorithmPtr make_adaptive_repositioning(AlgorithmPtr base);
+
+}  // namespace spb::stop

@@ -1,0 +1,69 @@
+#include "stop/algorithm.h"
+
+#include "common/check.h"
+#include "stop/adaptive_repos.h"
+#include "stop/allgatherv_rd.h"
+#include "stop/uncoordinated.h"
+#include "stop/br_lin.h"
+#include "stop/br_xy.h"
+#include "stop/partition.h"
+#include "stop/pers_alltoall.h"
+#include "stop/reposition.h"
+#include "stop/two_step.h"
+
+namespace spb::stop {
+
+AlgorithmPtr make_two_step(bool mpi) {
+  return std::make_shared<const TwoStep>(mpi);
+}
+
+AlgorithmPtr make_pers_alltoall(bool mpi) {
+  return std::make_shared<const PersAlltoAll>(mpi);
+}
+
+AlgorithmPtr make_br_lin() { return std::make_shared<const BrLin>(); }
+
+AlgorithmPtr make_br_xy_source() {
+  return std::make_shared<const BrXySource>();
+}
+
+AlgorithmPtr make_br_xy_dim() { return std::make_shared<const BrXyDim>(); }
+
+AlgorithmPtr make_repositioning(AlgorithmPtr base) {
+  return std::make_shared<const Repositioning>(std::move(base));
+}
+
+AlgorithmPtr make_partitioning(AlgorithmPtr base) {
+  return std::make_shared<const Partitioning>(std::move(base));
+}
+
+std::vector<AlgorithmPtr> all_algorithms() {
+  return {
+      make_two_step(false),
+      make_two_step(true),
+      make_pers_alltoall(false),
+      make_pers_alltoall(true),
+      make_br_lin(),
+      make_br_xy_source(),
+      make_br_xy_dim(),
+      make_repositioning(make_br_lin()),
+      make_repositioning(make_br_xy_source()),
+      make_repositioning(make_br_xy_dim()),
+      make_partitioning(make_br_lin()),
+      make_partitioning(make_br_xy_source()),
+      make_partitioning(make_br_xy_dim()),
+      make_br_lin_snake(),
+      make_allgatherv_rd(),
+      make_adaptive_repositioning(make_br_xy_source()),
+      make_uncoordinated(),
+  };
+}
+
+AlgorithmPtr find_algorithm(const std::string& name) {
+  for (auto& a : all_algorithms())
+    if (a->name() == name) return a;
+  SPB_REQUIRE(false, "unknown algorithm '" << name << "'");
+  return nullptr;  // unreachable
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,77 @@
+// The s-to-p broadcasting algorithm interface and registry.
+//
+// An Algorithm turns a Frame into a per-rank program factory.  prepare()
+// does all the global planning once (schedules, permutations, dimension
+// choices — legal because every processor knows the source positions, per
+// the paper's model); the factory then builds each rank's coroutine.
+//
+// Algorithms (paper Section 2 and 3):
+//   2-Step          gather at P0, then one-to-all broadcast
+//   PersAlltoAll    p-1 personalized exchange permutations
+//   MPI_AllGather   2-Step on the heavier MPI layer
+//   MPI_Alltoall    PersAlltoAll on the heavier MPI layer
+//   Br_Lin          recursive halving on the linear rank order
+//   Br_xy_source    per-dimension Br_Lin, source counts pick the order
+//   Br_xy_dim       per-dimension Br_Lin, mesh shape picks the order
+//   Repos_*         reposition sources to an ideal distribution, then run
+//                   the base algorithm
+//   Part_*          reposition + split the machine in two, broadcast in
+//                   both halves, exchange between the halves
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mp/runtime.h"
+#include "sim/task.h"
+#include "stop/frame.h"
+
+namespace spb::stop {
+
+/// Builds the program of one rank.  `data` is the rank's payload slot
+/// (holding its original message iff it is a source) and must outlive the
+/// task; on completion it holds the full broadcast result.
+using ProgramFactory =
+    std::function<sim::Task(mp::Comm& comm, mp::Payload& data)>;
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// The paper's name for the algorithm ("Br_Lin", "2-Step", ...).
+  virtual std::string name() const = 0;
+
+  /// True for algorithms that run on the portable MPI layer and pay the
+  /// machine's extra per-message cost.
+  virtual bool mpi_flavored() const { return false; }
+
+  /// Plans the broadcast for one frame and returns the per-rank factory.
+  virtual ProgramFactory prepare(const Frame& frame) const = 0;
+};
+
+using AlgorithmPtr = std::shared_ptr<const Algorithm>;
+
+// Factories -----------------------------------------------------------
+
+AlgorithmPtr make_two_step(bool mpi = false);
+AlgorithmPtr make_pers_alltoall(bool mpi = false);
+AlgorithmPtr make_br_lin();
+AlgorithmPtr make_br_xy_source();
+AlgorithmPtr make_br_xy_dim();
+
+/// Repositioning wrapper (Repos_Lin / Repos_xy_source / Repos_xy_dim):
+/// base must be one of the Br_* algorithms.
+AlgorithmPtr make_repositioning(AlgorithmPtr base);
+
+/// Partitioning wrapper (Part_Lin / Part_xy_source / Part_xy_dim).
+AlgorithmPtr make_partitioning(AlgorithmPtr base);
+
+/// Every algorithm the benchmarks exercise, in presentation order.
+std::vector<AlgorithmPtr> all_algorithms();
+
+/// Looks an algorithm up by its name() (throws CheckError when unknown).
+AlgorithmPtr find_algorithm(const std::string& name);
+
+}  // namespace spb::stop

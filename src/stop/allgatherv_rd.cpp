@@ -1,0 +1,26 @@
+#include "stop/allgatherv_rd.h"
+
+#include <memory>
+
+#include "coll/engine.h"
+#include "coll/halving.h"
+
+namespace spb::stop {
+
+ProgramFactory AllgathervRd::prepare(const Frame& frame) const {
+  auto sched = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(frame.active_flags()));
+  auto seq = frame.ranks();
+  return [frame, seq, sched](mp::Comm& comm, mp::Payload& data) {
+    return coll::run_halving(comm, seq, frame.position_of(comm.rank()),
+                             sched, data,
+                             coll::HalvingOptions{.mark_iterations = true,
+                                                  .combine_cost = false});
+  };
+}
+
+AlgorithmPtr make_allgatherv_rd() {
+  return std::make_shared<const AllgathervRd>();
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,59 @@
+#include "stop/br_lin.h"
+
+#include <memory>
+
+#include "coll/engine.h"
+#include "coll/halving.h"
+
+namespace spb::stop {
+
+ProgramFactory BrLin::prepare(const Frame& frame) const {
+  auto sched = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(frame.active_flags()));
+  auto seq = frame.ranks();
+  return [frame, seq, sched](mp::Comm& comm, mp::Payload& data) {
+    return coll::run_halving(comm, seq, frame.position_of(comm.rank()),
+                             sched, data);
+  };
+}
+
+ProgramFactory BrLinSnake::prepare(const Frame& frame) const {
+  // Boustrophedon order over the frame's grid: odd rows run right to
+  // left, so walking the sequence never jumps across the mesh.
+  const int rows = frame.rows();
+  const int cols = frame.cols();
+  auto seq = std::make_shared<std::vector<Rank>>();
+  seq->reserve(static_cast<std::size_t>(frame.size()));
+  std::vector<int> pos_of_rank(static_cast<std::size_t>(frame.size()), -1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int col = r % 2 == 0 ? c : cols - 1 - c;
+      const Rank rank = frame.rank_at(r * cols + col);
+      pos_of_rank[static_cast<std::size_t>(r * cols + col)] =
+          static_cast<int>(seq->size());
+      seq->push_back(rank);
+    }
+  }
+  std::vector<char> active(static_cast<std::size_t>(frame.size()), 0);
+  for (const Rank s : frame.sources()) {
+    active[static_cast<std::size_t>(
+        pos_of_rank[static_cast<std::size_t>(frame.position_of(s))])] = 1;
+  }
+  auto sched = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(active));
+  auto positions = std::make_shared<const std::vector<int>>(
+      std::move(pos_of_rank));
+  auto const_seq = std::shared_ptr<const std::vector<Rank>>(seq);
+  return [frame, const_seq, sched, positions](mp::Comm& comm,
+                                              mp::Payload& data) {
+    const int my_pos = (*positions)[static_cast<std::size_t>(
+        frame.position_of(comm.rank()))];
+    return coll::run_halving(comm, const_seq, my_pos, sched, data);
+  };
+}
+
+AlgorithmPtr make_br_lin_snake() {
+  return std::make_shared<const BrLinSnake>();
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,129 @@
+#include "stop/br_xy.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coll/engine.h"
+#include "coll/halving.h"
+#include "common/check.h"
+
+namespace spb::stop {
+
+namespace {
+
+/// Precomputed two-phase plan shared by all rank programs.
+struct XyPlan {
+  bool rows_first = true;
+  /// Phase A: one (sequence, schedule) per line of the first dimension.
+  std::vector<std::shared_ptr<const std::vector<Rank>>> seq_a;
+  std::vector<std::shared_ptr<const coll::HalvingSchedule>> sched_a;
+  /// Phase B: per line of the second dimension.
+  std::vector<std::shared_ptr<const std::vector<Rank>>> seq_b;
+  std::vector<std::shared_ptr<const coll::HalvingSchedule>> sched_b;
+};
+
+sim::Task xy_program(mp::Comm& comm, mp::Payload& data,
+                     std::shared_ptr<const XyPlan> plan, int row, int col) {
+  const int line_a = plan->rows_first ? row : col;
+  const int pos_a = plan->rows_first ? col : row;
+  const int line_b = plan->rows_first ? col : row;
+  const int pos_b = plan->rows_first ? row : col;
+  co_await coll::run_halving(comm,
+                             plan->seq_a[static_cast<std::size_t>(line_a)],
+                             pos_a,
+                             plan->sched_a[static_cast<std::size_t>(line_a)],
+                             data);
+  co_await coll::run_halving(comm,
+                             plan->seq_b[static_cast<std::size_t>(line_b)],
+                             pos_b,
+                             plan->sched_b[static_cast<std::size_t>(line_b)],
+                             data);
+}
+
+}  // namespace
+
+ProgramFactory BrXy::prepare(const Frame& frame) const {
+  auto plan = std::make_shared<XyPlan>();
+  plan->rows_first = rows_first(frame);
+
+  const int rows = frame.rows();
+  const int cols = frame.cols();
+  const auto rank_at = [&frame, cols](int row, int col) {
+    return frame.rank_at(row * cols + col);
+  };
+
+  // Phase A: halve within every line of the first dimension, activity given
+  // by the sources inside that line.
+  const int lines_a = plan->rows_first ? rows : cols;
+  const int len_a = plan->rows_first ? cols : rows;
+  std::vector<char> line_had_source(static_cast<std::size_t>(lines_a), 0);
+  for (int line = 0; line < lines_a; ++line) {
+    auto seq = std::make_shared<std::vector<Rank>>();
+    seq->reserve(static_cast<std::size_t>(len_a));
+    std::vector<char> active(static_cast<std::size_t>(len_a), 0);
+    for (int k = 0; k < len_a; ++k) {
+      const Rank r =
+          plan->rows_first ? rank_at(line, k) : rank_at(k, line);
+      seq->push_back(r);
+    }
+    for (const Rank s : frame.sources()) {
+      const int pos = frame.position_of(s);
+      const int s_line = plan->rows_first ? pos / cols : pos % cols;
+      const int s_pos = plan->rows_first ? pos % cols : pos / cols;
+      if (s_line == line) {
+        active[static_cast<std::size_t>(s_pos)] = 1;
+        line_had_source[static_cast<std::size_t>(line)] = 1;
+      }
+    }
+    plan->seq_a.push_back(std::move(seq));
+    plan->sched_a.push_back(std::make_shared<const coll::HalvingSchedule>(
+        coll::HalvingSchedule::compute(active)));
+  }
+
+  // Phase B: halve within every line of the second dimension.  A position
+  // is active iff its first-dimension line contained a source — after
+  // phase A every member of such a line holds the line's combined data.
+  const int lines_b = len_a;
+  const int len_b = lines_a;
+  for (int line = 0; line < lines_b; ++line) {
+    auto seq = std::make_shared<std::vector<Rank>>();
+    seq->reserve(static_cast<std::size_t>(len_b));
+    std::vector<char> active(static_cast<std::size_t>(len_b), 0);
+    for (int k = 0; k < len_b; ++k) {
+      const Rank r =
+          plan->rows_first ? rank_at(k, line) : rank_at(line, k);
+      seq->push_back(r);
+      active[static_cast<std::size_t>(k)] =
+          line_had_source[static_cast<std::size_t>(k)];
+    }
+    plan->seq_b.push_back(std::move(seq));
+    plan->sched_b.push_back(std::make_shared<const coll::HalvingSchedule>(
+        coll::HalvingSchedule::compute(active)));
+  }
+
+  const int cols_copy = cols;
+  return [frame, plan, cols_copy](mp::Comm& comm, mp::Payload& data) {
+    const int pos = frame.position_of(comm.rank());
+    return xy_program(comm, data, plan, pos / cols_copy, pos % cols_copy);
+  };
+}
+
+bool BrXySource::rows_first(const Frame& frame) const {
+  const auto row_counts = frame.row_source_counts();
+  const auto col_counts = frame.col_source_counts();
+  const int max_r =
+      *std::max_element(row_counts.begin(), row_counts.end());
+  const int max_c =
+      *std::max_element(col_counts.begin(), col_counts.end());
+  // "If max_r < max_c, rows are selected first.  Otherwise, the columns."
+  return max_r < max_c;
+}
+
+bool BrXyDim::rows_first(const Frame& frame) const {
+  // "Br_xy_dim selects the rows if r >= c", regardless of the sources.
+  return frame.rows() >= frame.cols();
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,42 @@
+// Algorithms Br_xy_source and Br_xy_dim (paper Section 2): broadcast one
+// mesh dimension at a time, invoking the Br_Lin halving pattern within
+// every line of the first dimension and then within every line of the
+// second.
+//
+// The two algorithms differ only in how the first dimension is chosen:
+//   Br_xy_source — by the source distribution: with max_r (max sources in
+//     any row) and max_c (max sources in any column), rows go first iff
+//     max_r < max_c, so the dimension whose lines hold fewer sources is
+//     processed first and the second phase starts with shorter messages.
+//   Br_xy_dim — by the mesh shape alone: rows first iff rows >= cols
+//     (shorter lines first).  Blind to the sources — this is the paper's
+//     foil showing "the importance of choosing the right dimension first"
+//     (its row-distribution blow-up in Figure 6).
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class BrXy : public Algorithm {
+ public:
+  ProgramFactory prepare(const Frame& frame) const override;
+
+  /// True if the first processed dimension is the rows (i.e. the first
+  /// halving phase runs within each row).
+  virtual bool rows_first(const Frame& frame) const = 0;
+};
+
+class BrXySource final : public BrXy {
+ public:
+  std::string name() const override { return "Br_xy_source"; }
+  bool rows_first(const Frame& frame) const override;
+};
+
+class BrXyDim final : public BrXy {
+ public:
+  std::string name() const override { return "Br_xy_dim"; }
+  bool rows_first(const Frame& frame) const override;
+};
+
+}  // namespace spb::stop

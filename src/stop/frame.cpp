@@ -1,0 +1,80 @@
+#include "stop/frame.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::stop {
+
+Frame Frame::whole(const Problem& pb) {
+  pb.validate();
+  std::vector<Rank> ranks(static_cast<std::size_t>(pb.p()));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return sub(std::move(ranks), pb.machine.rows, pb.machine.cols, pb.sources,
+             pb.message_bytes,
+             ExecutionHints{pb.machine.bcast_segment_bytes});
+}
+
+Frame Frame::sub(std::vector<Rank> ranks, int rows, int cols,
+                 std::vector<Rank> sources, Bytes message_bytes,
+                 ExecutionHints hints) {
+  SPB_REQUIRE(!ranks.empty(), "frame needs at least one rank");
+  SPB_REQUIRE(rows >= 1 && cols >= 1 &&
+                  rows * cols == static_cast<int>(ranks.size()),
+              "frame grid " << rows << "x" << cols << " does not cover "
+                            << ranks.size() << " ranks");
+  SPB_REQUIRE(std::is_sorted(sources.begin(), sources.end()),
+              "frame sources must be sorted");
+
+  Frame f;
+  f.rows_ = rows;
+  f.cols_ = cols;
+  f.message_bytes_ = message_bytes;
+  f.hints_ = hints;
+  f.position_.reserve(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const bool fresh =
+        f.position_.emplace(ranks[i], static_cast<int>(i)).second;
+    SPB_REQUIRE(fresh, "rank " << ranks[i] << " appears twice in the frame");
+  }
+  for (const Rank s : sources)
+    SPB_REQUIRE(f.position_.count(s) == 1,
+                "source " << s << " is not a member of the frame");
+  f.ranks_ = std::make_shared<const std::vector<Rank>>(std::move(ranks));
+  f.sources_ = std::move(sources);
+  return f;
+}
+
+int Frame::position_of(Rank r) const {
+  const auto it = position_.find(r);
+  SPB_REQUIRE(it != position_.end(),
+              "rank " << r << " is not a member of the frame");
+  return it->second;
+}
+
+bool Frame::contains(Rank r) const { return position_.count(r) == 1; }
+
+std::vector<char> Frame::active_flags() const {
+  std::vector<char> flags(static_cast<std::size_t>(size()), 0);
+  for (const Rank s : sources_)
+    flags[static_cast<std::size_t>(position_of(s))] = 1;
+  return flags;
+}
+
+std::vector<int> Frame::row_source_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(rows_), 0);
+  for (const Rank s : sources_)
+    ++counts[static_cast<std::size_t>(position_of(s) / cols_)];
+  return counts;
+}
+
+std::vector<int> Frame::col_source_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(cols_), 0);
+  for (const Rank s : sources_)
+    ++counts[static_cast<std::size_t>(position_of(s) % cols_)];
+  return counts;
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,198 @@
+#include "stop/partition.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "stop/reposition.h"
+
+namespace spb::stop {
+
+PartitionSplit PartitionSplit::compute(const Frame& frame) {
+  const int rows = frame.rows();
+  const int cols = frame.cols();
+  SPB_REQUIRE(rows * cols >= 2, "cannot partition a single processor");
+  PartitionSplit out;
+  const auto rank_at = [&frame, cols](int row, int col) {
+    return frame.rank_at(row * cols + col);
+  };
+  if (cols >= rows) {
+    // Split columns: G1 = left floor(c/2) columns.
+    const int c1 = cols / 2;
+    out.rows1 = rows;
+    out.cols1 = c1;
+    out.rows2 = rows;
+    out.cols2 = cols - c1;
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < c1; ++c) out.g1.push_back(rank_at(r, c));
+    for (int r = 0; r < rows; ++r)
+      for (int c = c1; c < cols; ++c) out.g2.push_back(rank_at(r, c));
+  } else {
+    // Split rows: G1 = top floor(r/2) rows.
+    const int r1 = rows / 2;
+    out.rows1 = r1;
+    out.cols1 = cols;
+    out.rows2 = rows - r1;
+    out.cols2 = cols;
+    for (int r = 0; r < r1; ++r)
+      for (int c = 0; c < cols; ++c) out.g1.push_back(rank_at(r, c));
+    for (int r = r1; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) out.g2.push_back(rank_at(r, c));
+  }
+  SPB_CHECK(out.g1.size() <= out.g2.size());
+  SPB_CHECK(static_cast<int>(out.g1.size() + out.g2.size()) == frame.size());
+  return out;
+}
+
+int partition_share(int s, int p1, int p2) {
+  SPB_REQUIRE(s >= 0 && p1 >= 1 && p2 >= 1, "invalid partition share input");
+  const int p = p1 + p2;
+  int s1 = static_cast<int>((static_cast<long long>(s) * p1 + p / 2) / p);
+  s1 = std::min(s1, p1);        // G1 must be able to hold its share
+  s1 = std::max(s1, s - p2);    // and G2 must be able to hold the rest
+  s1 = std::max(s1, 0);
+  s1 = std::min(s1, s);
+  return s1;
+}
+
+namespace {
+
+/// Everything the per-rank program needs, shared across ranks.
+struct PartPlan {
+  PermutationPlan permutation;
+  /// Per-group base program factories (positions are group-frame local).
+  std::shared_ptr<const ProgramFactory> base1, base2;
+  /// Final exchange: sorted parallel arrays rank -> peers.
+  std::vector<Rank> rank_index;                  // all frame ranks, sorted
+  std::vector<std::vector<Rank>> send_peers;     // by rank_index position
+  std::vector<std::vector<Rank>> recv_peers;
+  std::vector<char> in_g1;                       // by rank_index position
+
+  int index_of(Rank r) const {
+    const auto it =
+        std::lower_bound(rank_index.begin(), rank_index.end(), r);
+    SPB_CHECK(it != rank_index.end() && *it == r);
+    return static_cast<int>(it - rank_index.begin());
+  }
+};
+
+sim::Task part_program(mp::Comm& comm, mp::Payload& data,
+                       std::shared_ptr<const PartPlan> plan) {
+  const Rank me = comm.rank();
+
+  // Phase 1: repositioning permutation.
+  const Rank to = plan->permutation.send_target(me);
+  if (to != kNoRank) {
+    co_await comm.send(to, data, mp::tags::kPermute);
+    data.clear();
+  }
+  const Rank from = plan->permutation.recv_origin(me);
+  if (from != kNoRank) {
+    mp::Message m = co_await comm.recv(from, mp::tags::kPermute);
+    SPB_CHECK_MSG(data.empty(),
+                  "partition target rank " << me << " already holds data");
+    data = std::move(m.payload);
+  }
+  comm.mark_iteration();
+
+  // Phase 2: broadcast inside my group.
+  const int idx = plan->index_of(me);
+  const ProgramFactory& base =
+      plan->in_g1[static_cast<std::size_t>(idx)] ? *plan->base1
+                                                 : *plan->base2;
+  co_await base(comm, data);
+
+  // Phase 3: inter-group exchange.  Sends first (eager), then receives.
+  for (const Rank peer : plan->send_peers[static_cast<std::size_t>(idx)])
+    co_await comm.send(peer, data, mp::tags::kExchange);
+  for (const Rank peer : plan->recv_peers[static_cast<std::size_t>(idx)]) {
+    mp::Message m = co_await comm.recv(peer, mp::tags::kExchange);
+    co_await comm.merge(data, std::move(m.payload));
+  }
+  comm.mark_iteration();
+}
+
+}  // namespace
+
+Partitioning::Partitioning(AlgorithmPtr base) : base_(std::move(base)) {
+  const std::string base_name = base_->name();
+  SPB_REQUIRE(base_name.rfind("Br_", 0) == 0,
+              "partitioning wraps only the Br_* algorithms, got '"
+                  << base_name << "'");
+  name_ = "Part_" + base_name.substr(3);
+}
+
+ProgramFactory Partitioning::prepare(const Frame& frame) const {
+  const PartitionSplit split = PartitionSplit::compute(frame);
+  const int p1 = static_cast<int>(split.g1.size());
+  const int p2 = static_cast<int>(split.g2.size());
+  const int s = static_cast<int>(frame.sources().size());
+  const int s1 = partition_share(s, p1, p2);
+  const int s2 = s - s1;
+
+  // Ideal targets inside each group, then one global permutation.
+  const Frame shape1 = Frame::sub(split.g1, split.rows1, split.cols1, {},
+                                  frame.message_bytes(), frame.hints());
+  const Frame shape2 = Frame::sub(split.g2, split.rows2, split.cols2, {},
+                                  frame.message_bytes(), frame.hints());
+  std::vector<Rank> targets1 = ideal_targets_for(*base_, shape1, s1);
+  std::vector<Rank> targets2 = ideal_targets_for(*base_, shape2, s2);
+
+  std::vector<Rank> all_targets;
+  all_targets.reserve(targets1.size() + targets2.size());
+  all_targets.insert(all_targets.end(), targets1.begin(), targets1.end());
+  all_targets.insert(all_targets.end(), targets2.begin(), targets2.end());
+  std::sort(all_targets.begin(), all_targets.end());
+
+  auto plan = std::make_shared<PartPlan>();
+  plan->permutation =
+      PermutationPlan::match(frame.sources(), all_targets);
+
+  const Frame group1 =
+      Frame::sub(split.g1, split.rows1, split.cols1, std::move(targets1),
+                 frame.message_bytes(), frame.hints());
+  const Frame group2 =
+      Frame::sub(split.g2, split.rows2, split.cols2, std::move(targets2),
+                 frame.message_bytes(), frame.hints());
+  plan->base1 =
+      std::make_shared<const ProgramFactory>(base_->prepare(group1));
+  plan->base2 =
+      std::make_shared<const ProgramFactory>(base_->prepare(group2));
+
+  // Final exchange assignment: G1[k] <-> G2[k] for k < p1; every surplus
+  // G2 rank receives a one-way copy from its G1 partner (its own group's
+  // data reached it in phase 2, only G1's is missing).
+  plan->rank_index = *frame.ranks();
+  std::sort(plan->rank_index.begin(), plan->rank_index.end());
+  const std::size_t n = plan->rank_index.size();
+  plan->send_peers.assign(n, {});
+  plan->recv_peers.assign(n, {});
+  plan->in_g1.assign(n, 0);
+  for (const Rank r : split.g1)
+    plan->in_g1[static_cast<std::size_t>(plan->index_of(r))] = 1;
+
+  for (int k = 0; k < p2; ++k) {
+    const Rank a = split.g1[static_cast<std::size_t>(k % p1)];
+    const Rank b = split.g2[static_cast<std::size_t>(k)];
+    const auto ia = static_cast<std::size_t>(plan->index_of(a));
+    const auto ib = static_cast<std::size_t>(plan->index_of(b));
+    // G1 -> G2 always (k < p1 pairs and surplus copies alike).
+    if (s1 > 0) {
+      plan->send_peers[ia].push_back(b);
+      plan->recv_peers[ib].push_back(a);
+    }
+    // G2 -> G1 only for the mutual pairs.
+    if (k < p1 && s2 > 0) {
+      plan->send_peers[ib].push_back(a);
+      plan->recv_peers[ia].push_back(b);
+    }
+  }
+
+  return [plan](mp::Comm& comm, mp::Payload& data) {
+    return part_program(comm, data, plan);
+  };
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,47 @@
+// Partitioning algorithms (paper Section 3): split the machine into two
+// groups G1, G2 with |G1| <= |G2| (independent of the sources), reposition
+// the sources so each group gets its proportional share s_i ~ s * p_i / p
+// laid out ideally for the base algorithm, broadcast inside both groups
+// simultaneously, and finally have every G1 processor exchange its
+// (complete G1) data with an assigned G2 processor.
+//
+// The final exchange moves s1*L and s2*L byte messages across the seam
+// between the groups — the cost the paper found to dominate and the reason
+// "the partitioning approach hardly ever gives a better performance than
+// repositioning alone" on the Paragon.
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class Partitioning final : public Algorithm {
+ public:
+  /// `base` must be one of Br_Lin / Br_xy_source / Br_xy_dim.
+  explicit Partitioning(AlgorithmPtr base);
+
+  std::string name() const override { return name_; }
+  bool mpi_flavored() const override { return base_->mpi_flavored(); }
+  ProgramFactory prepare(const Frame& frame) const override;
+
+ private:
+  AlgorithmPtr base_;
+  std::string name_;
+};
+
+/// How a frame is split in two: along the longer grid dimension, G1 taking
+/// the first half of its lines.  Exposed for tests.
+struct PartitionSplit {
+  /// Row-major rank lists and grid shapes of the two groups.
+  std::vector<Rank> g1, g2;
+  int rows1 = 1, cols1 = 1;
+  int rows2 = 1, cols2 = 1;
+
+  static PartitionSplit compute(const Frame& frame);
+};
+
+/// The proportional source share of G1: round(s * p1 / p), clamped so both
+/// groups can hold their share.  Exposed for tests.
+int partition_share(int s, int p1, int p2);
+
+}  // namespace spb::stop

@@ -1,0 +1,20 @@
+#include "stop/pers_alltoall.h"
+
+#include <memory>
+#include <vector>
+
+#include "coll/alltoall.h"
+
+namespace spb::stop {
+
+ProgramFactory PersAlltoAll::prepare(const Frame& frame) const {
+  auto seq = frame.ranks();
+  auto is_source =
+      std::make_shared<const std::vector<char>>(frame.active_flags());
+  return [frame, seq, is_source](mp::Comm& comm, mp::Payload& data) {
+    return coll::personalized_exchange(
+        comm, seq, frame.position_of(comm.rank()), is_source, data);
+  };
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,26 @@
+// Algorithm PersAlltoAll (paper Section 2): every source pushes its
+// original, uncombined message to every other rank, scheduled as p-1
+// permutations (XOR matchings on power-of-two frames).  Minimal wait cost,
+// maximal message count — poor on the Paragon, the winner on the T3D.
+//
+// MPI_Alltoall is the same algorithm on the heavier portable MPI layer.
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class PersAlltoAll final : public Algorithm {
+ public:
+  explicit PersAlltoAll(bool mpi) : mpi_(mpi) {}
+  std::string name() const override {
+    return mpi_ ? "MPI_Alltoall" : "PersAlltoAll";
+  }
+  bool mpi_flavored() const override { return mpi_; }
+  ProgramFactory prepare(const Frame& frame) const override;
+
+ private:
+  bool mpi_;
+};
+
+}  // namespace spb::stop

@@ -1,0 +1,134 @@
+#include "stop/reposition.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "dist/ideal.h"
+#include "stop/br_xy.h"
+
+namespace spb::stop {
+
+namespace {
+
+std::string repos_name(const std::string& base_name) {
+  // "Br_Lin" -> "Repos_Lin", "Br_xy_source" -> "Repos_xy_source".
+  SPB_REQUIRE(base_name.rfind("Br_", 0) == 0,
+              "repositioning wraps only the Br_* algorithms, got '"
+                  << base_name << "'");
+  return "Repos_" + base_name.substr(3);
+}
+
+}  // namespace
+
+std::vector<Rank> ideal_targets_for(const Algorithm& base, const Frame& frame,
+                                    int s) {
+  if (s == 0) return {};
+  const dist::Grid grid = frame.grid();
+  std::vector<Rank> positions;
+  const std::string base_name = base.name();
+  if (base_name == "Br_Lin") {
+    positions = dist::ideal_linear(grid, s);
+  } else if (base_name == "Br_xy_source") {
+    positions = dist::ideal_rows(grid, s);
+  } else if (base_name == "Br_xy_dim") {
+    // Br_xy_dim's second phase spreads across the first dimension's lines;
+    // give it full lines of the *first* dimension at spread positions.
+    const auto& dim = dynamic_cast<const BrXyDim&>(base);
+    positions = dim.rows_first(frame) ? dist::ideal_cols(grid, s)
+                                      : dist::ideal_rows(grid, s);
+  } else {
+    SPB_REQUIRE(false, "no ideal distribution known for algorithm '"
+                           << base_name << "'");
+  }
+  // Grid positions -> global ranks of this frame.
+  std::vector<Rank> targets;
+  targets.reserve(positions.size());
+  for (const Rank pos : positions)
+    targets.push_back(frame.rank_at(static_cast<int>(pos)));
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+PermutationPlan PermutationPlan::match(const std::vector<Rank>& sources,
+                                       const std::vector<Rank>& targets) {
+  SPB_REQUIRE(sources.size() == targets.size(),
+              "permutation needs |sources| == |targets|");
+  SPB_REQUIRE(std::is_sorted(sources.begin(), sources.end()) &&
+                  std::is_sorted(targets.begin(), targets.end()),
+              "permutation inputs must be sorted");
+  PermutationPlan plan;
+  // Sources already on a target stay; the remainder map in sorted order.
+  std::set_difference(sources.begin(), sources.end(), targets.begin(),
+                      targets.end(), std::back_inserter(plan.movers));
+  std::set_difference(targets.begin(), targets.end(), sources.begin(),
+                      sources.end(), std::back_inserter(plan.slots));
+  SPB_CHECK(plan.movers.size() == plan.slots.size());
+  return plan;
+}
+
+Rank PermutationPlan::send_target(Rank r) const {
+  const auto it = std::lower_bound(movers.begin(), movers.end(), r);
+  if (it == movers.end() || *it != r) return kNoRank;
+  return slots[static_cast<std::size_t>(it - movers.begin())];
+}
+
+Rank PermutationPlan::recv_origin(Rank r) const {
+  const auto it = std::lower_bound(slots.begin(), slots.end(), r);
+  if (it == slots.end() || *it != r) return kNoRank;
+  return movers[static_cast<std::size_t>(it - slots.begin())];
+}
+
+namespace {
+
+sim::Task repos_program(mp::Comm& comm, mp::Payload& data,
+                        std::shared_ptr<const PermutationPlan> plan,
+                        std::shared_ptr<const ProgramFactory> base) {
+  const Rank me = comm.rank();
+  const Rank to = plan->send_target(me);
+  if (to != kNoRank) {
+    co_await comm.send(to, data, mp::tags::kPermute);
+    data.clear();
+  }
+  const Rank from = plan->recv_origin(me);
+  if (from != kNoRank) {
+    mp::Message m = co_await comm.recv(from, mp::tags::kPermute);
+    SPB_CHECK_MSG(data.empty(),
+                  "repositioning target rank " << me
+                                               << " already holds data");
+    data = std::move(m.payload);
+  }
+  comm.mark_iteration();
+  co_await (*base)(comm, data);
+}
+
+}  // namespace
+
+Repositioning::Repositioning(AlgorithmPtr base)
+    : base_(std::move(base)), name_(repos_name(base_->name())) {}
+
+std::vector<Rank> Repositioning::ideal_targets(const Frame& frame) const {
+  return ideal_targets_for(*base_, frame,
+                           static_cast<int>(frame.sources().size()));
+}
+
+ProgramFactory Repositioning::prepare(const Frame& frame) const {
+  const std::vector<Rank> targets = ideal_targets(frame);
+  auto plan = std::make_shared<const PermutationPlan>(
+      PermutationPlan::match(frame.sources(), targets));
+
+  // The base algorithm sees the repositioned world.
+  const Frame repositioned =
+      Frame::sub(*frame.ranks(), frame.rows(), frame.cols(), targets,
+                 frame.message_bytes(), frame.hints());
+  auto base_factory =
+      std::make_shared<const ProgramFactory>(base_->prepare(repositioned));
+
+  return [plan, base_factory](mp::Comm& comm, mp::Payload& data) {
+    return repos_program(comm, data, plan, base_factory);
+  };
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,68 @@
+// Repositioning algorithms (paper Section 3): first a partial permutation
+// moves every source's message to a position of an *ideal* distribution
+// for the base algorithm on this machine, then the base algorithm runs on
+// the repositioned sources.
+//
+// Ideal targets per base (derived from the halving structure, see
+// dist/ideal.h):
+//   Br_Lin        -> ideal_linear   (halving spread order on the ranks)
+//   Br_xy_source  -> ideal_rows     (full rows at row-spread positions;
+//                                    the source rule then picks columns
+//                                    first, exactly the paper's choice of
+//                                    "the row distribution ... positioned
+//                                    so the number of new sources increases
+//                                    as fast as possible")
+//   Br_xy_dim     -> ideal_cols / ideal_rows, matching whichever dimension
+//                    Br_xy_dim processes second on this mesh shape
+//
+// Like the paper's implementation, repositioning is unconditional: "our
+// current implementations do not check whether the initial distribution is
+// close to an ideal distribution and always reposition."  Sources already
+// sitting on target positions stay put; the rest are matched to the free
+// targets in sorted order.
+#pragma once
+
+#include <vector>
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class Repositioning final : public Algorithm {
+ public:
+  /// `base` must be one of Br_Lin / Br_xy_source / Br_xy_dim.
+  explicit Repositioning(AlgorithmPtr base);
+
+  std::string name() const override { return name_; }
+  bool mpi_flavored() const override { return base_->mpi_flavored(); }
+  ProgramFactory prepare(const Frame& frame) const override;
+
+  /// The ideal target positions (global ranks) this wrapper would pick for
+  /// a frame — exposed for tests and the partitioning algorithm.
+  std::vector<Rank> ideal_targets(const Frame& frame) const;
+
+ private:
+  AlgorithmPtr base_;
+  std::string name_;
+};
+
+/// Ideal targets for a base algorithm on a frame (shared with Part_*).
+std::vector<Rank> ideal_targets_for(const Algorithm& base,
+                                    const Frame& frame, int s);
+
+/// A partial-permutation plan: which ranks send their original where, and
+/// which ranks receive one.  Sources already on targets do not move.
+struct PermutationPlan {
+  /// Parallel arrays: movers[i] sends to slots[i].
+  std::vector<Rank> movers;
+  std::vector<Rank> slots;
+
+  static PermutationPlan match(const std::vector<Rank>& sources,
+                               const std::vector<Rank>& targets);
+
+  /// kNoRank or the destination/origin for this rank.
+  Rank send_target(Rank r) const;
+  Rank recv_origin(Rank r) const;
+};
+
+}  // namespace spb::stop

@@ -1,0 +1,42 @@
+// The experiment harness: builds a runtime for the problem's machine,
+// spawns the algorithm's rank programs, runs the simulation, verifies the
+// broadcast, and returns the timing plus the paper's Figure-2 metrics.
+#pragma once
+
+#include <vector>
+
+#include "mp/payload.h"
+#include "mp/runtime.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+
+namespace spb::stop {
+
+struct RunResult {
+  /// Completion time of the slowest rank, simulated microseconds — the
+  /// quantity every figure of the paper plots.
+  SimTime time_us = 0;
+  mp::RunOutcome outcome;
+  /// Final payload of every rank (small: symbolic chunks only).
+  std::vector<mp::Payload> final_payloads;
+  /// Filled when RunOptions::trace is set (see mp/trace.h).
+  mp::Trace trace;
+};
+
+struct RunOptions {
+  /// Verify every rank's result and throw CheckError on corruption
+  /// (always on in tests and benches; switchable for micro-profiling).
+  bool verify = true;
+  /// Record a full communication trace into RunResult::trace.
+  bool trace = false;
+};
+
+RunResult run(const Algorithm& algorithm, const Problem& problem,
+              RunOptions options = {});
+
+/// Convenience: milliseconds, matching the paper's plots.
+inline double run_ms(const Algorithm& algorithm, const Problem& problem) {
+  return run(algorithm, problem).time_us / 1000.0;
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,77 @@
+#include "stop/two_step.h"
+
+#include <memory>
+#include <vector>
+
+#include "coll/engine.h"
+#include "coll/gather.h"
+#include "coll/halving.h"
+#include "coll/pipeline.h"
+
+namespace spb::stop {
+
+namespace {
+
+// Store-and-forward variant: the broadcast is the halving pattern with only
+// the root active — the paper: "Algorithm 2-Step uses an one-to-all
+// implementation which ... applies the same communication pattern used in
+// Algorithm Br_Lin".  Forwarding a broadcast costs no combining.
+sim::Task two_step_program(
+    mp::Comm& comm, mp::Payload& data, Rank root,
+    std::shared_ptr<const std::vector<Rank>> senders,
+    std::shared_ptr<const std::vector<Rank>> seq, int my_pos,
+    std::shared_ptr<const coll::HalvingSchedule> bcast) {
+  co_await coll::gather_to_root(comm, root, senders, data);
+  co_await coll::run_halving(comm, seq, my_pos, bcast, data,
+                             coll::HalvingOptions{.mark_iterations = true,
+                                                  .combine_cost = false});
+}
+
+// Pipelined variant (vendor collective): same gather, segmented broadcast.
+sim::Task two_step_pipelined_program(
+    mp::Comm& comm, mp::Payload& data, Rank root,
+    std::shared_ptr<const std::vector<Rank>> senders,
+    std::shared_ptr<const std::vector<Rank>> seq, int my_pos,
+    std::shared_ptr<const coll::BcastTree> tree, Bytes payload_bytes,
+    std::size_t chunks, Bytes segment_bytes) {
+  co_await coll::gather_to_root(comm, root, senders, data);
+  const Bytes total_wire = comm.wire_bytes_for(payload_bytes, chunks);
+  co_await coll::pipelined_bcast(comm, seq, my_pos, tree, data, total_wire,
+                                 segment_bytes);
+}
+
+}  // namespace
+
+ProgramFactory TwoStep::prepare(const Frame& frame) const {
+  const Rank root = frame.rank_at(0);
+  auto senders = std::make_shared<const std::vector<Rank>>(frame.sources());
+  auto seq = frame.ranks();
+  const Bytes segment = frame.hints().bcast_segment_bytes;
+
+  if (segment > 0 && !frame.sources().empty()) {
+    auto tree = std::make_shared<const coll::BcastTree>(
+        coll::BcastTree::binary(frame.size(), 0));
+    const Bytes payload_bytes =
+        frame.message_bytes() * frame.sources().size();
+    const std::size_t chunks = frame.sources().size();
+    return [frame, root, senders, seq, tree, payload_bytes, chunks, segment](
+               mp::Comm& comm, mp::Payload& data) {
+      return two_step_pipelined_program(comm, data, root, senders, seq,
+                                        frame.position_of(comm.rank()), tree,
+                                        payload_bytes, chunks, segment);
+    };
+  }
+
+  std::vector<char> only_root(static_cast<std::size_t>(frame.size()), 0);
+  if (!frame.sources().empty()) only_root[0] = 1;
+  auto bcast = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(only_root));
+
+  return [frame, root, senders, seq, bcast](mp::Comm& comm,
+                                            mp::Payload& data) {
+    return two_step_program(comm, data, root, senders, seq,
+                            frame.position_of(comm.rank()), bcast);
+  };
+}
+
+}  // namespace spb::stop

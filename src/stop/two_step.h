@@ -1,0 +1,26 @@
+// Algorithm 2-Step (paper Section 2): an s-to-one gather at the frame's
+// first rank followed by a one-to-all broadcast (the Br_Lin halving pattern
+// with a single active position).  The gather is the naive direct pattern
+// whose hot spot at P0 the paper blames for 2-Step's poor Paragon showing.
+//
+// MPI_AllGather is the same algorithm on the heavier portable MPI layer.
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+class TwoStep final : public Algorithm {
+ public:
+  explicit TwoStep(bool mpi) : mpi_(mpi) {}
+  std::string name() const override {
+    return mpi_ ? "MPI_AllGather" : "2-Step";
+  }
+  bool mpi_flavored() const override { return mpi_; }
+  ProgramFactory prepare(const Frame& frame) const override;
+
+ private:
+  bool mpi_;
+};
+
+}  // namespace spb::stop

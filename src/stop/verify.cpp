@@ -1,0 +1,44 @@
+#include "stop/verify.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace spb::stop {
+
+mp::Payload expected_payload(const Problem& pb) {
+  std::vector<mp::Chunk> chunks;
+  chunks.reserve(pb.sources.size());
+  for (std::size_t i = 0; i < pb.sources.size(); ++i)
+    chunks.push_back({pb.sources[i], pb.bytes_of_source(i)});
+  return mp::Payload::of(std::move(chunks));
+}
+
+VerifyResult verify_broadcast(
+    const Problem& pb, const std::vector<mp::Payload>& final_payloads) {
+  SPB_REQUIRE(static_cast<int>(final_payloads.size()) == pb.p(),
+              "verification needs one payload per rank");
+  const mp::Payload want = expected_payload(pb);
+  VerifyResult out;
+  std::ostringstream os;
+  int bad = 0;
+  for (Rank r = 0; r < pb.p(); ++r) {
+    const mp::Payload& got = final_payloads[static_cast<std::size_t>(r)];
+    if (got == want) continue;
+    ++bad;
+    if (bad <= 4) {
+      os << "\n  rank " << r << ": expected " << want.to_string() << ", got "
+         << got.to_string();
+    }
+  }
+  if (bad > 0) {
+    out.ok = false;
+    std::ostringstream head;
+    head << bad << " of " << pb.p() << " ranks hold a wrong result";
+    out.error = head.str() + os.str() +
+                (bad > 4 ? "\n  ... and more" : "");
+  }
+  return out;
+}
+
+}  // namespace spb::stop

@@ -1,0 +1,27 @@
+// Broadcast result verification: after a run, every rank must hold exactly
+// one chunk per source, each of the right size — nothing missing, nothing
+// extra, no size drift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mp/payload.h"
+#include "stop/problem.h"
+
+namespace spb::stop {
+
+struct VerifyResult {
+  bool ok = true;
+  /// Empty when ok; otherwise a description of the first few mismatches.
+  std::string error;
+};
+
+/// The payload every rank must end with.
+mp::Payload expected_payload(const Problem& pb);
+
+/// Checks all p final payloads against expected_payload().
+VerifyResult verify_broadcast(const Problem& pb,
+                              const std::vector<mp::Payload>& final_payloads);
+
+}  // namespace spb::stop

@@ -1,0 +1,143 @@
+#include "coll/alltoall.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace spb::coll {
+namespace {
+
+TEST(ExchangeSchedule, XorForPowersOfTwo) {
+  EXPECT_TRUE(uses_xor_schedule(2));
+  EXPECT_TRUE(uses_xor_schedule(128));
+  EXPECT_FALSE(uses_xor_schedule(100));
+  EXPECT_FALSE(uses_xor_schedule(3));
+  // XOR rounds are self-inverse matchings: partner(partner(x)) == x.
+  for (int t = 1; t < 16; ++t)
+    for (int pos = 0; pos < 16; ++pos)
+      EXPECT_EQ(exchange_partner(16, exchange_partner(16, pos, t), t), pos);
+}
+
+TEST(ExchangeSchedule, EveryRoundIsAPermutation) {
+  for (const int n : {2, 3, 7, 16, 100}) {
+    for (int t = 1; t < n; ++t) {
+      std::set<int> targets;
+      for (int pos = 0; pos < n; ++pos) {
+        const int to = exchange_partner(n, pos, t);
+        EXPECT_NE(to, pos);
+        EXPECT_GE(to, 0);
+        EXPECT_LT(to, n);
+        EXPECT_TRUE(targets.insert(to).second);
+      }
+      EXPECT_EQ(static_cast<int>(targets.size()), n);
+    }
+  }
+}
+
+TEST(ExchangeSchedule, EveryPairMeetsExactlyOnceAsSenderReceiver) {
+  for (const int n : {4, 9, 16}) {
+    std::set<std::pair<int, int>> seen;
+    for (int t = 1; t < n; ++t)
+      for (int pos = 0; pos < n; ++pos)
+        EXPECT_TRUE(seen.insert({pos, exchange_partner(n, pos, t)}).second);
+    EXPECT_EQ(static_cast<int>(seen.size()), n * (n - 1));
+  }
+}
+
+TEST(ExchangeSchedule, RejectsBadRounds) {
+  EXPECT_THROW(exchange_partner(4, 0, 0), CheckError);
+  EXPECT_THROW(exchange_partner(4, 0, 4), CheckError);
+  EXPECT_THROW(exchange_partner(1, 0, 1), CheckError);
+}
+
+struct ExchangeRun {
+  std::vector<mp::Payload> data;
+  mp::RunMetrics metrics;
+};
+
+ExchangeRun run_exchange(int p, const std::vector<Rank>& sources,
+                         Bytes bytes) {
+  net::NetParams np;
+  np.alpha_us = 1.0;
+  np.per_hop_us = 0.1;
+  np.bytes_per_us = 100.0;
+  mp::CommParams cp;
+  cp.send_overhead_us = 5.0;
+  cp.recv_overhead_us = 5.0;
+  mp::Runtime rt(std::make_shared<net::LinearArray>(p), np, cp,
+                 net::RankMapping::identity(p));
+
+  auto seq = std::make_shared<const std::vector<Rank>>([p] {
+    std::vector<Rank> v(static_cast<std::size_t>(p));
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }());
+  std::vector<char> flags(static_cast<std::size_t>(p), 0);
+  for (const Rank s : sources) flags[static_cast<std::size_t>(s)] = 1;
+  auto is_source = std::make_shared<const std::vector<char>>(flags);
+
+  ExchangeRun result;
+  result.data.assign(static_cast<std::size_t>(p), mp::Payload{});
+  for (const Rank s : sources)
+    result.data[static_cast<std::size_t>(s)] = mp::Payload::original(s, bytes);
+  for (Rank r = 0; r < p; ++r) {
+    rt.spawn(r,
+             personalized_exchange(rt.comm(r), seq, r, is_source,
+                                   result.data[static_cast<std::size_t>(r)]));
+  }
+  const mp::RunOutcome out = rt.run();
+  result.metrics = out.metrics;
+  return result;
+}
+
+mp::Payload expected(const std::vector<Rank>& sources, Bytes bytes) {
+  std::vector<mp::Chunk> chunks;
+  for (const Rank s : sources) chunks.push_back({s, bytes});
+  return mp::Payload::of(std::move(chunks));
+}
+
+TEST(PersonalizedExchange, BroadcastsOnPowerOfTwo) {
+  const std::vector<Rank> sources = {1, 4, 6};
+  const auto r = run_exchange(8, sources, 50);
+  for (const auto& d : r.data) EXPECT_EQ(d, expected(sources, 50));
+}
+
+TEST(PersonalizedExchange, BroadcastsOnNonPowerOfTwo) {
+  const std::vector<Rank> sources = {0, 3, 5, 9};
+  const auto r = run_exchange(10, sources, 50);
+  for (const auto& d : r.data) EXPECT_EQ(d, expected(sources, 50));
+}
+
+TEST(PersonalizedExchange, MessageCountIsSourcesTimesPMinusOne) {
+  const std::vector<Rank> sources = {2, 7};
+  const auto r = run_exchange(9, sources, 16);
+  EXPECT_EQ(r.metrics.total_sends, 2u * 8u);
+  EXPECT_EQ(r.metrics.total_recvs, 2u * 8u);
+  // Every source sent p-1 originals — the paper's #send/rec O(p) column.
+  EXPECT_EQ(r.metrics.max_send_recv, 8u + 1u);  // 8 sends + 1 recv (other source)
+}
+
+TEST(PersonalizedExchange, AllSourcesSaturates) {
+  const int p = 6;
+  std::vector<Rank> sources(p);
+  std::iota(sources.begin(), sources.end(), 0);
+  const auto r = run_exchange(p, sources, 8);
+  for (const auto& d : r.data) EXPECT_EQ(d, expected(sources, 8));
+  EXPECT_EQ(r.metrics.total_sends,
+            static_cast<std::uint64_t>(p) * (p - 1));
+}
+
+TEST(PersonalizedExchange, SingleRankNoTraffic) {
+  const auto r = run_exchange(1, {0}, 8);
+  EXPECT_EQ(r.metrics.total_sends, 0u);
+  EXPECT_EQ(r.data[0], expected({0}, 8));
+}
+
+}  // namespace
+}  // namespace spb::coll

@@ -1,0 +1,88 @@
+// Property: the runtime engine (coroutines, real timing, contention) and
+// a pure schedule interpreter must deliver identical final chunk sets for
+// random problems — timing must never change *what* is communicated.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "coll/engine.h"
+#include "coll/halving.h"
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace spb::coll {
+namespace {
+
+// Interpreter over chunk-id sets (mirrors the engine's dedup semantics).
+std::vector<std::set<int>> interpret(const HalvingSchedule& s,
+                                     const std::vector<char>& active) {
+  const int n = s.size();
+  std::vector<std::set<int>> data(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    if (active[static_cast<std::size_t>(i)])
+      data[static_cast<std::size_t>(i)].insert(i);
+  for (int iter = 0; iter < s.iterations(); ++iter) {
+    const auto snapshot = data;
+    for (int pos = 0; pos < n; ++pos)
+      for (const Action& a : s.actions(iter, pos))
+        if (a.type == Action::Type::kRecv)
+          data[static_cast<std::size_t>(pos)].insert(
+              snapshot[static_cast<std::size_t>(a.peer)].begin(),
+              snapshot[static_cast<std::size_t>(a.peer)].end());
+  }
+  return data;
+}
+
+TEST(EngineEquivalence, MatchesInterpreterOnRandomProblems) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int p = 2 + static_cast<int>(rng.next_below(24));
+    const int k = 1 + static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(p)));
+    const auto srcs = rng.sample_without_replacement(p, k);
+    std::vector<char> active(static_cast<std::size_t>(p), 0);
+    for (const auto s : srcs) active[static_cast<std::size_t>(s)] = 1;
+
+    auto sched = std::make_shared<const HalvingSchedule>(
+        HalvingSchedule::compute(active));
+    auto seq = std::make_shared<const std::vector<Rank>>([p] {
+      std::vector<Rank> v(static_cast<std::size_t>(p));
+      std::iota(v.begin(), v.end(), 0);
+      return v;
+    }());
+
+    // Randomized network parameters: timing varies, content must not.
+    net::NetParams np;
+    np.alpha_us = rng.next_double() * 20;
+    np.per_hop_us = rng.next_double();
+    np.bytes_per_us = 10 + rng.next_double() * 500;
+    mp::CommParams cp;
+    cp.send_overhead_us = rng.next_double() * 50;
+    cp.recv_overhead_us = rng.next_double() * 50;
+    mp::Runtime rt(std::make_shared<net::LinearArray>(p), np, cp,
+                   net::RankMapping::identity(p));
+
+    std::vector<mp::Payload> data(static_cast<std::size_t>(p));
+    for (const auto s : srcs)
+      data[static_cast<std::size_t>(s)] =
+          mp::Payload::original(s, 64 + rng.next_below(4096));
+    for (Rank r = 0; r < p; ++r)
+      rt.spawn(r, run_halving(rt.comm(r), seq, r, sched,
+                              data[static_cast<std::size_t>(r)], {}));
+    rt.run();
+
+    const auto want = interpret(*sched, active);
+    for (int r = 0; r < p; ++r) {
+      std::set<int> got;
+      for (const mp::Chunk& c : data[static_cast<std::size_t>(r)].chunks())
+        got.insert(c.source);
+      ASSERT_EQ(got, want[static_cast<std::size_t>(r)])
+          << "trial " << trial << " p=" << p << " k=" << k << " rank " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spb::coll

@@ -1,0 +1,133 @@
+#include "coll/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "coll/halving.h"
+#include "net/topology.h"
+
+namespace spb::coll {
+namespace {
+
+mp::Runtime make_runtime(int p) {
+  net::NetParams np;
+  np.alpha_us = 1.0;
+  np.per_hop_us = 0.1;
+  np.bytes_per_us = 100.0;
+  mp::CommParams cp;
+  cp.send_overhead_us = 5.0;
+  cp.recv_overhead_us = 5.0;
+  cp.combine_fixed_us = 1.0;
+  cp.combine_per_byte_us = 0.01;
+  return mp::Runtime(std::make_shared<net::LinearArray>(p), np, cp,
+                     net::RankMapping::identity(p));
+}
+
+struct HalvingRun {
+  SimTime makespan = 0;
+  std::vector<mp::Payload> data;
+  mp::RunMetrics metrics;
+};
+
+HalvingRun run_halving_all(int p, const std::vector<Rank>& sources,
+                           Bytes bytes, HalvingOptions opts = {}) {
+  mp::Runtime rt = make_runtime(p);
+  auto seq = std::make_shared<const std::vector<Rank>>([p] {
+    std::vector<Rank> v(static_cast<std::size_t>(p));
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }());
+  std::vector<char> active(static_cast<std::size_t>(p), 0);
+  for (const Rank s : sources) active[static_cast<std::size_t>(s)] = 1;
+  auto sched = std::make_shared<const HalvingSchedule>(
+      HalvingSchedule::compute(active));
+
+  HalvingRun result;
+  result.data.assign(static_cast<std::size_t>(p), mp::Payload{});
+  for (const Rank s : sources)
+    result.data[static_cast<std::size_t>(s)] = mp::Payload::original(s, bytes);
+  for (Rank r = 0; r < p; ++r) {
+    rt.spawn(r, run_halving(rt.comm(r), seq, r, sched,
+                            result.data[static_cast<std::size_t>(r)], opts));
+  }
+  const mp::RunOutcome out = rt.run();
+  result.makespan = out.makespan_us;
+  result.metrics = out.metrics;
+  return result;
+}
+
+mp::Payload expected(const std::vector<Rank>& sources, Bytes bytes) {
+  std::vector<mp::Chunk> chunks;
+  for (const Rank s : sources) chunks.push_back({s, bytes});
+  return mp::Payload::of(std::move(chunks));
+}
+
+TEST(Engine, BroadcastsOneSource) {
+  const auto r = run_halving_all(8, {3}, 100);
+  for (const auto& d : r.data) EXPECT_EQ(d, expected({3}, 100));
+}
+
+TEST(Engine, AllgathersManySourcesOddSize) {
+  const std::vector<Rank> sources = {0, 2, 5, 6, 10};
+  const auto r = run_halving_all(11, sources, 64);
+  for (const auto& d : r.data) EXPECT_EQ(d, expected(sources, 64));
+}
+
+TEST(Engine, SweepSizesAndSourceCounts) {
+  for (const int p : {1, 2, 3, 5, 8, 13, 16, 21}) {
+    for (int s = 1; s <= p; s += (p > 6 ? 3 : 1)) {
+      std::vector<Rank> sources;
+      for (int j = 0; j < s; ++j)
+        sources.push_back(static_cast<Rank>(j * p / s));
+      const auto r = run_halving_all(p, sources, 32);
+      for (Rank rank = 0; rank < p; ++rank)
+        ASSERT_EQ(r.data[static_cast<std::size_t>(rank)],
+                  expected(sources, 32))
+            << "p=" << p << " s=" << s << " rank=" << rank;
+    }
+  }
+}
+
+TEST(Engine, MarksOneIterationPerHalvingStep) {
+  const auto r = run_halving_all(16, {0, 7}, 16);
+  EXPECT_EQ(r.metrics.iterations, 4u);  // ceil(log2 16)
+}
+
+TEST(Engine, CombineCostSlowsTheRun) {
+  const auto with = run_halving_all(16, {0, 3, 9}, 4096,
+                                    {.mark_iterations = true,
+                                     .combine_cost = true});
+  const auto without = run_halving_all(16, {0, 3, 9}, 4096,
+                                       {.mark_iterations = true,
+                                        .combine_cost = false});
+  EXPECT_GT(with.makespan, without.makespan);
+  // Both still correct.
+  EXPECT_EQ(with.data[5], without.data[5]);
+}
+
+TEST(Engine, SingleRankIsANoop) {
+  const auto r = run_halving_all(1, {0}, 128);
+  EXPECT_EQ(r.data[0], expected({0}, 128));
+  EXPECT_EQ(r.metrics.total_sends, 0u);
+}
+
+TEST(Engine, PositionRankMismatchRejected) {
+  mp::Runtime rt = make_runtime(2);
+  auto seq = std::make_shared<const std::vector<Rank>>(
+      std::vector<Rank>{0, 1});
+  auto sched = std::make_shared<const HalvingSchedule>(
+      HalvingSchedule::compute({1, 0}));
+  mp::Payload d0 = mp::Payload::original(0, 8);
+  mp::Payload d1;
+  // Rank 0 claims position 1: the program's precondition check fires when
+  // the (lazy) coroutine first runs, surfacing from run().
+  rt.spawn(0, run_halving(rt.comm(0), seq, 1, sched, d0, {}));
+  rt.spawn(1, run_halving(rt.comm(1), seq, 1, sched, d1, {}));
+  EXPECT_THROW(rt.run(), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::coll

@@ -1,0 +1,53 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spb {
+namespace {
+
+TEST(Check, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(SPB_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SPB_CHECK_MSG(true, "unused"));
+  EXPECT_NO_THROW(SPB_REQUIRE(true, "unused"));
+}
+
+TEST(Check, FailureCarriesExpressionAndLocation) {
+  try {
+    SPB_CHECK(2 + 2 == 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageStreamsArbitraryValues) {
+  const int rank = 7;
+  try {
+    SPB_REQUIRE(false, "rank " << rank << " misbehaved at t=" << 1.5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 7 misbehaved at t=1.5"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("SPB_REQUIRE"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  SPB_CHECK(probe());
+  EXPECT_EQ(evaluations, 1);
+  SPB_CHECK_MSG(probe(), "msg");
+  EXPECT_EQ(evaluations, 2);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,73 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+namespace spb {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(30, 10), 3);   // i = ceil(s/c) for R(30) on 10x10
+  EXPECT_EQ(ceil_div(31, 10), 4);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(100));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Math, Ilog2FloorAndCeil) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_floor(100), 6);
+  EXPECT_EQ(ilog2_ceil(100), 7);  // Br_Lin iterations on a 10x10 Paragon
+  EXPECT_EQ(ilog2_ceil(128), 7);
+  EXPECT_EQ(ilog2_ceil(129), 8);
+}
+
+TEST(Math, Ilog2CeilMatchesDefinitionExhaustively) {
+  for (std::int64_t n = 1; n <= 4096; ++n) {
+    const int k = ilog2_ceil(n);
+    EXPECT_GE(std::int64_t{1} << k, n) << n;
+    if (k > 0) {
+      EXPECT_LT(std::int64_t{1} << (k - 1), n) << n;
+    }
+  }
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(100), 128);
+}
+
+TEST(Math, IsqrtAndCeilSqrt) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(8), 2);
+  EXPECT_EQ(isqrt(9), 3);
+  EXPECT_EQ(ceil_sqrt(9), 3);
+  EXPECT_EQ(ceil_sqrt(10), 4);
+  EXPECT_EQ(ceil_sqrt(30), 6);  // Sq(30) block side in the paper's Figure 1
+  for (std::int64_t n = 0; n <= 2000; ++n) {
+    const std::int64_t r = ceil_sqrt(n);
+    EXPECT_GE(r * r, n);
+    if (r > 0) {
+      EXPECT_LT((r - 1) * (r - 1), n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/str.h"
+#include "common/table.h"
+
+namespace spb {
+namespace {
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0");
+  EXPECT_EQ(human_bytes(32), "32");
+  EXPECT_EQ(human_bytes(512), "512");
+  EXPECT_EQ(human_bytes(1024), "1K");
+  EXPECT_EQ(human_bytes(4096), "4K");
+  EXPECT_EQ(human_bytes(16384), "16K");
+  EXPECT_EQ(human_bytes(1536), "1536");  // not an exact multiple
+  EXPECT_EQ(human_bytes(2 * 1024 * 1024), "2M");
+}
+
+TEST(Str, Fixed) {
+  EXPECT_EQ(fixed(7.306, 2), "7.31");
+  EXPECT_EQ(fixed(7.304, 2), "7.30");
+  EXPECT_EQ(fixed(7.0, 0), "7");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Str, SignedPercent) {
+  EXPECT_EQ(signed_percent(0.124, 1), "+12.4%");
+  EXPECT_EQ(signed_percent(-0.065, 1), "-6.5%");
+  EXPECT_EQ(signed_percent(0.0, 1), "+0.0%");
+}
+
+TEST(Str, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("long", 2), "long");  // no truncation
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t;
+  t.row().cell("name").cell("ms");
+  t.row().cell("Br_Lin").num(2.186, 3);
+  t.row().cell("x").num(std::int64_t{10});
+  const std::string out = t.render();
+  // Columns: "name"/"Br_Lin"/"x" (width 6, left) and "ms"/"2.186"/"10"
+  // (width 5, numbers right-aligned).
+  EXPECT_NE(out.find("name    ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("Br_Lin  2.186"), std::string::npos) << out;
+  EXPECT_NE(out.find("x          10"), std::string::npos) << out;
+  // Separator under the header spans both columns plus the 2-space gap.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '-'), 6 + 2 + 5);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  TextTable t;
+  EXPECT_THROW(t.cell("oops"), CheckError);
+  EXPECT_THROW(t.num(1.0, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace spb

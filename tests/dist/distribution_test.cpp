@@ -1,0 +1,279 @@
+#include "dist/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace spb::dist {
+namespace {
+
+const Grid k10x10{10, 10};
+
+std::set<std::pair<int, int>> cells(const Grid& g,
+                                    const std::vector<Rank>& sources) {
+  std::set<std::pair<int, int>> out;
+  for (const Rank s : sources) out.insert({g.row_of(s), g.col_of(s)});
+  return out;
+}
+
+// ---------------------------------------------------------------- generic
+
+TEST(Distribution, EveryFamilyProducesExactlySDistinctSources) {
+  // The universal contract, across mesh shapes (square, wide, tall, line)
+  // and the whole range of s.
+  const std::vector<Grid> grids = {
+      {10, 10}, {6, 8}, {4, 30}, {16, 16}, {1, 12}, {12, 1}, {3, 5}};
+  for (const Grid& g : grids) {
+    for (const Kind kind : all_kinds()) {
+      for (int s = 1; s <= g.p(); s = s < 8 ? s + 1 : s + 7) {
+        const auto sources = generate(kind, g, s, 99);
+        ASSERT_EQ(static_cast<int>(sources.size()), s)
+            << kind_name(kind) << " on " << g.rows << "x" << g.cols;
+        ASSERT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+        ASSERT_TRUE(std::adjacent_find(sources.begin(), sources.end()) ==
+                    sources.end());
+        ASSERT_GE(sources.front(), 0);
+        ASSERT_LT(sources.back(), g.p());
+      }
+    }
+  }
+}
+
+TEST(Distribution, FullMeshIsEveryone) {
+  const Grid g{5, 6};
+  for (const Kind kind : all_kinds()) {
+    const auto sources = generate(kind, g, g.p(), 1);
+    for (int i = 0; i < g.p(); ++i)
+      EXPECT_EQ(sources[static_cast<std::size_t>(i)], i)
+          << kind_name(kind);
+  }
+}
+
+TEST(Distribution, NamesRoundTrip) {
+  for (const Kind kind : all_kinds())
+    EXPECT_EQ(kind_from_name(kind_name(kind)), kind);
+  EXPECT_THROW(kind_from_name("bogus"), CheckError);
+  EXPECT_EQ(kind_name(Kind::kDiagRight), "Dr");
+  EXPECT_EQ(kind_name(Kind::kSquare), "Sq");
+}
+
+TEST(Distribution, InvalidSRejected) {
+  for (const Kind kind : all_kinds()) {
+    EXPECT_THROW(generate(kind, k10x10, 0, 1), CheckError);
+    EXPECT_THROW(generate(kind, k10x10, 101, 1), CheckError);
+  }
+}
+
+// -------------------------------------------------------------------- R/C
+
+TEST(RowDistribution, R30MatchesPaperFigure1) {
+  // 3 evenly spaced full rows: 0, 3, 6.
+  const auto sources = row_distribution(k10x10, 30);
+  const auto got = cells(k10x10, sources);
+  for (const int row : {0, 3, 6})
+    for (int col = 0; col < 10; ++col)
+      EXPECT_TRUE(got.count({row, col})) << row << "," << col;
+}
+
+TEST(RowDistribution, R20UsesRows0And5) {
+  // i = 2 evenly spaced rows on 10 rows: 0 and 5 — the placement the paper
+  // calls out as pairing badly in Br_Lin's first iteration.
+  const auto sources = row_distribution(k10x10, 20);
+  const Grid& g = k10x10;
+  std::set<int> rows;
+  for (const Rank s : sources) rows.insert(g.row_of(s));
+  EXPECT_EQ(rows, (std::set<int>{0, 5}));
+}
+
+TEST(RowDistribution, PartialLastRow) {
+  const auto sources = row_distribution(k10x10, 25);
+  // Rows 0,3,6; row 6 holds only 5 sources (columns 0..4).
+  const auto got = cells(k10x10, sources);
+  EXPECT_TRUE(got.count({6, 4}));
+  EXPECT_FALSE(got.count({6, 5}));
+}
+
+TEST(ColumnDistribution, MirrorsRows) {
+  const auto rows = row_distribution(k10x10, 30);
+  const auto cols = column_distribution(k10x10, 30);
+  // C(30) is R(30) transposed on a square mesh.
+  std::set<std::pair<int, int>> transposed;
+  for (const Rank s : rows)
+    transposed.insert({k10x10.col_of(s), k10x10.row_of(s)});
+  EXPECT_EQ(cells(k10x10, cols), transposed);
+}
+
+TEST(ColumnDistribution, CountsPerColumn) {
+  const Grid g{6, 8};
+  const auto sources = column_distribution(g, 14);  // ceil(14/6) = 3 cols
+  const auto counts = g.col_counts(sources);
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[2], 6);
+  EXPECT_EQ(counts[5], 2);  // partial last column (evenly spaced: 0,2,5)
+}
+
+// ---------------------------------------------------------------------- E
+
+TEST(EqualDistribution, FirstProcessorAlwaysASource) {
+  for (int s = 1; s <= 100; s += 9)
+    EXPECT_EQ(equal_distribution(k10x10, s).front(), 0);
+}
+
+TEST(EqualDistribution, SpacingIsFloorOrCeil) {
+  for (const int s : {3, 7, 30, 33, 64}) {
+    const auto sources = equal_distribution(k10x10, s);
+    const int lo = 100 / s;
+    const int hi = static_cast<int>(ceil_div(100, s));
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+      const int gap = sources[i] - sources[i - 1];
+      EXPECT_GE(gap, lo) << "s=" << s;
+      EXPECT_LE(gap, hi) << "s=" << s;
+    }
+  }
+}
+
+TEST(EqualDistribution, PowerOfTwoCaseIsExactStride) {
+  // E(50) on p=100: every second rank — the s = 2^l-style alignment the
+  // paper's Figure 2 analysis distinguishes.
+  const auto sources = equal_distribution(k10x10, 50);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    EXPECT_EQ(sources[i], static_cast<Rank>(2 * i));
+}
+
+// ------------------------------------------------------------------ Dr/Dl
+
+TEST(DiagRight, MainDiagonalFirst) {
+  const auto sources = diag_right_distribution(k10x10, 10);
+  for (int j = 0; j < 10; ++j)
+    EXPECT_TRUE(std::binary_search(sources.begin(), sources.end(),
+                                   k10x10.rank_of(j, j)));
+}
+
+TEST(DiagRight, Dr30UsesThreeEvenlySpacedDiagonals) {
+  const auto got = cells(k10x10, diag_right_distribution(k10x10, 30));
+  for (int row = 0; row < 10; ++row)
+    for (const int offset : {0, 3, 6})
+      EXPECT_TRUE(got.count({row, (row + offset) % 10}))
+          << row << " offset " << offset;
+}
+
+TEST(DiagRight, WrapsAroundColumns) {
+  const auto got = cells(k10x10, diag_right_distribution(k10x10, 30));
+  // Diagonal offset 6 wraps: row 5 -> column (5+6) % 10 = 1.
+  EXPECT_TRUE(got.count({5, 1}));
+}
+
+TEST(DiagLeft, AntiDiagonalFirst) {
+  const auto sources = diag_left_distribution(k10x10, 10);
+  for (int j = 0; j < 10; ++j)
+    EXPECT_TRUE(std::binary_search(sources.begin(), sources.end(),
+                                   k10x10.rank_of(j, 9 - j)));
+}
+
+TEST(Diagonals, EachRowAndColumnBalanced) {
+  // A full diagonal set places the same number of sources in every row,
+  // and (on a square mesh) every column — the property that makes
+  // diagonals friendly to Br_xy_source.
+  for (const int s : {10, 20, 30}) {
+    for (auto* fn : {&diag_right_distribution, &diag_left_distribution}) {
+      const auto sources = fn(k10x10, s);
+      const auto rows = k10x10.row_counts(sources);
+      const auto cols = k10x10.col_counts(sources);
+      for (const int c : rows) EXPECT_EQ(c, s / 10);
+      for (const int c : cols) EXPECT_EQ(c, s / 10);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- B
+
+TEST(Band, SquareMeshIsOneWideBand) {
+  // b = ceil(c/r) = 1 on 16x16; width ceil(s/16) diagonals starting at the
+  // main diagonal — "a single diagonal band of width s/16".
+  const Grid g{16, 16};
+  const auto got = cells(g, band_distribution(g, 64));
+  for (int row = 0; row < 16; ++row)
+    for (int m = 0; m < 4; ++m)
+      EXPECT_TRUE(got.count({row, (row + m) % 16})) << row << " " << m;
+}
+
+TEST(Band, WideMeshHasMultipleBands) {
+  const Grid g{4, 12};  // b = 3 bands at offsets 0, 4, 8
+  const auto got = cells(g, band_distribution(g, 12));
+  for (int row = 0; row < 4; ++row)
+    for (const int off : {0, 4, 8})
+      EXPECT_TRUE(got.count({row, (row + off) % 12}));
+}
+
+// --------------------------------------------------------------------- Cr
+
+TEST(Cross, Cr30MatchesPaperFigure1) {
+  // Two full rows (0, 5), column 0 fully a source, column 5 holding
+  // exactly 4 source cells (rows 0, 1, 2, 5 — two of them row overlaps).
+  const auto sources = cross_distribution(k10x10, 30);
+  const auto got = cells(k10x10, sources);
+  for (int col = 0; col < 10; ++col) {
+    EXPECT_TRUE(got.count({0, col}));
+    EXPECT_TRUE(got.count({5, col}));
+  }
+  for (int row = 0; row < 10; ++row) EXPECT_TRUE(got.count({row, 0}));
+  int col5 = 0;
+  for (int row = 0; row < 10; ++row) col5 += got.count({row, 5});
+  EXPECT_EQ(col5, 4);
+}
+
+TEST(Cross, RowAndColumnPartsRoughlyEqual) {
+  const Grid g{8, 8};
+  const auto sources = cross_distribution(g, 24);
+  const auto rows = g.row_counts(sources);
+  // ceil(24/16) = 2 full rows.
+  EXPECT_EQ(std::count(rows.begin(), rows.end(), 8), 2);
+}
+
+// --------------------------------------------------------------------- Sq
+
+TEST(Square, Sq30IsASixBySixBlockAtOrigin) {
+  const auto got = cells(k10x10, square_distribution(k10x10, 30));
+  // Column-by-column fill of a 6-high block: 5 full columns of 6 = 30.
+  for (int col = 0; col < 5; ++col)
+    for (int row = 0; row < 6; ++row)
+      EXPECT_TRUE(got.count({row, col})) << row << "," << col;
+  EXPECT_FALSE(got.count({0, 5}));
+}
+
+TEST(Square, PerfectSquare) {
+  const auto got = cells(k10x10, square_distribution(k10x10, 25));
+  for (int col = 0; col < 5; ++col)
+    for (int row = 0; row < 5; ++row) EXPECT_TRUE(got.count({row, col}));
+}
+
+TEST(Square, ShortMeshLeansWide) {
+  const Grid g{4, 30};
+  const auto got = cells(g, square_distribution(g, 25));
+  // side would be 5 > 4 rows: block is 4 high, ceil(25/4) = 7 wide.
+  for (int col = 0; col < 6; ++col)
+    for (int row = 0; row < 4; ++row) EXPECT_TRUE(got.count({row, col}));
+  EXPECT_TRUE(got.count({0, 6}));
+  EXPECT_FALSE(got.count({2, 6}));
+}
+
+TEST(Square, DoesNotFitThrows) {
+  const Grid g{2, 3};
+  EXPECT_THROW(square_distribution(g, 100), CheckError);
+}
+
+// ------------------------------------------------------------------- Rand
+
+TEST(Random, SeedDeterminism) {
+  EXPECT_EQ(random_distribution(k10x10, 20, 5),
+            random_distribution(k10x10, 20, 5));
+  EXPECT_NE(random_distribution(k10x10, 20, 5),
+            random_distribution(k10x10, 20, 6));
+}
+
+}  // namespace
+}  // namespace spb::dist

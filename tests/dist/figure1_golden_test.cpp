@@ -1,0 +1,61 @@
+// Golden renders of the paper's Figure 1: "Placement of 30 sources in
+// row, cross, and right diagonal distributions" on a 10x10 mesh.  These
+// pin the generators to the paper's pictures character by character.
+#include <gtest/gtest.h>
+
+#include "dist/distribution.h"
+#include "dist/render.h"
+
+namespace spb::dist {
+namespace {
+
+const Grid k10x10{10, 10};
+
+TEST(Figure1Golden, Row30) {
+  EXPECT_EQ(render(k10x10, row_distribution(k10x10, 30)),
+            "SSSSSSSSSS\n"
+            "..........\n"
+            "..........\n"
+            "SSSSSSSSSS\n"
+            "..........\n"
+            "..........\n"
+            "SSSSSSSSSS\n"
+            "..........\n"
+            "..........\n"
+            "..........\n");
+}
+
+TEST(Figure1Golden, DiagRight30) {
+  // Three evenly spaced right diagonals (offsets 0, 3, 6), wrapping in
+  // the column dimension.
+  EXPECT_EQ(render(k10x10, diag_right_distribution(k10x10, 30)),
+            "S..S..S...\n"
+            ".S..S..S..\n"
+            "..S..S..S.\n"
+            "...S..S..S\n"
+            "S...S..S..\n"
+            ".S...S..S.\n"
+            "..S...S..S\n"
+            "S..S...S..\n"
+            ".S..S...S.\n"
+            "..S..S...S\n");
+}
+
+TEST(Figure1Golden, Cross30) {
+  // Two full rows (0, 5), column 0 full, column 5 holding 4 source cells
+  // (two of them row overlaps) — the paper's exact description.
+  EXPECT_EQ(render(k10x10, cross_distribution(k10x10, 30)),
+            "SSSSSSSSSS\n"
+            "S....S....\n"
+            "S....S....\n"
+            "S.........\n"
+            "S.........\n"
+            "SSSSSSSSSS\n"
+            "S.........\n"
+            "S.........\n"
+            "S.........\n"
+            "S.........\n");
+}
+
+}  // namespace
+}  // namespace spb::dist

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "dist/distribution.h"
+#include "dist/grid.h"
+#include "dist/render.h"
+
+namespace spb::dist {
+namespace {
+
+TEST(Grid, RowMajorIndexing) {
+  const Grid g{4, 6};
+  EXPECT_EQ(g.p(), 24);
+  EXPECT_EQ(g.rank_of(0, 0), 0);
+  EXPECT_EQ(g.rank_of(2, 3), 15);
+  EXPECT_EQ(g.row_of(15), 2);
+  EXPECT_EQ(g.col_of(15), 3);
+  for (Rank r = 0; r < g.p(); ++r)
+    EXPECT_EQ(g.rank_of(g.row_of(r), g.col_of(r)), r);
+}
+
+TEST(Grid, RowAndColumnRankLists) {
+  const Grid g{3, 4};
+  EXPECT_EQ(g.row_ranks(1), (std::vector<Rank>{4, 5, 6, 7}));
+  EXPECT_EQ(g.col_ranks(2), (std::vector<Rank>{2, 6, 10}));
+  EXPECT_THROW(g.row_ranks(3), CheckError);
+  EXPECT_THROW(g.col_ranks(-1), CheckError);
+}
+
+TEST(Grid, SourceCountsPerLine) {
+  const Grid g{3, 4};
+  const std::vector<Rank> sources = {0, 1, 5, 9};  // (0,0),(0,1),(1,1),(2,1)
+  EXPECT_EQ(g.row_counts(sources), (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(g.col_counts(sources), (std::vector<int>{1, 3, 0, 0}));
+}
+
+TEST(Render, MarksSourcesOnTheGrid) {
+  const Grid g{3, 4};
+  const std::string out = render(g, {0, 5, 11});
+  EXPECT_EQ(out,
+            "S...\n"
+            ".S..\n"
+            "...S\n");
+}
+
+TEST(Render, PaperFigure1RowDistribution) {
+  const Grid g{10, 10};
+  const std::string out = render(g, row_distribution(g, 30));
+  // Three full rows of 'S': rows 0, 3, 6.
+  EXPECT_EQ(out.substr(0, 11), "SSSSSSSSSS\n");
+  EXPECT_EQ(out.substr(33, 11), "SSSSSSSSSS\n");
+  EXPECT_EQ(out.substr(66, 11), "SSSSSSSSSS\n");
+  EXPECT_EQ(out.substr(11, 11), "..........\n");
+}
+
+}  // namespace
+}  // namespace spb::dist

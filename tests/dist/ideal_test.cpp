@@ -1,0 +1,177 @@
+#include "dist/ideal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "coll/halving.h"
+#include "common/check.h"
+#include "common/math.h"
+
+namespace spb::dist {
+namespace {
+
+std::vector<char> flags_at(int n, const std::vector<int>& positions) {
+  std::vector<char> f(static_cast<std::size_t>(n), 0);
+  for (const int p : positions) f[static_cast<std::size_t>(p)] = 1;
+  return f;
+}
+
+TEST(IdealPositions, FirstIterationDoublesExactly) {
+  // The property the placement directly controls: for k <= floor(n/2)
+  // sources at ideal positions, no two sources pair in iteration 0, so the
+  // active set exactly doubles.
+  for (const int n : {4, 8, 10, 13, 16, 27, 64, 100}) {
+    for (int k = 1; k <= n / 2; k = k < 6 ? k + 1 : k * 2) {
+      const auto positions = ideal_positions(n, k);
+      const auto profile =
+          coll::HalvingSchedule::activity_profile(flags_at(n, positions));
+      EXPECT_EQ(profile[1], 2 * k) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(IdealPositions, DoublesThroughoutOnPowersOfTwo) {
+  // On 2^m segments the structure is clean enough for the search to keep
+  // doubling until saturation in every iteration.
+  for (const int n : {8, 16, 64, 128}) {
+    for (int k = 1; k <= n; k *= 2) {
+      const auto positions = ideal_positions(n, k);
+      const auto profile =
+          coll::HalvingSchedule::activity_profile(flags_at(n, positions));
+      for (std::size_t t = 0; t + 1 < profile.size(); ++t)
+        EXPECT_GE(profile[t + 1], std::min(n, 2 * profile[t]))
+            << "n=" << n << " k=" << k << " iter=" << t;
+    }
+  }
+}
+
+TEST(IdealPositions, DominatesNaturalBaselines) {
+  // Later iterations of odd-sized segment trees cannot always double
+  // (activations land at forced positions); what the search guarantees is
+  // a growth profile at least as good (lexicographically) as natural
+  // placements: the evenly spaced one and the identity prefix.
+  for (const int n : {10, 13, 27, 100, 120}) {
+    for (int k = 1; k <= n; k = k < 6 ? k + 1 : k * 2) {
+      const auto profile = coll::HalvingSchedule::activity_profile(
+          flags_at(n, ideal_positions(n, k)));
+      std::vector<int> spaced;
+      std::vector<int> prefix;
+      for (int j = 0; j < k; ++j) {
+        spaced.push_back(static_cast<int>(
+            static_cast<long long>(j) * n / k));
+        prefix.push_back(j);
+      }
+      EXPECT_GE(profile, coll::HalvingSchedule::activity_profile(
+                             flags_at(n, spaced)))
+          << "n=" << n << " k=" << k << " vs evenly spaced";
+      EXPECT_GE(profile, coll::HalvingSchedule::activity_profile(
+                             flags_at(n, prefix)))
+          << "n=" << n << " k=" << k << " vs identity prefix";
+    }
+  }
+}
+
+TEST(IdealPositions, TwoSourcesOnTenAvoidTheMiddlePairing) {
+  // The paper's observation: on 10 rows the pair {0, 5} merges in the very
+  // first iteration; ideal k=2 must avoid distance 5.
+  const auto positions = ideal_positions(10, 2);
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_NE(positions[1] - positions[0], 5);
+  const auto profile =
+      coll::HalvingSchedule::activity_profile(flags_at(10, positions));
+  EXPECT_EQ(profile[1], 4);
+}
+
+TEST(IdealPositions, SortedDistinctInRange) {
+  for (const int n : {1, 5, 16, 33}) {
+    for (int k = 0; k <= n; ++k) {
+      const auto positions = ideal_positions(n, k);
+      ASSERT_EQ(static_cast<int>(positions.size()), k);
+      EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+      const std::set<int> unique(positions.begin(), positions.end());
+      EXPECT_EQ(static_cast<int>(unique.size()), k);
+      if (k > 0) {
+        EXPECT_GE(positions.front(), 0);
+        EXPECT_LT(positions.back(), n);
+      }
+    }
+  }
+}
+
+TEST(IdealPositions, MemoizationIsStable) {
+  const auto a = ideal_positions(64, 9);
+  const auto b = ideal_positions(64, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IdealPositions, TieBreakPrefersSpread) {
+  // Among equally fast-growing placements the construction favours large
+  // pairwise distance: for k=2 on 16 the sources must not be adjacent.
+  const auto positions = ideal_positions(16, 2);
+  EXPECT_GT(positions[1] - positions[0], 1);
+}
+
+TEST(IdealPositions, RejectsBadArguments) {
+  EXPECT_THROW(ideal_positions(0, 0), CheckError);
+  EXPECT_THROW(ideal_positions(4, 5), CheckError);
+  EXPECT_THROW(ideal_positions(4, -1), CheckError);
+}
+
+TEST(IdealRows, FullRowsAtIdealRowPositions) {
+  const Grid g{10, 10};
+  const auto sources = ideal_rows(g, 30);
+  const auto counts = g.row_counts(sources);
+  const auto rows = ideal_positions(10, 3);
+  int full = 0;
+  for (int r = 0; r < 10; ++r) {
+    if (counts[static_cast<std::size_t>(r)] > 0) {
+      EXPECT_TRUE(std::binary_search(rows.begin(), rows.end(), r));
+      ++full;
+    }
+  }
+  EXPECT_EQ(full, 3);
+  // 30 = 3 full rows of 10.
+  for (const int r : rows) EXPECT_EQ(counts[static_cast<std::size_t>(r)], 10);
+}
+
+TEST(IdealRows, PartialRemainderFillsFromColumnZero) {
+  const Grid g{10, 10};
+  const auto sources = ideal_rows(g, 25);
+  const auto counts = g.row_counts(sources);
+  std::vector<int> nonzero;
+  for (int r = 0; r < 10; ++r)
+    if (counts[static_cast<std::size_t>(r)] > 0) nonzero.push_back(counts[static_cast<std::size_t>(r)]);
+  std::sort(nonzero.begin(), nonzero.end());
+  EXPECT_EQ(nonzero, (std::vector<int>{5, 10, 10}));
+}
+
+TEST(IdealCols, TransposesIdealRows) {
+  const Grid g{6, 9};
+  const auto cols = ideal_cols(g, 12);  // 2 full columns
+  const auto counts = g.col_counts(cols);
+  int full = 0;
+  for (const int c : counts)
+    if (c > 0) {
+      EXPECT_EQ(c, 6);
+      ++full;
+    }
+  EXPECT_EQ(full, 2);
+}
+
+TEST(IdealLinear, ColumnPhaseDoublesActiveRows) {
+  // End-to-end sanity: the row set of ideal_rows doubles as fast as the
+  // halving pattern allows, which is what Repos_xy_source pays for.
+  const Grid g{16, 16};
+  const auto sources = ideal_rows(g, 64);  // 4 full rows
+  std::set<int> rows;
+  for (const Rank s : sources) rows.insert(g.row_of(s));
+  const auto profile = coll::HalvingSchedule::activity_profile(
+      flags_at(16, std::vector<int>(rows.begin(), rows.end())));
+  EXPECT_EQ(profile[1], 8);
+  EXPECT_EQ(profile[2], 16);
+}
+
+}  // namespace
+}  // namespace spb::dist

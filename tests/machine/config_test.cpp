@@ -1,0 +1,91 @@
+#include "machine/config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace spb::machine {
+namespace {
+
+TEST(Paragon, ShapeAndMapping) {
+  const MachineConfig m = paragon(10, 12);
+  EXPECT_EQ(m.p, 120);
+  EXPECT_EQ(m.rows, 10);
+  EXPECT_EQ(m.cols, 12);
+  EXPECT_EQ(m.topology->node_count(), 120);
+  // Dedicated submesh: rank i on node i.
+  for (Rank r = 0; r < m.p; r += 17) EXPECT_EQ(m.mapping.node_of(r), r);
+  EXPECT_GT(m.mpi_extra_us, 0) << "MPI must cost extra on the Paragon";
+  EXPECT_EQ(m.bcast_segment_bytes, 0u) << "NX 2-Step is store-and-forward";
+}
+
+TEST(T3D, ShapeAndMapping) {
+  const MachineConfig m = t3d(128);
+  EXPECT_EQ(m.p, 128);
+  EXPECT_EQ(m.rows * m.cols, 128);
+  EXPECT_LE(m.rows, m.cols);
+  EXPECT_EQ(m.topology->node_count(), 512) << "PSC 512-node torus";
+  EXPECT_EQ(m.mpi_extra_us, 0) << "everything on the T3D is MPI already";
+  EXPECT_GT(m.bcast_segment_bytes, 0u) << "vendor collective pipelines";
+  // Default placement: scattered over the torus, not identity.
+  int identity_hits = 0;
+  for (Rank r = 0; r < m.p; ++r)
+    if (m.mapping.node_of(r) == r) ++identity_hits;
+  EXPECT_LT(identity_hits, 8);
+}
+
+TEST(T3D, ScatterSeedControlsPlacement) {
+  const MachineConfig a = t3d(64, 1);
+  const MachineConfig b = t3d(64, 2);
+  EXPECT_NE(a.mapping.table(), b.mapping.table());
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.net.bytes_per_us, b.net.bytes_per_us);
+  // Seed 0: the contiguous sub-brick variant.
+  const MachineConfig c = t3d(64, 0);
+  for (Rank r = 0; r < c.p; r += 13) EXPECT_EQ(c.mapping.node_of(r), r);
+}
+
+TEST(T3D, FasterWireThanParagon) {
+  // 300 MB/s channels vs 200 MB/s wire (lower sustained): the paper's
+  // "larger communication bandwidth".
+  EXPECT_GT(t3d(64).net.bytes_per_us, paragon(8, 8).net.bytes_per_us);
+}
+
+TEST(BalancedFactors, MostBalancedSplit) {
+  int r = 0;
+  int c = 0;
+  balanced_factors(128, r, c);
+  EXPECT_EQ(r, 8);
+  EXPECT_EQ(c, 16);
+  balanced_factors(100, r, c);
+  EXPECT_EQ(r, 10);
+  EXPECT_EQ(c, 10);
+  balanced_factors(7, r, c);
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(c, 7);
+  balanced_factors(1, r, c);
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(c, 1);
+}
+
+TEST(MakeRuntime, MpiFlavorAddsOverheadOnParagonOnly) {
+  const MachineConfig pg = paragon(4, 4);
+  mp::Runtime nx = pg.make_runtime(false);
+  mp::Runtime mpi = pg.make_runtime(true);
+  EXPECT_DOUBLE_EQ(nx.comm_params().mpi_extra_us, 0.0);
+  EXPECT_DOUBLE_EQ(mpi.comm_params().mpi_extra_us, pg.mpi_extra_us);
+
+  const MachineConfig td = t3d(16);
+  mp::Runtime t = td.make_runtime(true);
+  EXPECT_DOUBLE_EQ(t.comm_params().mpi_extra_us, 0.0);
+}
+
+TEST(Machine, InvalidSizesRejected) {
+  EXPECT_THROW(paragon(0, 4), CheckError);
+  EXPECT_THROW(t3d(0), CheckError);
+  EXPECT_THROW(t3d(513), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::machine

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::machine {
+namespace {
+
+TEST(HypercubeMachine, ShapeAndDefaults) {
+  const MachineConfig m = hypercube(6);
+  EXPECT_EQ(m.p, 64);
+  EXPECT_EQ(m.rows * m.cols, 64);
+  EXPECT_EQ(m.topology->node_count(), 64);
+  EXPECT_EQ(m.topology->slots_per_node(), 6);
+  for (Rank r = 0; r < m.p; r += 7) EXPECT_EQ(m.mapping.node_of(r), r);
+  EXPECT_GT(m.mpi_extra_us, 0);
+  EXPECT_THROW(hypercube(0), CheckError);
+  EXPECT_THROW(hypercube(11), CheckError);
+}
+
+TEST(HypercubeMachine, EveryAlgorithmRunsOnIt) {
+  const MachineConfig m = hypercube(4);
+  for (const auto& alg : stop::all_algorithms()) {
+    const stop::Problem pb =
+        stop::make_problem(m, dist::Kind::kEqual, 5, 1024);
+    EXPECT_NO_THROW(stop::run(*alg, pb)) << alg->name();
+  }
+}
+
+TEST(HypercubeMachine, BrLinFirstIterationHasNoStalls) {
+  // Every halving pair is a dedicated dimension exchange: with all ranks
+  // as sources, the network must report zero reservation stalls for the
+  // whole Br_Lin run.
+  const MachineConfig m = hypercube(5);
+  const stop::Problem pb = stop::make_problem(m, dist::Kind::kEqual, 32, 8192);
+  const stop::RunResult r = stop::run(*stop::make_br_lin(), pb);
+  EXPECT_DOUBLE_EQ(r.outcome.network.total_stall_us, 0.0);
+}
+
+}  // namespace
+}  // namespace spb::machine

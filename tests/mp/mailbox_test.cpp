@@ -1,0 +1,68 @@
+#include "mp/mailbox.h"
+
+#include <gtest/gtest.h>
+
+namespace spb::mp {
+namespace {
+
+Message make_msg(Rank src, int tag, Bytes bytes) {
+  Message m;
+  m.src = src;
+  m.dst = 0;
+  m.tag = tag;
+  m.payload = Payload::original(src, bytes);
+  m.wire_bytes = bytes;
+  return m;
+}
+
+TEST(Mailbox, TakeBySourceInArrivalOrder) {
+  Mailbox box;
+  box.deliver(make_msg(3, 0, 10));
+  box.deliver(make_msg(5, 0, 20));
+  box.deliver(make_msg(3, 0, 30));
+  Message out;
+  ASSERT_TRUE(box.try_take(3, kAnyTag, out));
+  EXPECT_EQ(out.wire_bytes, 10u);  // earliest from 3
+  ASSERT_TRUE(box.try_take(3, kAnyTag, out));
+  EXPECT_EQ(out.wire_bytes, 30u);
+  EXPECT_FALSE(box.try_take(3, kAnyTag, out));
+  ASSERT_TRUE(box.try_take(5, kAnyTag, out));
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, AnySourceTakesEarliestOverall) {
+  Mailbox box;
+  box.deliver(make_msg(9, 0, 1));
+  box.deliver(make_msg(2, 0, 2));
+  Message out;
+  ASSERT_TRUE(box.try_take(kAnySource, kAnyTag, out));
+  EXPECT_EQ(out.src, 9);
+  ASSERT_TRUE(box.try_take(kAnySource, kAnyTag, out));
+  EXPECT_EQ(out.src, 2);
+}
+
+TEST(Mailbox, TagFiltering) {
+  Mailbox box;
+  box.deliver(make_msg(1, tags::kExchange, 11));
+  box.deliver(make_msg(1, tags::kData, 22));
+  Message out;
+  // A data-tag receive must skip the exchange message even though it
+  // arrived first.
+  ASSERT_TRUE(box.try_take(kAnySource, tags::kData, out));
+  EXPECT_EQ(out.wire_bytes, 22u);
+  EXPECT_FALSE(box.try_take(kAnySource, tags::kData, out));
+  ASSERT_TRUE(box.try_take(1, tags::kExchange, out));
+  EXPECT_EQ(out.wire_bytes, 11u);
+}
+
+TEST(Mailbox, MissLeavesBufferIntact) {
+  Mailbox box;
+  box.deliver(make_msg(4, 0, 7));
+  Message out;
+  EXPECT_FALSE(box.try_take(5, kAnyTag, out));
+  EXPECT_EQ(box.size(), 1u);
+  ASSERT_TRUE(box.try_take(4, kAnyTag, out));
+}
+
+}  // namespace
+}  // namespace spb::mp

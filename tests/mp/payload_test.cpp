@@ -1,0 +1,99 @@
+#include "mp/payload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace spb::mp {
+namespace {
+
+TEST(Payload, OriginalHasOneChunk) {
+  const Payload p = Payload::original(7, 4096);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.chunk_count(), 1u);
+  EXPECT_EQ(p.total_bytes(), 4096u);
+  EXPECT_TRUE(p.has_source(7));
+  EXPECT_FALSE(p.has_source(6));
+}
+
+TEST(Payload, OriginalRejectsBadArguments) {
+  EXPECT_THROW(Payload::original(-1, 10), CheckError);
+  EXPECT_THROW(Payload::original(3, 0), CheckError);
+}
+
+TEST(Payload, OfSortsChunks) {
+  const Payload p = Payload::of({{5, 10}, {2, 20}, {9, 30}});
+  ASSERT_EQ(p.chunk_count(), 3u);
+  EXPECT_EQ(p.chunks()[0].source, 2);
+  EXPECT_EQ(p.chunks()[1].source, 5);
+  EXPECT_EQ(p.chunks()[2].source, 9);
+  EXPECT_EQ(p.total_bytes(), 60u);
+}
+
+TEST(Payload, OfRejectsDuplicateSources) {
+  EXPECT_THROW(Payload::of({{1, 10}, {1, 10}}), CheckError);
+}
+
+TEST(Payload, MergeDisjointSets) {
+  Payload a = Payload::of({{0, 10}, {4, 10}});
+  const Payload b = Payload::of({{2, 10}, {6, 10}});
+  a.merge(b);
+  ASSERT_EQ(a.chunk_count(), 4u);
+  EXPECT_EQ(a.chunks()[0].source, 0);
+  EXPECT_EQ(a.chunks()[1].source, 2);
+  EXPECT_EQ(a.chunks()[2].source, 4);
+  EXPECT_EQ(a.chunks()[3].source, 6);
+}
+
+TEST(Payload, MergeRejectsOverlap) {
+  Payload a = Payload::of({{0, 10}, {4, 10}});
+  const Payload b = Payload::of({{4, 10}});
+  EXPECT_THROW(a.merge(b), CheckError);
+}
+
+TEST(Payload, MergeDedupCollapsesDuplicates) {
+  Payload a = Payload::of({{0, 10}, {4, 10}});
+  const Payload b = Payload::of({{4, 10}, {5, 10}});
+  a.merge_dedup(b);
+  ASSERT_EQ(a.chunk_count(), 3u);
+  EXPECT_EQ(a.total_bytes(), 30u);
+}
+
+TEST(Payload, MergeDedupRejectsConflictingSizes) {
+  Payload a = Payload::of({{4, 10}});
+  const Payload b = Payload::of({{4, 11}});
+  EXPECT_THROW(a.merge_dedup(b), CheckError);
+}
+
+TEST(Payload, MergeWithEmpty) {
+  Payload a = Payload::original(3, 100);
+  a.merge(Payload{});
+  EXPECT_EQ(a.chunk_count(), 1u);
+  Payload empty;
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(Payload, EqualityIsStructural) {
+  const Payload a = Payload::of({{1, 10}, {2, 20}});
+  const Payload b = Payload::of({{2, 20}, {1, 10}});
+  EXPECT_EQ(a, b);
+  const Payload c = Payload::of({{1, 10}, {2, 21}});
+  EXPECT_NE(a, c);
+}
+
+TEST(Payload, ClearEmpties) {
+  Payload a = Payload::original(1, 5);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.total_bytes(), 0u);
+}
+
+TEST(Payload, ToStringFormat) {
+  EXPECT_EQ(Payload{}.to_string(), "{}");
+  EXPECT_EQ(Payload::of({{0, 4096}, {7, 512}}).to_string(),
+            "{0:4096, 7:512}");
+}
+
+}  // namespace
+}  // namespace spb::mp

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace spb::net {
+namespace {
+
+TEST(Hypercube, Basics) {
+  const Hypercube h(4);
+  EXPECT_EQ(h.node_count(), 16);
+  EXPECT_EQ(h.slots_per_node(), 4);
+  EXPECT_EQ(h.link_space(), 64);
+  EXPECT_EQ(h.name(), "hypercube 4d");
+}
+
+TEST(Hypercube, HopsIsHammingDistance) {
+  const Hypercube h(5);
+  EXPECT_EQ(h.hops(0, 0), 0);
+  EXPECT_EQ(h.hops(0, 1), 1);
+  EXPECT_EQ(h.hops(0, 0b10110), 3);
+  EXPECT_EQ(h.hops(0b11111, 0), 5);
+  for (NodeId a = 0; a < h.node_count(); a += 3)
+    for (NodeId b = 0; b < h.node_count(); b += 5)
+      EXPECT_EQ(static_cast<int>(h.route(a, b).size()), h.hops(a, b));
+}
+
+TEST(Hypercube, EcubeRouteFixesBitsLowFirst) {
+  const Hypercube h(3);
+  // 000 -> 101: dimension 0 first (000->001), then dimension 2 (001->101).
+  const auto path = h.route(0, 0b101);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0 * 3 + 0);      // node 0, dim 0
+  EXPECT_EQ(path[1], 0b001 * 3 + 2);  // node 1, dim 2
+}
+
+TEST(Hypercube, TopDimensionExchangeIsContentionFree) {
+  // The Br_Lin first iteration: every i exchanges with i + p/2.  On the
+  // hypercube each pair uses its own dimension-(d-1) links, all distinct.
+  const Hypercube h(5);
+  std::set<LinkId> used;
+  for (NodeId i = 0; i < 16; ++i) {
+    for (const LinkId l : h.route(i, i + 16)) EXPECT_TRUE(used.insert(l).second);
+    for (const LinkId l : h.route(i + 16, i)) EXPECT_TRUE(used.insert(l).second);
+  }
+  EXPECT_EQ(used.size(), 32u);
+}
+
+TEST(Hypercube, DescribeLinkUsesDimensionLabels) {
+  const Hypercube h(8);  // more than 6 slots per node
+  EXPECT_EQ(h.describe_link(3 * 8 + 7), "link(3,0,0)dim7");
+}
+
+TEST(Hypercube, Validation) {
+  EXPECT_THROW(Hypercube(0), CheckError);
+  EXPECT_THROW(Hypercube(17), CheckError);
+  const Hypercube h(2);
+  EXPECT_THROW(h.route(0, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::net

@@ -1,0 +1,129 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace spb::net {
+namespace {
+
+NetParams test_params() {
+  NetParams p;
+  p.alpha_us = 10.0;
+  p.per_hop_us = 1.0;
+  p.bytes_per_us = 100.0;
+  return p;
+}
+
+TEST(Network, UncontendedTransferTiming) {
+  NetworkModel net(std::make_shared<LinearArray>(8), test_params());
+  // 4 hops, 1000 bytes from ready time 5: start=5, serialize 10us.
+  const Transfer t = net.reserve(0, 4, 1000, 5.0);
+  EXPECT_EQ(t.hops, 4);
+  EXPECT_DOUBLE_EQ(t.start, 5.0);
+  EXPECT_DOUBLE_EQ(t.inject_done, 15.0);
+  EXPECT_DOUBLE_EQ(t.arrive, 5.0 + 10.0 + 4.0 + 10.0);
+  EXPECT_DOUBLE_EQ(net.uncontended_us(4, 1000), 24.0);
+}
+
+TEST(Network, SameSourceSerializesOnInjection) {
+  NetworkModel net(std::make_shared<LinearArray>(8), test_params());
+  const Transfer t1 = net.reserve(0, 7, 1000, 0.0);
+  // A second transfer from node 0 (to a disjoint destination) must wait for
+  // the injection channel.
+  const Transfer t2 = net.reserve(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_GE(t2.start, t1.inject_done);
+}
+
+TEST(Network, SameDestinationSerializesOnEjection) {
+  NetworkModel net(std::make_shared<Mesh2D>(4, 4), test_params());
+  // Two senders target node 0 from link-disjoint directions; the ejection
+  // channel is the only shared resource — the 2-Step hot spot in miniature.
+  const Transfer t1 = net.reserve(1, 0, 2000, 0.0);
+  const Transfer t2 = net.reserve(4, 0, 2000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_GE(t2.start, t1.start + 2000 / 100.0);
+}
+
+TEST(Network, SharedLinkSerializes) {
+  NetworkModel net(std::make_shared<LinearArray>(8), test_params());
+  // 0->3 and 1->4 share links (1->2, 2->3) and must serialize.
+  const Transfer t1 = net.reserve(0, 3, 1000, 0.0);
+  const Transfer t2 = net.reserve(1, 4, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_GE(t2.start, 10.0);
+}
+
+TEST(Network, DisjointPathsRunConcurrently) {
+  NetworkModel net(std::make_shared<LinearArray>(8), test_params());
+  const Transfer t1 = net.reserve(0, 1, 1000, 0.0);
+  const Transfer t2 = net.reserve(4, 5, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_DOUBLE_EQ(t2.start, 0.0);
+}
+
+TEST(Network, OppositeDirectionsAreFullDuplex) {
+  NetworkModel net(std::make_shared<LinearArray>(4), test_params());
+  // The pairwise exchange of Br_Lin: both directions at once, no conflict.
+  const Transfer t1 = net.reserve(0, 3, 5000, 0.0);
+  const Transfer t2 = net.reserve(3, 0, 5000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_DOUBLE_EQ(t2.start, 0.0);
+}
+
+TEST(Network, MultipleInjectChannelsOverlap) {
+  NetParams p = test_params();
+  p.inject_channels = 2;
+  NetworkModel net(std::make_shared<Mesh2D>(2, 4), p);
+  // Two transfers from node 0 along link-disjoint routes (east vs south):
+  // with two injection channels both start immediately.
+  const Transfer east = net.reserve(0, 1, 1000, 0.0);
+  const Transfer south = net.reserve(0, 4, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(east.start, 0.0);
+  EXPECT_DOUBLE_EQ(south.start, 0.0);
+}
+
+TEST(Network, ContentionOffIgnoresSharing) {
+  NetParams p = test_params();
+  p.model_contention = false;
+  NetworkModel net(std::make_shared<LinearArray>(8), p);
+  const Transfer t1 = net.reserve(0, 3, 1000, 0.0);
+  const Transfer t2 = net.reserve(0, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(t1.start, 0.0);
+  EXPECT_DOUBLE_EQ(t2.start, 0.0);
+  EXPECT_DOUBLE_EQ(t2.arrive, t1.arrive);
+}
+
+TEST(Network, StatsAccumulate) {
+  NetworkModel net(std::make_shared<LinearArray>(8), test_params());
+  net.reserve(0, 3, 1000, 0.0);
+  net.reserve(0, 3, 1000, 0.0);
+  const NetworkStats& s = net.stats();
+  EXPECT_EQ(s.transfers, 2u);
+  EXPECT_EQ(s.total_hops, 6u);
+  EXPECT_EQ(s.total_bytes, 2000u);
+  // Second transfer stalled a full serialization behind the first.
+  EXPECT_DOUBLE_EQ(s.total_stall_us, 10.0);
+  // Each transfer occupied 3 links for 10us.
+  EXPECT_DOUBLE_EQ(s.total_link_busy_us, 60.0);
+  EXPECT_DOUBLE_EQ(s.max_link_busy_us, 20.0);
+  EXPECT_DOUBLE_EQ(net.link_busy_us(0 * 2 + 0), 20.0);
+}
+
+TEST(Network, RejectsBadArguments) {
+  NetworkModel net(std::make_shared<LinearArray>(4), test_params());
+  EXPECT_THROW(net.reserve(1, 1, 100, 0.0), CheckError);   // self
+  EXPECT_THROW(net.reserve(-1, 1, 100, 0.0), CheckError);  // out of range
+  EXPECT_THROW(net.reserve(0, 4, 100, 0.0), CheckError);
+  NetParams bad = test_params();
+  bad.bytes_per_us = 0;
+  EXPECT_THROW(NetworkModel(std::make_shared<LinearArray>(4), bad),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace spb::net

@@ -1,0 +1,109 @@
+// Route-level properties common to every topology: a route must be a
+// connected walk of directed links from source to destination, using only
+// valid channel slots — this pins the LinkId encoding itself.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace spb::net {
+namespace {
+
+/// Recovers (node, slot) from a LinkId and steps to the neighbour the slot
+/// points at, per the documented encodings.
+NodeId step(const Topology& topo, LinkId link) {
+  const int slots = topo.slots_per_node();
+  const NodeId node = link / slots;
+  const int dir = link % slots;
+  const Coord c = topo.coord(node);
+  if (const auto* mesh = dynamic_cast<const Mesh2D*>(&topo)) {
+    Coord n = c;
+    if (dir == 0) ++n.x;
+    if (dir == 1) --n.x;
+    if (dir == 2) ++n.y;
+    if (dir == 3) --n.y;
+    return mesh->node_at(n);
+  }
+  if (const auto* torus = dynamic_cast<const Torus3D*>(&topo)) {
+    Coord n = c;
+    const auto wrap = [](int v, int size) { return (v + size) % size; };
+    if (dir == 0) n.x = wrap(n.x + 1, torus->dx());
+    if (dir == 1) n.x = wrap(n.x - 1, torus->dx());
+    if (dir == 2) n.y = wrap(n.y + 1, torus->dy());
+    if (dir == 3) n.y = wrap(n.y - 1, torus->dy());
+    if (dir == 4) n.z = wrap(n.z + 1, torus->dz());
+    if (dir == 5) n.z = wrap(n.z - 1, torus->dz());
+    return torus->node_at(n);
+  }
+  if (dynamic_cast<const Hypercube*>(&topo) != nullptr) {
+    return node ^ (NodeId{1} << dir);
+  }
+  if (dynamic_cast<const LinearArray*>(&topo) != nullptr) {
+    return dir == 0 ? node + 1 : node - 1;
+  }
+  ADD_FAILURE() << "unknown topology " << topo.name();
+  return kNoNode;
+}
+
+void check_routes(const Topology& topo, int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = topo.node_count();
+  for (int k = 0; k < samples; ++k) {
+    const NodeId a = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    const NodeId b = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    const auto path = topo.route(a, b);
+    NodeId at = a;
+    for (const LinkId l : path) {
+      ASSERT_GE(l, 0) << topo.name();
+      ASSERT_LT(l, topo.link_space()) << topo.name();
+      ASSERT_EQ(l / topo.slots_per_node(), at)
+          << topo.name() << ": link does not start at the walk position";
+      at = step(topo, l);
+    }
+    ASSERT_EQ(at, b) << topo.name() << " " << a << "->" << b;
+    ASSERT_EQ(static_cast<int>(path.size()), topo.hops(a, b))
+        << topo.name();
+  }
+}
+
+TEST(RouteProperties, WalksAreConnectedEverywhere) {
+  check_routes(Mesh2D(7, 11), 400, 1);
+  check_routes(Mesh2D(7, 11, /*y_first=*/true), 400, 2);
+  check_routes(Torus3D(8, 8, 8), 400, 3);
+  check_routes(Torus3D(5, 3, 2), 400, 4);
+  check_routes(Hypercube(7), 400, 5);
+  check_routes(LinearArray(23), 400, 6);
+}
+
+TEST(RouteProperties, TorusTieBreaksPositive) {
+  // Distance exactly size/2: the route must deterministically take the
+  // positive direction.
+  const Torus3D t(8, 1, 1);
+  const auto path = t.route(0, 4);
+  ASSERT_EQ(path.size(), 4u);
+  for (const LinkId l : path)
+    EXPECT_EQ(l % 6, 0) << "expected +x on the tie";
+  // And the reverse tie also goes positive from its own side.
+  const auto back = t.route(4, 0);
+  for (const LinkId l : back) EXPECT_EQ(l % 6, 0);
+}
+
+TEST(RouteProperties, YFirstMeshReversesDimensionOrder) {
+  const Mesh2D xy(5, 5, false);
+  const Mesh2D yx(5, 5, true);
+  // (0,0) -> (4,4): XY starts east, YX starts south.
+  EXPECT_EQ(xy.route(0, 24).front() % 4, 0);
+  EXPECT_EQ(yx.route(0, 24).front() % 4, 2);
+  // Same hop counts regardless of order.
+  for (NodeId a = 0; a < 25; a += 3)
+    for (NodeId b = 0; b < 25; b += 4)
+      EXPECT_EQ(xy.hops(a, b), yx.hops(a, b));
+}
+
+}  // namespace
+}  // namespace spb::net

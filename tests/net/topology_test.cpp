@@ -1,0 +1,133 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace spb::net {
+namespace {
+
+TEST(LinearArray, Basics) {
+  LinearArray a(10);
+  EXPECT_EQ(a.node_count(), 10);
+  EXPECT_EQ(a.slots_per_node(), 2);
+  EXPECT_EQ(a.hops(0, 9), 9);
+  EXPECT_EQ(a.hops(4, 4), 0);
+  EXPECT_TRUE(a.route(3, 3).empty());
+  EXPECT_EQ(a.route(2, 5).size(), 3u);
+  EXPECT_EQ(a.route(5, 2).size(), 3u);
+}
+
+TEST(LinearArray, RouteUsesDirectedLinks) {
+  LinearArray a(4);
+  // 1 -> 3 goes through +x slots of nodes 1 and 2.
+  EXPECT_EQ(a.route(1, 3), (std::vector<LinkId>{1 * 2 + 0, 2 * 2 + 0}));
+  // 3 -> 1 through -x slots of 3 and 2: disjoint from the forward route.
+  EXPECT_EQ(a.route(3, 1), (std::vector<LinkId>{3 * 2 + 1, 2 * 2 + 1}));
+}
+
+TEST(Mesh2D, CoordinatesAreRowMajor) {
+  Mesh2D m(10, 10);
+  EXPECT_EQ(m.node_count(), 100);
+  // Node 37 sits at row 3, column 7.
+  EXPECT_EQ(m.coord(37).y, 3);
+  EXPECT_EQ(m.coord(37).x, 7);
+  EXPECT_EQ(m.node_at({7, 3, 0}), 37);
+  for (NodeId n = 0; n < m.node_count(); ++n)
+    EXPECT_EQ(m.node_at(m.coord(n)), n);
+}
+
+TEST(Mesh2D, HopsIsManhattan) {
+  Mesh2D m(6, 8);
+  EXPECT_EQ(m.hops(0, m.node_count() - 1), 5 + 7);
+  EXPECT_EQ(m.hops(10, 10), 0);
+  for (NodeId a = 0; a < m.node_count(); a += 7)
+    for (NodeId b = 0; b < m.node_count(); b += 5)
+      EXPECT_EQ(static_cast<int>(m.route(a, b).size()), m.hops(a, b));
+}
+
+TEST(Mesh2D, RoutesAreXFirst) {
+  Mesh2D m(4, 4);
+  // (0,0) -> (3,3): first 3 +x links along row 0, then 3 +y links down
+  // column 3.
+  const auto path = m.route(0, 15);
+  ASSERT_EQ(path.size(), 6u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(path[static_cast<std::size_t>(i)] % 4, 0) << "expected +x";
+  for (int i = 3; i < 6; ++i)
+    EXPECT_EQ(path[static_cast<std::size_t>(i)] % 4, 2) << "expected +y";
+}
+
+TEST(Mesh2D, OppositeRoutesShareNoDirectedLinks) {
+  Mesh2D m(5, 7);
+  const auto fwd = m.route(2, 32);
+  const auto back = m.route(32, 2);
+  const std::set<LinkId> fwd_set(fwd.begin(), fwd.end());
+  for (const LinkId l : back) EXPECT_EQ(fwd_set.count(l), 0u);
+}
+
+TEST(Torus3D, CoordinateRoundTrip) {
+  Torus3D t(8, 8, 8);
+  EXPECT_EQ(t.node_count(), 512);
+  for (NodeId n = 0; n < t.node_count(); n += 13)
+    EXPECT_EQ(t.node_at(t.coord(n)), n);
+}
+
+TEST(Torus3D, WraparoundShortensRoutes) {
+  Torus3D t(8, 1, 1);
+  // 0 -> 7 on a ring of 8: one -x hop through the wraparound, not 7 +x.
+  EXPECT_EQ(t.hops(0, 7), 1);
+  EXPECT_EQ(t.route(0, 7).size(), 1u);
+  // Distance 4 is a tie; the route must still have 4 hops.
+  EXPECT_EQ(t.hops(0, 4), 4);
+}
+
+TEST(Torus3D, DiameterIsHalfDims) {
+  Torus3D t(8, 8, 8);
+  int max_hops = 0;
+  for (NodeId b = 0; b < t.node_count(); ++b)
+    max_hops = std::max(max_hops, t.hops(0, b));
+  EXPECT_EQ(max_hops, 4 + 4 + 4);
+}
+
+TEST(Torus3D, RouteLengthMatchesHopsEverywhere) {
+  Torus3D t(4, 3, 2);
+  for (NodeId a = 0; a < t.node_count(); ++a)
+    for (NodeId b = 0; b < t.node_count(); ++b)
+      EXPECT_EQ(static_cast<int>(t.route(a, b).size()), t.hops(a, b))
+          << a << "->" << b;
+}
+
+TEST(Topology, LinkIdsStayInBounds) {
+  Torus3D t(4, 3, 2);
+  for (NodeId a = 0; a < t.node_count(); ++a) {
+    for (NodeId b = 0; b < t.node_count(); ++b) {
+      for (const LinkId l : t.route(a, b)) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, t.link_space());
+      }
+    }
+  }
+}
+
+TEST(Topology, DescribeLink) {
+  Mesh2D m(3, 3);
+  // Node 4 = (1,1); slot 0 = +x.
+  EXPECT_EQ(m.describe_link(4 * 4 + 0), "link(1,1,0)+x");
+  EXPECT_THROW(m.describe_link(-1), CheckError);
+  EXPECT_THROW(m.describe_link(m.link_space()), CheckError);
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW(LinearArray(0), CheckError);
+  EXPECT_THROW(Mesh2D(0, 5), CheckError);
+  EXPECT_THROW(Torus3D(2, 0, 2), CheckError);
+  Mesh2D m(2, 2);
+  EXPECT_THROW(m.route(0, 4), CheckError);
+  EXPECT_THROW(m.coord(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::net

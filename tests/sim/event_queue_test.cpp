@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spb::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) q.push(7.0, [&, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, MixedTimesStableWithinTies) {
+  EventQueue q;
+  Rng rng(31);
+  std::vector<std::pair<double, int>> popped;
+  int seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = static_cast<double>(rng.next_below(10));
+    const int id = seq++;
+    q.push(t, [&popped, t, id] { popped.push_back({t, id}); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(popped.size(), 500u);
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1].first, popped[i].first);
+    if (popped[i - 1].first == popped[i].first) {
+      EXPECT_LT(popped[i - 1].second, popped[i].second);
+    }
+  }
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), CheckError);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.push(0.0, nullptr), CheckError);
+}
+
+TEST(EventQueue, CountsPushes) {
+  EventQueue q;
+  EXPECT_EQ(q.pushed(), 0u);
+  q.push(0.0, [] {});
+  q.push(1.0, [] {});
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.pushed(), 2u);  // pops do not change the push count
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spb::sim

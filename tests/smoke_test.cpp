@@ -1,0 +1,34 @@
+// End-to-end smoke: every algorithm broadcasts correctly on a small
+// Paragon and a small T3D with a couple of distributions.  The per-module
+// suites dig into details; this one catches wiring breakage fast.
+#include <gtest/gtest.h>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(Smoke, AllAlgorithmsParagon6x8) {
+  const auto machine = machine::paragon(6, 8);
+  for (const auto& alg : all_algorithms()) {
+    for (const dist::Kind kind :
+         {dist::Kind::kEqual, dist::Kind::kSquare, dist::Kind::kRow}) {
+      const Problem pb = make_problem(machine, kind, 11, 512);
+      const RunResult r = run(*alg, pb);
+      EXPECT_GT(r.time_us, 0) << alg->name();
+    }
+  }
+}
+
+TEST(Smoke, AllAlgorithmsT3D32) {
+  const auto machine = machine::t3d(32);
+  for (const auto& alg : all_algorithms()) {
+    const Problem pb = make_problem(machine, dist::Kind::kEqual, 7, 1024);
+    const RunResult r = run(*alg, pb);
+    EXPECT_GT(r.time_us, 0) << alg->name();
+  }
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,173 @@
+// The central correctness sweep: every algorithm must deliver every
+// source's message to every rank, across machine shapes, distribution
+// families, source counts and message lengths.  Parameterized so each
+// combination is its own ctest case.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+#include "stop/verify.h"
+
+namespace spb::stop {
+namespace {
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& a : all_algorithms()) names.push_back(a->name());
+  return names;
+}
+
+// ------------------------------------------------- sweep over algorithms
+
+using SweepParam = std::tuple<std::string /*algorithm*/, int /*rows*/,
+                              int /*cols*/, dist::Kind>;
+
+class AlgorithmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AlgorithmSweep, BroadcastsCorrectly) {
+  const auto& [name, rows, cols, kind] = GetParam();
+  const auto alg = find_algorithm(name);
+  const auto machine = machine::paragon(rows, cols);
+  const int p = rows * cols;
+  if (p == 1 && name.rfind("Part", 0) == 0)
+    GTEST_SKIP() << "cannot partition a single processor";
+  // A spread of source counts: 1, a few, about half, all.
+  for (const int s : {1, 3, (p + 1) / 2, p}) {
+    if (s > p) continue;
+    const Problem pb = make_problem(machine, kind, s, 512);
+    const RunResult r = run(*alg, pb);  // run() verifies internally
+    EXPECT_GE(r.time_us, 0);            // p == 1 legitimately takes 0 time
+    if (p > 1) {
+      EXPECT_GT(r.time_us, 0);
+    }
+    EXPECT_EQ(r.final_payloads.size(), static_cast<std::size_t>(p));
+    EXPECT_TRUE(verify_broadcast(pb, r.final_payloads).ok);
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& [name, rows, cols, kind] = info.param;
+  std::string n = name + "_" + std::to_string(rows) + "x" +
+                  std::to_string(cols) + "_" + dist::kind_name(kind);
+  for (char& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmSweep,
+    ::testing::Combine(::testing::ValuesIn(algorithm_names()),
+                       ::testing::Values(4), ::testing::Values(5),
+                       ::testing::Values(dist::Kind::kEqual,
+                                         dist::Kind::kSquare,
+                                         dist::Kind::kCross,
+                                         dist::Kind::kDiagRight)),
+    sweep_name);
+
+// Mesh-shape sweep with a fixed pair of algorithms that exercise both the
+// linear and the two-phase paths.
+INSTANTIATE_TEST_SUITE_P(
+    MeshShapes, AlgorithmSweep,
+    ::testing::Combine(::testing::Values(std::string("Br_Lin"),
+                                         std::string("Br_xy_source"),
+                                         std::string("Repos_xy_dim"),
+                                         std::string("Part_xy_source")),
+                       ::testing::Values(1, 3, 7),
+                       ::testing::Values(1, 6, 11),
+                       ::testing::Values(dist::Kind::kEqual,
+                                         dist::Kind::kRandom)),
+    sweep_name);
+
+// -------------------------------------------------------- special cases
+
+TEST(Algorithms, SingleProcessorMachine) {
+  const auto machine = machine::paragon(1, 1);
+  const Problem pb = make_problem(machine, std::vector<Rank>{0}, 64);
+  for (const auto& alg : all_algorithms()) {
+    if (alg->name().rfind("Part", 0) == 0) continue;  // cannot split p=1
+    const RunResult r = run(*alg, pb);
+    EXPECT_EQ(r.final_payloads[0], mp::Payload::original(0, 64))
+        << alg->name();
+  }
+}
+
+TEST(Algorithms, TwoProcessors) {
+  const auto machine = machine::paragon(1, 2);
+  for (const auto& alg : all_algorithms()) {
+    for (const int s : {1, 2}) {
+      const Problem pb = make_problem(machine, dist::Kind::kEqual, s, 64);
+      EXPECT_NO_THROW(run(*alg, pb)) << alg->name() << " s=" << s;
+    }
+  }
+}
+
+TEST(Algorithms, SingleSourceEqualsOneToAllEverywhere) {
+  const auto machine = machine::paragon(4, 4);
+  for (const auto& alg : all_algorithms()) {
+    const Problem pb = make_problem(machine, std::vector<Rank>{9}, 2048);
+    const RunResult r = run(*alg, pb);
+    for (const auto& payload : r.final_payloads)
+      EXPECT_EQ(payload, mp::Payload::original(9, 2048)) << alg->name();
+  }
+}
+
+TEST(Algorithms, HugeAndTinyMessages) {
+  const auto machine = machine::paragon(4, 4);
+  for (const auto& alg : all_algorithms()) {
+    for (const Bytes length : {Bytes{1}, Bytes{32}, Bytes{1 << 20}}) {
+      const Problem pb = make_problem(machine, dist::Kind::kEqual, 5, length);
+      EXPECT_NO_THROW(run(*alg, pb))
+          << alg->name() << " L=" << length;
+    }
+  }
+}
+
+TEST(Algorithms, T3DConfigurationsAreCorrectToo) {
+  for (const int p : {2, 13, 32}) {
+    const auto machine = machine::t3d(p, /*seed=*/7);
+    for (const auto& alg : all_algorithms()) {
+      const Problem pb =
+          make_problem(machine, dist::Kind::kRandom, (p + 2) / 3, 1024, 5);
+      EXPECT_NO_THROW(run(*alg, pb)) << alg->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(Algorithms, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const auto& alg : all_algorithms()) {
+    EXPECT_TRUE(names.insert(alg->name()).second) << alg->name();
+    EXPECT_EQ(find_algorithm(alg->name())->name(), alg->name());
+  }
+  EXPECT_EQ(names.size(), 17u);
+  EXPECT_THROW(find_algorithm("nope"), CheckError);
+}
+
+TEST(Algorithms, MpiFlavorsAreSlowerOnParagon) {
+  // The paper: "a performance loss of 2 to 5% in every MPI implementation".
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 16, 4096);
+  const double nx_two_step = run_ms(*make_two_step(false), pb);
+  const double mpi_two_step = run_ms(*make_two_step(true), pb);
+  EXPECT_GT(mpi_two_step, nx_two_step);
+  const double nx_pers = run_ms(*make_pers_alltoall(false), pb);
+  const double mpi_pers = run_ms(*make_pers_alltoall(true), pb);
+  EXPECT_GT(mpi_pers, nx_pers);
+}
+
+TEST(Algorithms, DeterministicResults) {
+  const auto machine = machine::paragon(6, 6);
+  const Problem pb = make_problem(machine, dist::Kind::kCross, 12, 1024);
+  for (const auto& alg : all_algorithms()) {
+    const double a = run_ms(*alg, pb);
+    const double b = run_ms(*alg, pb);
+    EXPECT_EQ(a, b) << alg->name();
+  }
+}
+
+}  // namespace
+}  // namespace spb::stop

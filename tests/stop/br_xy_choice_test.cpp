@@ -1,0 +1,79 @@
+// Unit tests for the dimension-order decisions of Br_xy_source and
+// Br_xy_dim — the single rule Figure 6 hinges on.
+#include <gtest/gtest.h>
+
+#include "stop/br_xy.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+Frame frame_for(int rows, int cols, const std::vector<Rank>& sources) {
+  const Problem pb =
+      make_problem(machine::paragon(rows, cols), sources, 256);
+  return Frame::whole(pb);
+}
+
+TEST(BrXyChoice, SourceRuleFollowsMaxCounts) {
+  const BrXySource alg;
+  // Row distribution R(30) on 10x10: max_r = 10 >= max_c = 3 -> columns
+  // first (rows_first == false).
+  const Problem row_pb =
+      make_problem(machine::paragon(10, 10), dist::Kind::kRow, 30, 256);
+  EXPECT_FALSE(alg.rows_first(Frame::whole(row_pb)));
+  // Column distribution: max_r = 3 < max_c = 10 -> rows first.
+  const Problem col_pb =
+      make_problem(machine::paragon(10, 10), dist::Kind::kColumn, 30, 256);
+  EXPECT_TRUE(alg.rows_first(Frame::whole(col_pb)));
+}
+
+TEST(BrXyChoice, SourceRuleTieGoesToColumns) {
+  // "If max_r < max_c, rows are selected first.  Otherwise, the columns."
+  const BrXySource alg;
+  // One source: max_r == max_c == 1 -> columns first.
+  EXPECT_FALSE(alg.rows_first(frame_for(4, 4, {5})));
+  // Perfect diagonal: equal counts everywhere -> columns first.
+  EXPECT_FALSE(alg.rows_first(frame_for(4, 4, {0, 5, 10, 15})));
+}
+
+TEST(BrXyChoice, DimRuleUsesShapeOnly) {
+  const BrXyDim alg;
+  // "Br_xy_dim selects the rows if r >= c."
+  EXPECT_TRUE(alg.rows_first(frame_for(4, 4, {0})));   // square: rows
+  EXPECT_TRUE(alg.rows_first(frame_for(6, 4, {0})));   // tall: rows
+  EXPECT_FALSE(alg.rows_first(frame_for(4, 6, {0})));  // wide: columns
+  // The sources are irrelevant to Br_xy_dim.
+  const Problem row_pb =
+      make_problem(machine::paragon(4, 6), dist::Kind::kRow, 12, 256);
+  const Problem col_pb =
+      make_problem(machine::paragon(4, 6), dist::Kind::kColumn, 12, 256);
+  EXPECT_EQ(alg.rows_first(Frame::whole(row_pb)),
+            alg.rows_first(Frame::whole(col_pb)));
+}
+
+TEST(BrXyChoice, AlgorithmsAgreeWhenTheRuleAgrees) {
+  // For the column distribution on a square mesh both rules choose rows
+  // first, so their runs must be identical (same plan, same timing).
+  const Problem pb =
+      make_problem(machine::paragon(8, 8), dist::Kind::kColumn, 16, 1024);
+  EXPECT_DOUBLE_EQ(run_ms(*make_br_xy_source(), pb),
+                   run_ms(*make_br_xy_dim(), pb));
+}
+
+TEST(BrXyChoice, SourceRuleBeatsOrMatchesDimRule) {
+  // Br_xy_source exists because its choice adapts; over the distribution
+  // families it must never lose meaningfully to the blind rule.  (On
+  // balanced patterns — diagonals, bands — the two rules pick opposite
+  // but equally valid orders and physical effects give either a few
+  // percent; 5% headroom covers that.)
+  const auto machine = machine::paragon(10, 10);
+  for (const dist::Kind kind : dist::all_kinds()) {
+    const Problem pb = make_problem(machine, kind, 30, 2048);
+    EXPECT_LE(run_ms(*make_br_xy_source(), pb),
+              run_ms(*make_br_xy_dim(), pb) * 1.05)
+        << dist::kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,142 @@
+// Failure injection: sabotage algorithms in targeted ways and verify the
+// harness catches every class of fault — wrong results via verification,
+// hangs via deadlock detection, plan inconsistencies via the engine's
+// preconditions.  A verifier that never fires is no verifier.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coll/engine.h"
+#include "coll/halving.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+Problem small_problem() {
+  return make_problem(machine::paragon(2, 4), std::vector<Rank>{1, 5}, 256);
+}
+
+/// Runs Br_Lin but rank `victim` drops one chunk at the end.
+class DropsChunk final : public Algorithm {
+ public:
+  explicit DropsChunk(Rank victim) : victim_(victim) {}
+  std::string name() const override { return "DropsChunk"; }
+  ProgramFactory prepare(const Frame& frame) const override {
+    ProgramFactory inner = make_br_lin()->prepare(frame);
+    const Rank victim = victim_;
+    return [inner, victim](mp::Comm& comm, mp::Payload& data) {
+      return sabotage(comm, data, inner, victim);
+    };
+  }
+
+ private:
+  static sim::Task sabotage(mp::Comm& comm, mp::Payload& data,
+                            ProgramFactory inner, Rank victim) {
+    co_await inner(comm, data);
+    if (comm.rank() == victim) {
+      // Lose the first source's chunk.
+      auto chunks = data.chunks();
+      chunks.erase(chunks.begin());
+      data = mp::Payload::of(std::move(chunks));
+    }
+  }
+  Rank victim_;
+};
+
+TEST(FailureInjection, VerificationCatchesDroppedChunk) {
+  const Problem pb = small_problem();
+  const DropsChunk bad(3);
+  try {
+    run(bad, pb);
+    FAIL() << "expected verification to throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailureInjection, VerificationCanBeDisabledForProfiling) {
+  const Problem pb = small_problem();
+  const DropsChunk bad(3);
+  EXPECT_NO_THROW(run(bad, pb, {.verify = false}));
+}
+
+/// Rank 0 waits for a message nobody sends.
+class HangsForever final : public Algorithm {
+ public:
+  std::string name() const override { return "HangsForever"; }
+  ProgramFactory prepare(const Frame& frame) const override {
+    ProgramFactory inner = make_br_lin()->prepare(frame);
+    return [inner](mp::Comm& comm, mp::Payload& data) {
+      return hang(comm, data, inner);
+    };
+  }
+
+ private:
+  static sim::Task hang(mp::Comm& comm, mp::Payload& data,
+                        ProgramFactory inner) {
+    co_await inner(comm, data);
+    if (comm.rank() == 0)
+      (void)co_await comm.recv(1, /*tag=*/17);  // never sent
+  }
+};
+
+TEST(FailureInjection, DeadlockDetectorNamesTheStuckRank) {
+  const Problem pb = small_problem();
+  const HangsForever bad;
+  try {
+    run(bad, pb);
+    FAIL() << "expected DeadlockError";
+  } catch (const mp::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 of 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0 blocked in recv(1)"), std::string::npos)
+        << what;
+  }
+}
+
+/// A schedule that marks an empty rank as a sender must trip the engine's
+/// precondition, not silently send garbage.
+TEST(FailureInjection, EngineRejectsInconsistentPlan) {
+  const auto machine = machine::paragon(1, 2);
+  mp::Runtime rt = machine.make_runtime(false);
+  auto seq = std::make_shared<const std::vector<Rank>>(
+      std::vector<Rank>{0, 1});
+  // Claim rank 0 holds data although its payload is empty.
+  auto sched = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute({1, 0}));
+  mp::Payload d0;  // empty, contradicting the schedule
+  mp::Payload d1;
+  rt.spawn(0, coll::run_halving(rt.comm(0), seq, 0, sched, d0, {}));
+  rt.spawn(1, coll::run_halving(rt.comm(1), seq, 1, sched, d1, {}));
+  EXPECT_THROW(rt.run(), CheckError);
+}
+
+/// A message delivering a duplicate source through a non-dedup merge is an
+/// algorithm bug and must surface as CheckError, not silent corruption.
+TEST(FailureInjection, DuplicateDeliveryIsLoud) {
+  const auto machine = machine::paragon(1, 2);
+  mp::Runtime rt = machine.make_runtime(false);
+  struct Progs {
+    static sim::Task sender(mp::Comm& comm) {
+      mp::Payload a = mp::Payload::original(0, 64);
+      co_await comm.send(1, a);
+      co_await comm.send(1, a);  // the same original twice
+    }
+    static sim::Task receiver(mp::Comm& comm, mp::Payload& data) {
+      mp::Message m1 = co_await comm.recv(0);
+      mp::Message m2 = co_await comm.recv(0);
+      data.merge(m1.payload);
+      data.merge(m2.payload);  // duplicate source 0: must throw
+    }
+  };
+  mp::Payload sink;
+  rt.spawn(0, Progs::sender(rt.comm(0)));
+  rt.spawn(1, Progs::receiver(rt.comm(1), sink));
+  EXPECT_THROW(rt.run(), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,84 @@
+#include "stop/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace spb::stop {
+namespace {
+
+Problem small_problem() {
+  return make_problem(machine::paragon(3, 4), std::vector<Rank>{1, 5, 10},
+                      256);
+}
+
+TEST(Frame, WholeCoversTheMachine) {
+  const Frame f = Frame::whole(small_problem());
+  EXPECT_EQ(f.size(), 12);
+  EXPECT_EQ(f.rows(), 3);
+  EXPECT_EQ(f.cols(), 4);
+  for (Rank r = 0; r < 12; ++r) {
+    EXPECT_TRUE(f.contains(r));
+    EXPECT_EQ(f.position_of(r), r);
+    EXPECT_EQ(f.rank_at(r), r);
+  }
+  EXPECT_EQ(f.sources(), (std::vector<Rank>{1, 5, 10}));
+  EXPECT_EQ(f.message_bytes(), 256u);
+}
+
+TEST(Frame, ActiveFlagsMatchSources) {
+  const Frame f = Frame::whole(small_problem());
+  const auto flags = f.active_flags();
+  for (Rank r = 0; r < 12; ++r)
+    EXPECT_EQ(flags[static_cast<std::size_t>(r)] != 0,
+              r == 1 || r == 5 || r == 10);
+}
+
+TEST(Frame, SubFrameRemapsPositions) {
+  // Right half of a 2x4 mesh: ranks {2,3,6,7} as a 2x2 grid.
+  const Frame f =
+      Frame::sub({2, 3, 6, 7}, 2, 2, {3, 6}, 128);
+  EXPECT_EQ(f.size(), 4);
+  EXPECT_EQ(f.position_of(2), 0);
+  EXPECT_EQ(f.position_of(7), 3);
+  EXPECT_FALSE(f.contains(0));
+  EXPECT_THROW(f.position_of(0), CheckError);
+  const auto flags = f.active_flags();
+  EXPECT_EQ(flags, (std::vector<char>{0, 1, 1, 0}));
+}
+
+TEST(Frame, SourceCountsUseFrameGeometry) {
+  const Frame f = Frame::sub({2, 3, 6, 7}, 2, 2, {3, 6}, 128);
+  // 3 is at (0,1), 6 at (1,0).
+  EXPECT_EQ(f.row_source_counts(), (std::vector<int>{1, 1}));
+  EXPECT_EQ(f.col_source_counts(), (std::vector<int>{1, 1}));
+}
+
+TEST(Frame, HintsPropagateFromMachine) {
+  auto m = machine::t3d(16);
+  const Problem pb = make_problem(m, std::vector<Rank>{0}, 64);
+  const Frame f = Frame::whole(pb);
+  EXPECT_EQ(f.hints().bcast_segment_bytes, m.bcast_segment_bytes);
+}
+
+TEST(Frame, Validation) {
+  EXPECT_THROW(Frame::sub({}, 1, 1, {}, 64), CheckError);
+  EXPECT_THROW(Frame::sub({0, 1, 2}, 2, 2, {}, 64), CheckError);  // 3 != 4
+  EXPECT_THROW(Frame::sub({0, 0}, 1, 2, {}, 64), CheckError);  // duplicate
+  EXPECT_THROW(Frame::sub({0, 1}, 1, 2, {7}, 64), CheckError);  // alien src
+  EXPECT_THROW(Frame::sub({0, 1}, 1, 2, {1, 0}, 64), CheckError);  // unsorted
+}
+
+TEST(Problem, Validation) {
+  auto m = machine::paragon(2, 2);
+  EXPECT_THROW(make_problem(m, std::vector<Rank>{}, 64), CheckError);
+  EXPECT_THROW(make_problem(m, std::vector<Rank>{0, 0}, 64), CheckError);
+  EXPECT_THROW(make_problem(m, std::vector<Rank>{4}, 64), CheckError);
+  EXPECT_THROW(make_problem(m, std::vector<Rank>{0}, 0), CheckError);
+  // Unsorted input is fine — make_problem sorts.
+  const Problem pb = make_problem(m, std::vector<Rank>{3, 0}, 64);
+  EXPECT_EQ(pb.sources, (std::vector<Rank>{0, 3}));
+}
+
+}  // namespace
+}  // namespace spb::stop

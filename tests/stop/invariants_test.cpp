@@ -1,0 +1,78 @@
+// Cross-cutting invariants, swept over every algorithm on both machines:
+// conservation (every send is received), physical lower bounds (no run
+// finishes faster than its own byte movement allows), and metric sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& a : all_algorithms()) names.push_back(a->name());
+  return names;
+}
+
+using Param = std::tuple<std::string, bool /*t3d*/>;
+
+class InvariantSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(InvariantSweep, ConservationBoundsAndSanity) {
+  const auto& [name, on_t3d] = GetParam();
+  const auto alg = find_algorithm(name);
+  const machine::MachineConfig machine =
+      on_t3d ? machine::t3d(36) : machine::paragon(6, 6);
+  const Problem pb = make_problem(machine, dist::Kind::kRandom, 9, 2048, 4);
+  const RunResult r = run(*alg, pb);
+  const auto& m = r.outcome.metrics;
+
+  // Conservation: every message sent is received, and the network saw
+  // exactly that many transfers.
+  EXPECT_EQ(m.total_sends, m.total_recvs);
+  EXPECT_EQ(r.outcome.network.transfers, m.total_sends);
+
+  // Physical lower bound: the slowest rank received at least the s-1
+  // foreign originals; ejecting those bytes takes wire time, and each
+  // message costs at least the receive overhead.
+  const double foreign_bytes = 8.0 * 2048.0;
+  const double lower =
+      foreign_bytes / machine.net.bytes_per_us +
+      machine.comm.recv_overhead_us;
+  EXPECT_GE(r.time_us, lower) << name;
+
+  // Metric sanity.
+  EXPECT_LE(m.av_act_proc, static_cast<double>(pb.p()));
+  EXPECT_GT(m.av_act_proc, 0.0);
+  EXPECT_GE(m.congestion, 1u);
+  EXPECT_GE(m.av_msg_lgth, 2048.0);  // at least one original per message
+  EXPECT_GT(r.outcome.network.total_bytes, foreign_bytes);
+
+  // The per-link busy times must sum to the aggregate counter.
+  double sum = 0;
+  for (const double b : r.outcome.link_busy_us) sum += b;
+  EXPECT_NEAR(sum, r.outcome.network.total_link_busy_us,
+              1e-6 * std::max(1.0, sum));
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string n = std::get<0>(info.param) +
+                  (std::get<1>(info.param) ? "_t3d" : "_paragon");
+  for (char& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, InvariantSweep,
+    ::testing::Combine(::testing::ValuesIn(algorithm_names()),
+                       ::testing::Bool()),
+    param_name);
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,116 @@
+// Exact message-count characterization of every algorithm — the discrete
+// skeleton behind the paper's #send/rec column, pinned as equalities so a
+// refactor that silently changes a communication structure fails here.
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "dist/ideal.h"
+#include "stop/allgatherv_rd.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+std::uint64_t sends_of(const AlgorithmPtr& alg, const Problem& pb) {
+  return run(*alg, pb).outcome.metrics.total_sends;
+}
+
+TEST(MessageCounts, TwoStepIsGatherPlusTree) {
+  // Gather: one message per non-root source; broadcast: p-1 tree edges.
+  const auto machine = machine::paragon(4, 4);  // p = 16
+  for (const int s : {1, 5, 16}) {
+    const Problem pb = make_problem(machine, dist::Kind::kEqual, s, 256);
+    const bool root_is_source = pb.sources.front() == 0;
+    const std::uint64_t gather = static_cast<std::uint64_t>(s) -
+                                 (root_is_source ? 1 : 0);
+    EXPECT_EQ(sends_of(make_two_step(false), pb), gather + 15u)
+        << "s=" << s;
+  }
+}
+
+TEST(MessageCounts, PersAlltoAllIsSTimesPMinusOne) {
+  const auto machine = machine::paragon(4, 4);
+  for (const int s : {1, 7, 16}) {
+    const Problem pb = make_problem(machine, dist::Kind::kEqual, s, 256);
+    EXPECT_EQ(sends_of(make_pers_alltoall(false), pb),
+              static_cast<std::uint64_t>(s) * 15u)
+        << "s=" << s;
+  }
+}
+
+TEST(MessageCounts, BrLinSingleSourceIsATree) {
+  // One source: the halving pattern degenerates to a broadcast tree with
+  // exactly p-1 one-sided sends.
+  for (const int p : {2, 8, 15, 16}) {
+    const auto machine = machine::paragon(1, p);
+    const Problem pb = make_problem(machine, std::vector<Rank>{0}, 256);
+    EXPECT_EQ(sends_of(make_br_lin(), pb),
+              static_cast<std::uint64_t>(p) - 1u)
+        << "p=" << p;
+  }
+}
+
+TEST(MessageCounts, BrLinAllActivePowerOfTwoIsPLogP) {
+  // Everyone a source on 2^k ranks: every iteration is a full pairwise
+  // exchange — p messages per iteration, log2(p) iterations.
+  for (const int p : {4, 16, 64}) {
+    const auto machine = machine::paragon(1, p);
+    const Problem pb = make_problem(machine, dist::Kind::kEqual, p, 64);
+    EXPECT_EQ(sends_of(make_br_lin(), pb),
+              static_cast<std::uint64_t>(p) *
+                  static_cast<std::uint64_t>(ilog2_floor(p)))
+        << "p=" << p;
+  }
+}
+
+TEST(MessageCounts, AllgathervRdMatchesBrLinExactly) {
+  const auto machine = machine::paragon(5, 5);
+  const Problem pb = make_problem(machine, dist::Kind::kRandom, 9, 512, 3);
+  EXPECT_EQ(sends_of(make_allgatherv_rd(), pb),
+            sends_of(make_br_lin(), pb));
+}
+
+TEST(MessageCounts, RepositioningAddsExactlyTheMovers) {
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kSquare, 16, 512);
+  const auto base = make_br_xy_source();
+  const auto repos = make_repositioning(base);
+  // The repositioned broadcast runs on the ideal distribution.
+  const Problem ideal_pb =
+      make_problem(machine, dist::ideal_rows({8, 8}, 16), 512);
+  const std::uint64_t base_on_ideal = sends_of(base, ideal_pb);
+  const std::uint64_t repos_total = sends_of(repos, pb);
+  const std::uint64_t movers = repos_total - base_on_ideal;
+  EXPECT_GT(movers, 0u);
+  EXPECT_LE(movers, 16u);
+}
+
+TEST(MessageCounts, PartitioningAddsPermutationPlusExchange)  {
+  // p1 == p2 == 32 on 8x8: the final exchange is one mutual swap per pair
+  // (2 * 32 messages) on top of the two half-machine broadcasts and the
+  // initial permutation (at most s messages).
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 16, 512);
+  const auto part = make_partitioning(make_br_lin());
+  const std::uint64_t total = sends_of(part, pb);
+  EXPECT_GE(total, 64u);  // at least the final exchange
+  EXPECT_LE(total, 64u + 16u + 2u * 32u * 5u);  // exchange + permutation +
+                                                // two halving broadcasts
+}
+
+TEST(MessageCounts, WireBytesScaleWithChunkTraffic) {
+  // Doubling L must exactly double the payload part of the traffic for a
+  // non-combining algorithm (envelope bytes are L-independent).
+  const auto machine = machine::paragon(4, 4);
+  const Problem small = make_problem(machine, dist::Kind::kEqual, 4, 1024);
+  const Problem large = make_problem(machine, dist::Kind::kEqual, 4, 2048);
+  const auto alg = make_pers_alltoall(false);
+  const auto bytes_small = run(*alg, small).outcome.network.total_bytes;
+  const auto bytes_large = run(*alg, large).outcome.network.total_bytes;
+  const std::uint64_t messages = 4u * 15u;
+  EXPECT_EQ(bytes_large - bytes_small, messages * 1024u);
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,84 @@
+// Behavioural tests for the extension algorithms: Allgatherv_RD (modern
+// recursive halving/doubling allgatherv) and Uncoord_1toAll (the paper's
+// dismissed independent-broadcast approach).
+#include <gtest/gtest.h>
+
+#include "stop/algorithm.h"
+#include "stop/allgatherv_rd.h"
+#include "stop/run.h"
+#include "stop/uncoordinated.h"
+#include "stop/verify.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(AllgathervRd, IsBrLinWithoutCombining) {
+  // Same merge pattern, no combining cost: strictly faster than Br_Lin
+  // whenever combining costs anything, with identical message structure.
+  const auto machine = machine::t3d(64);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 24, 4096);
+  const RunResult modern = run(*make_allgatherv_rd(), pb);
+  const RunResult br = run(*make_br_lin(), pb);
+  EXPECT_LT(modern.time_us, br.time_us);
+  EXPECT_EQ(modern.outcome.metrics.total_sends,
+            br.outcome.metrics.total_sends);
+  EXPECT_EQ(modern.outcome.metrics.total_bytes_sent,
+            br.outcome.metrics.total_bytes_sent);
+}
+
+TEST(AllgathervRd, MpiFlavored) {
+  EXPECT_TRUE(make_allgatherv_rd()->mpi_flavored());
+  EXPECT_EQ(make_allgatherv_rd()->name(), "Allgatherv_RD");
+}
+
+TEST(AllgathervRd, CorrectAcrossDistributions) {
+  const auto machine = machine::paragon(5, 7);
+  for (const dist::Kind kind : dist::all_kinds()) {
+    const Problem pb = make_problem(machine, kind, 13, 512);
+    EXPECT_NO_THROW(run(*make_allgatherv_rd(), pb))
+        << dist::kind_name(kind);
+  }
+}
+
+TEST(Uncoordinated, MessageCountIsSTimesPMinusOne) {
+  const auto machine = machine::paragon(4, 4);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 5, 256);
+  const RunResult r = run(*make_uncoordinated(), pb);
+  EXPECT_EQ(r.outcome.metrics.total_sends, 5u * 15u);
+  EXPECT_EQ(r.outcome.metrics.total_recvs, 5u * 15u);
+}
+
+TEST(Uncoordinated, NeverCombines) {
+  // Every message on the wire carries exactly one original.
+  const auto machine = machine::paragon(4, 4);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 6, 1000);
+  const RunResult r = run(*make_uncoordinated(), pb);
+  EXPECT_LT(r.outcome.metrics.av_msg_lgth, 1000.0 + 64.0);
+}
+
+TEST(Uncoordinated, HandlesEdgeCases) {
+  // Single source: degenerates to one broadcast tree.
+  const Problem one =
+      make_problem(machine::paragon(3, 3), std::vector<Rank>{4}, 128);
+  const RunResult r1 = run(*make_uncoordinated(), one);
+  EXPECT_EQ(r1.outcome.metrics.total_sends, 8u);
+  // All sources: the full flood.
+  const Problem all = make_problem(machine::paragon(2, 3),
+                                   dist::Kind::kEqual, 6, 128);
+  EXPECT_NO_THROW(run(*make_uncoordinated(), all));
+  // Single processor: nothing to do.
+  const Problem solo =
+      make_problem(machine::paragon(1, 1), std::vector<Rank>{0}, 128);
+  EXPECT_NO_THROW(run(*make_uncoordinated(), solo));
+}
+
+TEST(Uncoordinated, VariedLengthsWork) {
+  const auto machine = machine::paragon(4, 5);
+  Problem pb = make_problem(machine, dist::Kind::kRandom, 7, 2048, 3);
+  pb = with_varied_lengths(std::move(pb), 0.5, 21);
+  const RunResult r = run(*make_uncoordinated(), pb);
+  EXPECT_TRUE(verify_broadcast(pb, r.final_payloads).ok);
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,135 @@
+#include "stop/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(PartitionSplit, SplitsTheLongerDimension) {
+  const Problem wide =
+      make_problem(machine::paragon(4, 10), std::vector<Rank>{0}, 64);
+  const auto sw = PartitionSplit::compute(Frame::whole(wide));
+  EXPECT_EQ(sw.cols1, 5);
+  EXPECT_EQ(sw.cols2, 5);
+  EXPECT_EQ(sw.rows1, 4);
+  EXPECT_EQ(sw.g1.size(), 20u);
+  // G1 = left columns: rank 0 in G1, rank 5 (row 0, col 5) in G2.
+  EXPECT_EQ(sw.g1[0], 0);
+  EXPECT_EQ(sw.g2[0], 5);
+
+  const Problem tall =
+      make_problem(machine::paragon(10, 3), std::vector<Rank>{0}, 64);
+  const auto st = PartitionSplit::compute(Frame::whole(tall));
+  EXPECT_EQ(st.rows1, 5);
+  EXPECT_EQ(st.rows2, 5);
+  EXPECT_EQ(st.cols1, 3);
+}
+
+TEST(PartitionSplit, OddDimensionsGiveSmallerG1) {
+  const Problem pb =
+      make_problem(machine::paragon(4, 7), std::vector<Rank>{0}, 64);
+  const auto s = PartitionSplit::compute(Frame::whole(pb));
+  EXPECT_EQ(s.cols1, 3);
+  EXPECT_EQ(s.cols2, 4);
+  EXPECT_LE(s.g1.size(), s.g2.size());
+  // Groups partition the rank set.
+  std::set<Rank> all(s.g1.begin(), s.g1.end());
+  all.insert(s.g2.begin(), s.g2.end());
+  EXPECT_EQ(all.size(), 28u);
+}
+
+TEST(PartitionShare, ProportionalAndClamped) {
+  // p1 == p2: half each (rounhalf up).
+  EXPECT_EQ(partition_share(10, 32, 32), 5);
+  EXPECT_EQ(partition_share(11, 32, 32), 6);
+  // Proportional to group size.
+  EXPECT_EQ(partition_share(12, 16, 32), 4);
+  // Rounded proportional share: 60 * 16 / 80.
+  EXPECT_EQ(partition_share(60, 16, 64), 12);
+  EXPECT_EQ(partition_share(60, 64, 16), 48);
+  // Invariant sweep: the share is feasible and near-proportional for every
+  // feasible (s, p1, p2).
+  for (const int p1 : {1, 3, 8, 16}) {
+    for (const int p2 : {1, 4, 8, 32}) {
+      for (int s = 0; s <= p1 + p2; ++s) {
+        const int s1 = partition_share(s, p1, p2);
+        ASSERT_GE(s1, 0);
+        ASSERT_LE(s1, std::min(s, p1));
+        ASSERT_LE(s - s1, p2);
+        const double exact =
+            static_cast<double>(s) * p1 / (p1 + p2);
+        ASSERT_LE(std::abs(s1 - exact), 1.0 + 1e-9)
+            << "s=" << s << " p1=" << p1 << " p2=" << p2;
+      }
+    }
+  }
+  // Degenerate: one source.
+  for (const int s1 : {partition_share(1, 8, 8)}) EXPECT_TRUE(s1 == 0 || s1 == 1);
+}
+
+TEST(Partitioning, NamesFollowThePaper) {
+  EXPECT_EQ(make_partitioning(make_br_lin())->name(), "Part_Lin");
+  EXPECT_EQ(make_partitioning(make_br_xy_source())->name(),
+            "Part_xy_source");
+  EXPECT_EQ(make_partitioning(make_br_xy_dim())->name(), "Part_xy_dim");
+}
+
+TEST(Partitioning, CorrectAcrossDistributionsAndShapes) {
+  for (const auto& machine :
+       {machine::paragon(6, 8), machine::paragon(5, 7),
+        machine::paragon(1, 9), machine::paragon(9, 1)}) {
+    for (const auto& base :
+         {make_br_lin(), make_br_xy_source(), make_br_xy_dim()}) {
+      const auto part = make_partitioning(base);
+      for (const dist::Kind kind :
+           {dist::Kind::kEqual, dist::Kind::kSquare, dist::Kind::kRandom}) {
+        for (const int s : {1, 2, machine.p / 2, machine.p}) {
+          if (s < 1) continue;
+          const Problem pb = make_problem(machine, kind, s, 512);
+          EXPECT_NO_THROW(run(*part, pb))
+              << part->name() << " " << machine.name << " s=" << s << " "
+              << dist::kind_name(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioning, SkewedSourcesEndUpBalanced) {
+  // All sources start in the left half; the repositioning must still give
+  // each group its proportional share, and the run must verify.
+  const auto machine = machine::paragon(4, 8);
+  std::vector<Rank> left_only;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 3; ++c) left_only.push_back(r * 8 + c);
+  const Problem pb = make_problem(machine, left_only, 256);
+  const auto part = make_partitioning(make_br_lin());
+  EXPECT_NO_THROW(run(*part, pb));
+}
+
+TEST(Partitioning, FinalExchangeDominatesForLargeMessages) {
+  // Part_* pays a full cross-seam permutation of s*L data at the end; the
+  // paper found this eats the gains.  Check the mechanism: partitioning
+  // must not beat plain repositioning on a big-message problem.
+  const auto machine = machine::paragon(16, 16);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 64, 8192);
+  const double part_ms = run_ms(*make_partitioning(make_br_xy_source()), pb);
+  const double repos_ms =
+      run_ms(*make_repositioning(make_br_xy_source()), pb);
+  EXPECT_GT(part_ms, repos_ms * 0.95);
+}
+
+TEST(Partitioning, SingleProcessorRejected) {
+  const Problem pb =
+      make_problem(machine::paragon(1, 1), std::vector<Rank>{0}, 64);
+  const auto part = make_partitioning(make_br_lin());
+  EXPECT_THROW(run(*part, pb), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,126 @@
+#include "stop/reposition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coll/halving.h"
+#include "dist/ideal.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(PermutationPlan, FixedPointsStay) {
+  // Sources already on targets do not move.
+  const auto plan = PermutationPlan::match({1, 4, 7}, {2, 4, 9});
+  EXPECT_EQ(plan.movers, (std::vector<Rank>{1, 7}));
+  EXPECT_EQ(plan.slots, (std::vector<Rank>{2, 9}));
+  EXPECT_EQ(plan.send_target(1), 2);
+  EXPECT_EQ(plan.send_target(7), 9);
+  EXPECT_EQ(plan.send_target(4), kNoRank);  // stays put
+  EXPECT_EQ(plan.recv_origin(2), 1);
+  EXPECT_EQ(plan.recv_origin(9), 7);
+  EXPECT_EQ(plan.recv_origin(4), kNoRank);
+  EXPECT_EQ(plan.recv_origin(1), kNoRank);
+}
+
+TEST(PermutationPlan, IdenticalSetsNeedNoTraffic) {
+  const auto plan = PermutationPlan::match({0, 3}, {0, 3});
+  EXPECT_TRUE(plan.movers.empty());
+  EXPECT_TRUE(plan.slots.empty());
+}
+
+TEST(PermutationPlan, SizeMismatchRejected) {
+  EXPECT_THROW(PermutationPlan::match({0, 1}, {2}), CheckError);
+}
+
+TEST(Repositioning, NamesFollowThePaper) {
+  EXPECT_EQ(make_repositioning(make_br_lin())->name(), "Repos_Lin");
+  EXPECT_EQ(make_repositioning(make_br_xy_source())->name(),
+            "Repos_xy_source");
+  EXPECT_EQ(make_repositioning(make_br_xy_dim())->name(), "Repos_xy_dim");
+}
+
+TEST(Repositioning, OnlyWrapsBrAlgorithms) {
+  EXPECT_THROW(make_repositioning(make_two_step(false)), CheckError);
+  EXPECT_THROW(make_partitioning(make_pers_alltoall(false)), CheckError);
+}
+
+TEST(Repositioning, TargetsAreIdealForTheBase) {
+  const Problem pb =
+      make_problem(machine::paragon(8, 8), dist::Kind::kSquare, 16, 512);
+  const Frame frame = Frame::whole(pb);
+
+  const auto repos = std::dynamic_pointer_cast<const Repositioning>(
+      make_repositioning(make_br_xy_source()));
+  ASSERT_NE(repos, nullptr);
+  const auto targets = repos->ideal_targets(frame);
+  EXPECT_EQ(targets, dist::ideal_rows(pb.grid(), 16));
+}
+
+TEST(Repositioning, RepositionedSourcesDoubleEveryIteration) {
+  // After Repos_Lin's permutation the new source set must be ideal for
+  // Br_Lin: activity doubles in the first iterations.
+  const Problem pb =
+      make_problem(machine::paragon(8, 8), dist::Kind::kSquare, 8, 512);
+  const Frame frame = Frame::whole(pb);
+  const auto repos = std::dynamic_pointer_cast<const Repositioning>(
+      make_repositioning(make_br_lin()));
+  const auto targets = repos->ideal_targets(frame);
+  std::vector<char> flags(64, 0);
+  for (const Rank t : targets) flags[static_cast<std::size_t>(t)] = 1;
+  const auto profile = coll::HalvingSchedule::activity_profile(flags);
+  EXPECT_EQ(profile[1], 16);
+  EXPECT_EQ(profile[2], 32);
+  EXPECT_EQ(profile[3], 64);
+}
+
+TEST(Repositioning, CorrectOnEveryDistribution) {
+  const auto machine = machine::paragon(6, 8);
+  for (const auto& base :
+       {make_br_lin(), make_br_xy_source(), make_br_xy_dim()}) {
+    const auto repos = make_repositioning(base);
+    for (const dist::Kind kind : dist::all_kinds()) {
+      const Problem pb = make_problem(machine, kind, 14, 1024);
+      EXPECT_NO_THROW(run(*repos, pb))
+          << repos->name() << " on " << dist::kind_name(kind);
+    }
+  }
+}
+
+TEST(Repositioning, HelpsOnSquareBlockHurtsLittleOnIdeal) {
+  // The headline behaviour (paper Section 5.2): repositioning wins on the
+  // difficult square-block distribution and costs only the permutation on
+  // an already-ideal distribution.
+  const auto machine = machine::paragon(16, 16);
+  const auto base = make_br_xy_source();
+  const auto repos = make_repositioning(base);
+
+  const Problem hard = make_problem(machine, dist::Kind::kSquare, 64, 6144);
+  EXPECT_LT(run_ms(*repos, hard), run_ms(*base, hard));
+
+  const Problem easy = make_problem(
+      machine, dist::ideal_rows({16, 16}, 64), 6144);
+  const double base_ms = run_ms(*base, easy);
+  const double repos_ms = run_ms(*repos, easy);
+  EXPECT_LT(repos_ms, base_ms * 1.25)
+      << "repositioning an ideal distribution should cost little";
+}
+
+TEST(Repositioning, AlwaysRepositionsEvenWhenIdeal) {
+  // "Our current implementations do not check whether the initial
+  // distribution is close to an ideal distribution and always reposition."
+  // With the sources exactly on the ideal targets the permutation is
+  // empty, so times match the base algorithm's plus nothing.
+  const auto machine = machine::paragon(8, 8);
+  const dist::Grid g{8, 8};
+  const auto ideal = dist::ideal_rows(g, 16);
+  const Problem pb = make_problem(machine, ideal, 1024);
+  const auto base = make_br_xy_source();
+  const auto repos = make_repositioning(base);
+  EXPECT_DOUBLE_EQ(run_ms(*repos, pb), run_ms(*base, pb));
+}
+
+}  // namespace
+}  // namespace spb::stop

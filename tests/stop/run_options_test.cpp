@@ -1,0 +1,39 @@
+// RunOptions behaviour: tracing through the harness, verification toggles.
+#include <gtest/gtest.h>
+
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(RunOptions, TraceIsOffByDefaultAndOnOnRequest) {
+  const auto machine = machine::paragon(2, 3);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 2, 256);
+  const auto alg = make_br_lin();
+
+  const RunResult plain = run(*alg, pb);
+  EXPECT_TRUE(plain.trace.empty());
+
+  const RunResult traced = run(*alg, pb, {.verify = true, .trace = true});
+  EXPECT_FALSE(traced.trace.empty());
+  // Tracing must not perturb the simulation.
+  EXPECT_DOUBLE_EQ(traced.time_us, plain.time_us);
+  // Every metric-counted send appears in the trace.
+  std::size_t sends = 0;
+  for (const auto& e : traced.trace.events())
+    if (e.kind == mp::TraceEvent::Kind::kSend) ++sends;
+  EXPECT_EQ(sends, traced.outcome.metrics.total_sends);
+}
+
+TEST(RunOptions, TraceHorizonMatchesMakespan) {
+  const auto machine = machine::paragon(3, 3);
+  const Problem pb = make_problem(machine, dist::Kind::kRandom, 4, 512, 8);
+  const RunResult r =
+      run(*make_br_xy_source(), pb, {.verify = true, .trace = true});
+  // The last handed-over receive is what completes the slowest rank.
+  EXPECT_NEAR(r.trace.horizon_us(), r.time_us, 1e-9);
+}
+
+}  // namespace
+}  // namespace spb::stop

@@ -1,0 +1,140 @@
+// Qualitative claims of the paper's evaluation, encoded as unit tests on
+// small machines (the bench/ binaries reproduce the full figures).  These
+// guard the calibration: a parameter change that flips a headline ordering
+// fails here, close to the code.
+#include <gtest/gtest.h>
+
+#include "mp/metrics.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(Shape, ParagonBrFamilyBeatsLibraryBaselines) {
+  // Figure 3's ordering: Br_Lin / Br_xy_* clearly ahead of 2-Step and
+  // PersAlltoAll on a mid-size Paragon.
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 24, 4096);
+  const double br_lin = run_ms(*make_br_lin(), pb);
+  const double br_xy = run_ms(*make_br_xy_source(), pb);
+  const double two_step = run_ms(*make_two_step(false), pb);
+  const double pers = run_ms(*make_pers_alltoall(false), pb);
+  EXPECT_LT(br_lin, two_step);
+  EXPECT_LT(br_lin, pers);
+  EXPECT_LT(br_xy, two_step);
+  EXPECT_LT(br_xy, pers);
+}
+
+TEST(Shape, ParagonPersAlltoAllFlatForTinyMessages) {
+  // Figure 4: PersAlltoAll's curve is almost flat up to ~1K because its
+  // cost is dominated by per-message overheads, not bytes.
+  const auto machine = machine::paragon(8, 8);
+  const Problem tiny =
+      make_problem(machine, dist::Kind::kDiagRight, 16, 32);
+  const Problem small =
+      make_problem(machine, dist::Kind::kDiagRight, 16, 1024);
+  const auto pers = make_pers_alltoall(false);
+  const double t_tiny = run_ms(*pers, tiny);
+  const double t_small = run_ms(*pers, small);
+  EXPECT_LT(t_small, t_tiny * 1.6)
+      << "32B -> 1K should barely move PersAlltoAll";
+}
+
+TEST(Shape, ParagonPersAlltoAllCompetitiveOnTinyMachines) {
+  // Figure 5: "PersAlltoAll is as good as any other algorithm for small
+  // machine sizes (4 to 16 processors)".
+  const auto machine = machine::paragon(2, 2);
+  const Problem pb = make_problem(machine, dist::Kind::kDiagRight, 2, 1024);
+  const double pers = run_ms(*make_pers_alltoall(false), pb);
+  const double br = run_ms(*make_br_lin(), pb);
+  EXPECT_LT(pers, br * 1.5);
+}
+
+TEST(Shape, ParagonSpreadingFixedVolumeHelps) {
+  // Figure 7: with the total message volume fixed, more sources = faster.
+  const auto machine = machine::paragon(8, 8);
+  const auto br = make_br_xy_source();
+  const Bytes total = 80 * 1024;
+  const Problem few =
+      make_problem(machine, dist::Kind::kDiagRight, 5, total / 5);
+  const Problem many =
+      make_problem(machine, dist::Kind::kDiagRight, 40, total / 40);
+  EXPECT_LT(run_ms(*br, many), run_ms(*br, few));
+}
+
+TEST(Shape, ParagonDistributionCostsGrowOnHardPatterns) {
+  // "For the Paragon, the performance obtained on ideal distributions can
+  // differ by a factor of 2 from that obtained on poor distributions."
+  // The gap widens with the message length; at 16K the cross distribution
+  // costs Br_xy_source ~1.6x the row distribution in our model.
+  const auto machine = machine::paragon(10, 10);
+  const auto alg = make_br_xy_source();
+  const Problem good = make_problem(machine, dist::Kind::kRow, 30, 16384);
+  const Problem bad = make_problem(machine, dist::Kind::kCross, 30, 16384);
+  const double ratio = run_ms(*alg, bad) / run_ms(*alg, good);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Shape, BrXyDimSuffersOnRowDistribution) {
+  // Figure 6's spike: on a square mesh Br_xy_dim processes rows first,
+  // which is exactly wrong for R(s); Br_xy_source picks columns first.
+  const auto machine = machine::paragon(10, 10);
+  const Problem pb = make_problem(machine, dist::Kind::kRow, 30, 2048);
+  const double dim = run_ms(*make_br_xy_dim(), pb);
+  const double source = run_ms(*make_br_xy_source(), pb);
+  EXPECT_GT(dim, source * 1.3);
+}
+
+TEST(Shape, T3DAlltoallWinsAtScale) {
+  // Figure 13(a) at large s: MPI_Alltoall best, Br_Lin worst.
+  const auto machine = machine::t3d(64);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 48, 4096);
+  const double alltoall = run_ms(*make_pers_alltoall(true), pb);
+  const double allgather = run_ms(*make_two_step(true), pb);
+  const double br_lin = run_ms(*make_br_lin(), pb);
+  EXPECT_LT(alltoall, allgather);
+  EXPECT_LT(alltoall, br_lin);
+  EXPECT_GT(br_lin, allgather) << "Br_Lin pays wait + combining on T3D";
+}
+
+TEST(Shape, TwoStepCongestionShowsInMetrics) {
+  // Figure 2's "congestion O(s)" column: the gather concentrates ~s
+  // receives at P0 in one iteration; Br_Lin stays O(1) per iteration.
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 32, 512);
+  const RunResult two_step = run(*make_two_step(false), pb);
+  const RunResult br_lin = run(*make_br_lin(), pb);
+  EXPECT_GE(two_step.outcome.metrics.congestion, 30u);
+  EXPECT_LE(br_lin.outcome.metrics.congestion, 6u);
+}
+
+TEST(Shape, PersAlltoallSendCountIsOrderP) {
+  // Figure 2's "#send/rec O(p)" for PersAlltoAll vs O(log p) for Br_Lin.
+  const auto machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 16, 512);
+  const RunResult pers = run(*make_pers_alltoall(false), pb);
+  const RunResult br = run(*make_br_lin(), pb);
+  EXPECT_GE(pers.outcome.metrics.max_send_recv, 63u);
+  EXPECT_LE(br.outcome.metrics.max_send_recv, 2u * 6u + 4u);
+}
+
+TEST(Shape, ContentionMatters) {
+  // The ablation claim: link/NI contention is a first-order effect for the
+  // message-flooding PersAlltoAll at large L (1.5x in our model), and the
+  // model is monotone — turning contention off never slows anything down.
+  auto machine = machine::paragon(8, 8);
+  const Problem with = make_problem(machine, dist::Kind::kEqual, 32, 16384);
+  machine.net.model_contention = false;
+  const Problem without =
+      make_problem(machine, dist::Kind::kEqual, 32, 16384);
+  const auto pers = make_pers_alltoall(false);
+  EXPECT_GT(run_ms(*pers, with), run_ms(*pers, without) * 1.3);
+  for (const auto& alg : all_algorithms())
+    EXPECT_GE(run_ms(*alg, with) * 1.0000001, run_ms(*alg, without))
+        << alg->name();
+}
+
+}  // namespace
+}  // namespace spb::stop

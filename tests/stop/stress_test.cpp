@@ -1,0 +1,42 @@
+// Full-scale stress: the paper's largest configuration (256 processors),
+// every algorithm, verified.  This is the slowest test in the suite by
+// design — it exercises the simulator at the event counts the benches
+// reach (PersAlltoAll moves 65k messages here).
+#include <gtest/gtest.h>
+
+#include "stop/algorithm.h"
+#include "stop/allgatherv_rd.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+TEST(Stress, EveryAlgorithmAt256Paragon) {
+  const auto machine = machine::paragon(16, 16);
+  for (const auto& alg : all_algorithms()) {
+    const Problem pb = make_problem(machine, dist::Kind::kEqual, 100, 4096);
+    const RunResult r = run(*alg, pb);  // verifies internally
+    EXPECT_GT(r.time_us, 0) << alg->name();
+  }
+}
+
+TEST(Stress, PersAlltoAllFullMachineFullSources) {
+  // 256 sources x 255 destinations = 65280 messages through the mesh.
+  const auto machine = machine::paragon(16, 16);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 256, 1024);
+  const RunResult r = run(*make_pers_alltoall(false), pb);
+  EXPECT_EQ(r.outcome.metrics.total_sends, 256u * 255u);
+}
+
+TEST(Stress, T3DAt256) {
+  const auto machine = machine::t3d(256);
+  for (const auto& alg :
+       {make_two_step(true), make_pers_alltoall(true), make_br_lin(),
+        make_allgatherv_rd()}) {
+    const Problem pb = make_problem(machine, dist::Kind::kRandom, 64, 4096, 9);
+    EXPECT_NO_THROW(run(*alg, pb)) << alg->name();
+  }
+}
+
+}  // namespace
+}  // namespace spb::stop

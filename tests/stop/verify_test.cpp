@@ -1,0 +1,64 @@
+#include "stop/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+Problem small() {
+  return make_problem(machine::paragon(2, 2), std::vector<Rank>{0, 2}, 100);
+}
+
+TEST(Verify, ExpectedPayloadHasAllSources) {
+  const mp::Payload want = expected_payload(small());
+  EXPECT_EQ(want, mp::Payload::of({{0, 100}, {2, 100}}));
+}
+
+TEST(Verify, AcceptsCorrectResult) {
+  const Problem pb = small();
+  const std::vector<mp::Payload> good(4, expected_payload(pb));
+  EXPECT_TRUE(verify_broadcast(pb, good).ok);
+}
+
+TEST(Verify, RejectsMissingChunk) {
+  const Problem pb = small();
+  std::vector<mp::Payload> bad(4, expected_payload(pb));
+  bad[3] = mp::Payload::original(0, 100);  // lost source 2
+  const VerifyResult v = verify_broadcast(pb, bad);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("rank 3"), std::string::npos) << v.error;
+}
+
+TEST(Verify, RejectsWrongSize) {
+  const Problem pb = small();
+  std::vector<mp::Payload> bad(4, expected_payload(pb));
+  bad[1] = mp::Payload::of({{0, 100}, {2, 99}});
+  EXPECT_FALSE(verify_broadcast(pb, bad).ok);
+}
+
+TEST(Verify, RejectsExtraChunk) {
+  const Problem pb = small();
+  std::vector<mp::Payload> bad(4, expected_payload(pb));
+  bad[0] = mp::Payload::of({{0, 100}, {1, 100}, {2, 100}});
+  EXPECT_FALSE(verify_broadcast(pb, bad).ok);
+}
+
+TEST(Verify, ReportsMultipleBadRanksConcisely) {
+  const Problem pb = small();
+  std::vector<mp::Payload> bad(4);  // everyone empty
+  const VerifyResult v = verify_broadcast(pb, bad);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("4 of 4"), std::string::npos) << v.error;
+}
+
+TEST(Verify, WrongVectorSizeRejected) {
+  const Problem pb = small();
+  EXPECT_THROW(verify_broadcast(pb, std::vector<mp::Payload>(3)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace spb::stop

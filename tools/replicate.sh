@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full replication pass: build, test, run every figure/ablation/extension
+# bench, and export the figure series as CSV.  Artifacts land in the repo
+# root (test_output.txt, bench_output.txt) and results/ (CSV series).
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build || exit 1
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+status=${PIPESTATUS[0]}
+
+for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+bench_status=$?
+
+./build/bench/export_csv results
+
+echo
+echo "tests:   $(grep -E 'tests passed' test_output.txt | tail -1)"
+echo "benches: $(grep -c '^\[PASS\]' bench_output.txt) PASS / $(grep -c '^\[FAIL\]' bench_output.txt) FAIL"
+exit $((status || bench_status))
