@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bcast_tree.dir/ablation_bcast_tree.cpp.o"
+  "CMakeFiles/ablation_bcast_tree.dir/ablation_bcast_tree.cpp.o.d"
+  "ablation_bcast_tree"
+  "ablation_bcast_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bcast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

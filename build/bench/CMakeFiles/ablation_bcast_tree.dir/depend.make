@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_bcast_tree.
+# This may be replaced when dependencies are built.

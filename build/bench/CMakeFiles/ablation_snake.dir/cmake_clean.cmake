@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snake.dir/ablation_snake.cpp.o"
+  "CMakeFiles/ablation_snake.dir/ablation_snake.cpp.o.d"
+  "ablation_snake"
+  "ablation_snake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive.dir/ext_adaptive.cpp.o"
+  "CMakeFiles/ext_adaptive.dir/ext_adaptive.cpp.o.d"
+  "ext_adaptive"
+  "ext_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hypercube.dir/ext_hypercube.cpp.o"
+  "CMakeFiles/ext_hypercube.dir/ext_hypercube.cpp.o.d"
+  "ext_hypercube"
+  "ext_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

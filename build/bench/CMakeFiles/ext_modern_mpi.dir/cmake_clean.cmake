@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_modern_mpi.dir/ext_modern_mpi.cpp.o"
+  "CMakeFiles/ext_modern_mpi.dir/ext_modern_mpi.cpp.o.d"
+  "ext_modern_mpi"
+  "ext_modern_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_modern_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_random_t3d.dir/ext_random_t3d.cpp.o"
+  "CMakeFiles/ext_random_t3d.dir/ext_random_t3d.cpp.o.d"
+  "ext_random_t3d"
+  "ext_random_t3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_t3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_uncoordinated.dir/ext_uncoordinated.cpp.o"
+  "CMakeFiles/ext_uncoordinated.dir/ext_uncoordinated.cpp.o.d"
+  "ext_uncoordinated"
+  "ext_uncoordinated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_uncoordinated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

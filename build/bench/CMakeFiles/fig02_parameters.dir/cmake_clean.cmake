@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_parameters.dir/fig02_parameters.cpp.o"
+  "CMakeFiles/fig02_parameters.dir/fig02_parameters.cpp.o.d"
+  "fig02_parameters"
+  "fig02_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

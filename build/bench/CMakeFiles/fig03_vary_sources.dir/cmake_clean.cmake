@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_vary_sources.dir/fig03_vary_sources.cpp.o"
+  "CMakeFiles/fig03_vary_sources.dir/fig03_vary_sources.cpp.o.d"
+  "fig03_vary_sources"
+  "fig03_vary_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vary_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_vary_msglen.dir/fig04_vary_msglen.cpp.o"
+  "CMakeFiles/fig04_vary_msglen.dir/fig04_vary_msglen.cpp.o.d"
+  "fig04_vary_msglen"
+  "fig04_vary_msglen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_vary_msglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

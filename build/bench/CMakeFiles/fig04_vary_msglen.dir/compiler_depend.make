@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_vary_msglen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_vary_machine.dir/fig05_vary_machine.cpp.o"
+  "CMakeFiles/fig05_vary_machine.dir/fig05_vary_machine.cpp.o.d"
+  "fig05_vary_machine"
+  "fig05_vary_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_vary_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_distributions.dir/fig06_distributions.cpp.o"
+  "CMakeFiles/fig06_distributions.dir/fig06_distributions.cpp.o.d"
+  "fig06_distributions"
+  "fig06_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

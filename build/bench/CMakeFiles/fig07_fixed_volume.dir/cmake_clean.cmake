@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fixed_volume.dir/fig07_fixed_volume.cpp.o"
+  "CMakeFiles/fig07_fixed_volume.dir/fig07_fixed_volume.cpp.o.d"
+  "fig07_fixed_volume"
+  "fig07_fixed_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fixed_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dimensions.dir/fig08_dimensions.cpp.o"
+  "CMakeFiles/fig08_dimensions.dir/fig08_dimensions.cpp.o.d"
+  "fig08_dimensions"
+  "fig08_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

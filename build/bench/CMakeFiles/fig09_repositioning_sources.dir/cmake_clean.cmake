@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_repositioning_sources.dir/fig09_repositioning_sources.cpp.o"
+  "CMakeFiles/fig09_repositioning_sources.dir/fig09_repositioning_sources.cpp.o.d"
+  "fig09_repositioning_sources"
+  "fig09_repositioning_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_repositioning_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

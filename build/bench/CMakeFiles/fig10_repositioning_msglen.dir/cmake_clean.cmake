@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_repositioning_msglen.dir/fig10_repositioning_msglen.cpp.o"
+  "CMakeFiles/fig10_repositioning_msglen.dir/fig10_repositioning_msglen.cpp.o.d"
+  "fig10_repositioning_msglen"
+  "fig10_repositioning_msglen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_repositioning_msglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

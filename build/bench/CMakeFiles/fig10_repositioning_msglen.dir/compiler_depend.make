@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_repositioning_msglen.
+# This may be replaced when dependencies are built.

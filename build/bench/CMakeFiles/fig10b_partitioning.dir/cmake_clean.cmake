@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_partitioning.dir/fig10b_partitioning.cpp.o"
+  "CMakeFiles/fig10b_partitioning.dir/fig10b_partitioning.cpp.o.d"
+  "fig10b_partitioning"
+  "fig10b_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_t3d_allgather.dir/fig11_t3d_allgather.cpp.o"
+  "CMakeFiles/fig11_t3d_allgather.dir/fig11_t3d_allgather.cpp.o.d"
+  "fig11_t3d_allgather"
+  "fig11_t3d_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_t3d_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_t3d_fixed_volume.dir/fig12_t3d_fixed_volume.cpp.o"
+  "CMakeFiles/fig12_t3d_fixed_volume.dir/fig12_t3d_fixed_volume.cpp.o.d"
+  "fig12_t3d_fixed_volume"
+  "fig12_t3d_fixed_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_t3d_fixed_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

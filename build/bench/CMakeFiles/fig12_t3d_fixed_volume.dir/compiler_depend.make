@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_t3d_fixed_volume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_t3d_fixed_volume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_t3d_algorithms.dir/fig13_t3d_algorithms.cpp.o"
+  "CMakeFiles/fig13_t3d_algorithms.dir/fig13_t3d_algorithms.cpp.o.d"
+  "fig13_t3d_algorithms"
+  "fig13_t3d_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_t3d_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libspb_bench_util.a"
+  "../lib/libspb_bench_util.pdb"
+  "CMakeFiles/spb_bench_util.dir/util.cpp.o"
+  "CMakeFiles/spb_bench_util.dir/util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

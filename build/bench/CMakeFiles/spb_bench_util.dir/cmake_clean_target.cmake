@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libspb_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_gallery.dir/distribution_gallery.cpp.o"
+  "CMakeFiles/distribution_gallery.dir/distribution_gallery.cpp.o.d"
+  "distribution_gallery"
+  "distribution_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_broadcast.cpp" "examples/CMakeFiles/dynamic_broadcast.dir/dynamic_broadcast.cpp.o" "gcc" "examples/CMakeFiles/dynamic_broadcast.dir/dynamic_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stop/CMakeFiles/spb_stop.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/spb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/spb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/spb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_broadcast.dir/dynamic_broadcast.cpp.o"
+  "CMakeFiles/dynamic_broadcast.dir/dynamic_broadcast.cpp.o.d"
+  "dynamic_broadcast"
+  "dynamic_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t3d_probe.dir/t3d_probe.cpp.o"
+  "CMakeFiles/t3d_probe.dir/t3d_probe.cpp.o.d"
+  "t3d_probe"
+  "t3d_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t3d_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_broadcast "/root/repo/build/examples/dynamic_broadcast")
+set_tests_properties(example_dynamic_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_load_balancing "/root/repo/build/examples/load_balancing")
+set_tests_properties(example_load_balancing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distribution_gallery "/root/repo/build/examples/distribution_gallery" "6" "8" "14")
+set_tests_properties(example_distribution_gallery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_algorithm_advisor "/root/repo/build/examples/algorithm_advisor" "paragon" "8" "8" "Cr" "20" "4096")
+set_tests_properties(example_algorithm_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeline "/root/repo/build/examples/timeline" "Br_Lin" "8")
+set_tests_properties(example_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_link_heatmap "/root/repo/build/examples/link_heatmap" "Br_xy_source")
+set_tests_properties(example_link_heatmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schedule_viewer "/root/repo/build/examples/schedule_viewer" "16" "0,3,9")
+set_tests_properties(example_schedule_viewer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_t3d_probe "/root/repo/build/examples/t3d_probe")
+set_tests_properties(example_t3d_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

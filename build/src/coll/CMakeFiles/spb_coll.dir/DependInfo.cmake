@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/alltoall.cpp" "src/coll/CMakeFiles/spb_coll.dir/alltoall.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/alltoall.cpp.o.d"
+  "/root/repo/src/coll/barrier.cpp" "src/coll/CMakeFiles/spb_coll.dir/barrier.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/barrier.cpp.o.d"
+  "/root/repo/src/coll/engine.cpp" "src/coll/CMakeFiles/spb_coll.dir/engine.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/engine.cpp.o.d"
+  "/root/repo/src/coll/gather.cpp" "src/coll/CMakeFiles/spb_coll.dir/gather.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/gather.cpp.o.d"
+  "/root/repo/src/coll/halving.cpp" "src/coll/CMakeFiles/spb_coll.dir/halving.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/halving.cpp.o.d"
+  "/root/repo/src/coll/pipeline.cpp" "src/coll/CMakeFiles/spb_coll.dir/pipeline.cpp.o" "gcc" "src/coll/CMakeFiles/spb_coll.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/spb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

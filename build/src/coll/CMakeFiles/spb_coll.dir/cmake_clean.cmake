@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_coll.dir/alltoall.cpp.o"
+  "CMakeFiles/spb_coll.dir/alltoall.cpp.o.d"
+  "CMakeFiles/spb_coll.dir/barrier.cpp.o"
+  "CMakeFiles/spb_coll.dir/barrier.cpp.o.d"
+  "CMakeFiles/spb_coll.dir/engine.cpp.o"
+  "CMakeFiles/spb_coll.dir/engine.cpp.o.d"
+  "CMakeFiles/spb_coll.dir/gather.cpp.o"
+  "CMakeFiles/spb_coll.dir/gather.cpp.o.d"
+  "CMakeFiles/spb_coll.dir/halving.cpp.o"
+  "CMakeFiles/spb_coll.dir/halving.cpp.o.d"
+  "CMakeFiles/spb_coll.dir/pipeline.cpp.o"
+  "CMakeFiles/spb_coll.dir/pipeline.cpp.o.d"
+  "libspb_coll.a"
+  "libspb_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

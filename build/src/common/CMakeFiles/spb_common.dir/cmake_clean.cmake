@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_common.dir/rng.cpp.o"
+  "CMakeFiles/spb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/spb_common.dir/stats.cpp.o"
+  "CMakeFiles/spb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/spb_common.dir/str.cpp.o"
+  "CMakeFiles/spb_common.dir/str.cpp.o.d"
+  "CMakeFiles/spb_common.dir/table.cpp.o"
+  "CMakeFiles/spb_common.dir/table.cpp.o.d"
+  "libspb_common.a"
+  "libspb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

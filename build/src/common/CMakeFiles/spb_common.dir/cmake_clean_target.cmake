@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspb_common.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/band.cpp" "src/dist/CMakeFiles/spb_dist.dir/band.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/band.cpp.o.d"
+  "/root/repo/src/dist/cross.cpp" "src/dist/CMakeFiles/spb_dist.dir/cross.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/cross.cpp.o.d"
+  "/root/repo/src/dist/diagonal.cpp" "src/dist/CMakeFiles/spb_dist.dir/diagonal.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/diagonal.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/spb_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/equal.cpp" "src/dist/CMakeFiles/spb_dist.dir/equal.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/equal.cpp.o.d"
+  "/root/repo/src/dist/grid.cpp" "src/dist/CMakeFiles/spb_dist.dir/grid.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/grid.cpp.o.d"
+  "/root/repo/src/dist/ideal.cpp" "src/dist/CMakeFiles/spb_dist.dir/ideal.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/ideal.cpp.o.d"
+  "/root/repo/src/dist/random.cpp" "src/dist/CMakeFiles/spb_dist.dir/random.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/random.cpp.o.d"
+  "/root/repo/src/dist/render.cpp" "src/dist/CMakeFiles/spb_dist.dir/render.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/render.cpp.o.d"
+  "/root/repo/src/dist/row_col.cpp" "src/dist/CMakeFiles/spb_dist.dir/row_col.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/row_col.cpp.o.d"
+  "/root/repo/src/dist/square.cpp" "src/dist/CMakeFiles/spb_dist.dir/square.cpp.o" "gcc" "src/dist/CMakeFiles/spb_dist.dir/square.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/spb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/spb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_dist.dir/band.cpp.o"
+  "CMakeFiles/spb_dist.dir/band.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/cross.cpp.o"
+  "CMakeFiles/spb_dist.dir/cross.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/diagonal.cpp.o"
+  "CMakeFiles/spb_dist.dir/diagonal.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/distribution.cpp.o"
+  "CMakeFiles/spb_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/equal.cpp.o"
+  "CMakeFiles/spb_dist.dir/equal.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/grid.cpp.o"
+  "CMakeFiles/spb_dist.dir/grid.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/ideal.cpp.o"
+  "CMakeFiles/spb_dist.dir/ideal.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/random.cpp.o"
+  "CMakeFiles/spb_dist.dir/random.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/render.cpp.o"
+  "CMakeFiles/spb_dist.dir/render.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/row_col.cpp.o"
+  "CMakeFiles/spb_dist.dir/row_col.cpp.o.d"
+  "CMakeFiles/spb_dist.dir/square.cpp.o"
+  "CMakeFiles/spb_dist.dir/square.cpp.o.d"
+  "libspb_dist.a"
+  "libspb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

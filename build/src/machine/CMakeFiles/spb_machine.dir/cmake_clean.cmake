@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_machine.dir/config.cpp.o"
+  "CMakeFiles/spb_machine.dir/config.cpp.o.d"
+  "libspb_machine.a"
+  "libspb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspb_machine.a"
+)

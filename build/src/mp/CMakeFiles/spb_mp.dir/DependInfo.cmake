@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/mailbox.cpp" "src/mp/CMakeFiles/spb_mp.dir/mailbox.cpp.o" "gcc" "src/mp/CMakeFiles/spb_mp.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mp/metrics.cpp" "src/mp/CMakeFiles/spb_mp.dir/metrics.cpp.o" "gcc" "src/mp/CMakeFiles/spb_mp.dir/metrics.cpp.o.d"
+  "/root/repo/src/mp/payload.cpp" "src/mp/CMakeFiles/spb_mp.dir/payload.cpp.o" "gcc" "src/mp/CMakeFiles/spb_mp.dir/payload.cpp.o.d"
+  "/root/repo/src/mp/runtime.cpp" "src/mp/CMakeFiles/spb_mp.dir/runtime.cpp.o" "gcc" "src/mp/CMakeFiles/spb_mp.dir/runtime.cpp.o.d"
+  "/root/repo/src/mp/trace.cpp" "src/mp/CMakeFiles/spb_mp.dir/trace.cpp.o" "gcc" "src/mp/CMakeFiles/spb_mp.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

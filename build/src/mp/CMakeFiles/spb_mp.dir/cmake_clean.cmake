@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_mp.dir/mailbox.cpp.o"
+  "CMakeFiles/spb_mp.dir/mailbox.cpp.o.d"
+  "CMakeFiles/spb_mp.dir/metrics.cpp.o"
+  "CMakeFiles/spb_mp.dir/metrics.cpp.o.d"
+  "CMakeFiles/spb_mp.dir/payload.cpp.o"
+  "CMakeFiles/spb_mp.dir/payload.cpp.o.d"
+  "CMakeFiles/spb_mp.dir/runtime.cpp.o"
+  "CMakeFiles/spb_mp.dir/runtime.cpp.o.d"
+  "CMakeFiles/spb_mp.dir/trace.cpp.o"
+  "CMakeFiles/spb_mp.dir/trace.cpp.o.d"
+  "libspb_mp.a"
+  "libspb_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_net.dir/mapping.cpp.o"
+  "CMakeFiles/spb_net.dir/mapping.cpp.o.d"
+  "CMakeFiles/spb_net.dir/network.cpp.o"
+  "CMakeFiles/spb_net.dir/network.cpp.o.d"
+  "CMakeFiles/spb_net.dir/topology.cpp.o"
+  "CMakeFiles/spb_net.dir/topology.cpp.o.d"
+  "libspb_net.a"
+  "libspb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

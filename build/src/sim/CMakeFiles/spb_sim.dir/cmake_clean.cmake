@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/spb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/spb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/spb_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/spb_sim.dir/task.cpp.o"
+  "CMakeFiles/spb_sim.dir/task.cpp.o.d"
+  "libspb_sim.a"
+  "libspb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stop/adaptive_repos.cpp" "src/stop/CMakeFiles/spb_stop.dir/adaptive_repos.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/adaptive_repos.cpp.o.d"
+  "/root/repo/src/stop/algorithm.cpp" "src/stop/CMakeFiles/spb_stop.dir/algorithm.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/algorithm.cpp.o.d"
+  "/root/repo/src/stop/allgatherv_rd.cpp" "src/stop/CMakeFiles/spb_stop.dir/allgatherv_rd.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/allgatherv_rd.cpp.o.d"
+  "/root/repo/src/stop/br_lin.cpp" "src/stop/CMakeFiles/spb_stop.dir/br_lin.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/br_lin.cpp.o.d"
+  "/root/repo/src/stop/br_xy.cpp" "src/stop/CMakeFiles/spb_stop.dir/br_xy.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/br_xy.cpp.o.d"
+  "/root/repo/src/stop/frame.cpp" "src/stop/CMakeFiles/spb_stop.dir/frame.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/frame.cpp.o.d"
+  "/root/repo/src/stop/partition.cpp" "src/stop/CMakeFiles/spb_stop.dir/partition.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/partition.cpp.o.d"
+  "/root/repo/src/stop/pers_alltoall.cpp" "src/stop/CMakeFiles/spb_stop.dir/pers_alltoall.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/pers_alltoall.cpp.o.d"
+  "/root/repo/src/stop/problem.cpp" "src/stop/CMakeFiles/spb_stop.dir/problem.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/problem.cpp.o.d"
+  "/root/repo/src/stop/reposition.cpp" "src/stop/CMakeFiles/spb_stop.dir/reposition.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/reposition.cpp.o.d"
+  "/root/repo/src/stop/run.cpp" "src/stop/CMakeFiles/spb_stop.dir/run.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/run.cpp.o.d"
+  "/root/repo/src/stop/two_step.cpp" "src/stop/CMakeFiles/spb_stop.dir/two_step.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/two_step.cpp.o.d"
+  "/root/repo/src/stop/uncoordinated.cpp" "src/stop/CMakeFiles/spb_stop.dir/uncoordinated.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/uncoordinated.cpp.o.d"
+  "/root/repo/src/stop/verify.cpp" "src/stop/CMakeFiles/spb_stop.dir/verify.cpp.o" "gcc" "src/stop/CMakeFiles/spb_stop.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/spb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/spb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/spb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

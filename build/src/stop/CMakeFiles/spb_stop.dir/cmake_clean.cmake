@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spb_stop.dir/adaptive_repos.cpp.o"
+  "CMakeFiles/spb_stop.dir/adaptive_repos.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/algorithm.cpp.o"
+  "CMakeFiles/spb_stop.dir/algorithm.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/allgatherv_rd.cpp.o"
+  "CMakeFiles/spb_stop.dir/allgatherv_rd.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/br_lin.cpp.o"
+  "CMakeFiles/spb_stop.dir/br_lin.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/br_xy.cpp.o"
+  "CMakeFiles/spb_stop.dir/br_xy.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/frame.cpp.o"
+  "CMakeFiles/spb_stop.dir/frame.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/partition.cpp.o"
+  "CMakeFiles/spb_stop.dir/partition.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/pers_alltoall.cpp.o"
+  "CMakeFiles/spb_stop.dir/pers_alltoall.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/problem.cpp.o"
+  "CMakeFiles/spb_stop.dir/problem.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/reposition.cpp.o"
+  "CMakeFiles/spb_stop.dir/reposition.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/run.cpp.o"
+  "CMakeFiles/spb_stop.dir/run.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/two_step.cpp.o"
+  "CMakeFiles/spb_stop.dir/two_step.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/uncoordinated.cpp.o"
+  "CMakeFiles/spb_stop.dir/uncoordinated.cpp.o.d"
+  "CMakeFiles/spb_stop.dir/verify.cpp.o"
+  "CMakeFiles/spb_stop.dir/verify.cpp.o.d"
+  "libspb_stop.a"
+  "libspb_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spb_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

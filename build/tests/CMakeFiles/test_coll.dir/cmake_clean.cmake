@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll.dir/coll/alltoall_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/alltoall_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/engine_equivalence_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/engine_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/engine_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/engine_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/gather_pipeline_barrier_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/gather_pipeline_barrier_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/halving_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/halving_test.cpp.o.d"
+  "CMakeFiles/test_coll.dir/coll/pipeline_rotation_test.cpp.o"
+  "CMakeFiles/test_coll.dir/coll/pipeline_rotation_test.cpp.o.d"
+  "test_coll"
+  "test_coll.pdb"
+  "test_coll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/distribution_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/distribution_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/figure1_golden_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/figure1_golden_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/grid_render_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/grid_render_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/ideal_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/ideal_test.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

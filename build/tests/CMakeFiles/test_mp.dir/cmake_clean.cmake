@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp.dir/mp/mailbox_test.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/metrics_test.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/metrics_test.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/payload_test.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/payload_test.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/runtime_test.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/runtime_test.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/trace_test.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/trace_test.cpp.o.d"
+  "test_mp"
+  "test_mp.pdb"
+  "test_mp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

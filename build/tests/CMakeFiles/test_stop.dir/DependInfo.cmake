@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stop/adaptive_repos_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/adaptive_repos_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/adaptive_repos_test.cpp.o.d"
+  "/root/repo/tests/stop/algorithms_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/algorithms_test.cpp.o.d"
+  "/root/repo/tests/stop/br_xy_choice_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/br_xy_choice_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/br_xy_choice_test.cpp.o.d"
+  "/root/repo/tests/stop/failure_injection_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/stop/frame_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/frame_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/frame_test.cpp.o.d"
+  "/root/repo/tests/stop/ideal_vs_paper_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/ideal_vs_paper_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/ideal_vs_paper_test.cpp.o.d"
+  "/root/repo/tests/stop/invariants_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/invariants_test.cpp.o.d"
+  "/root/repo/tests/stop/message_count_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/message_count_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/message_count_test.cpp.o.d"
+  "/root/repo/tests/stop/new_algorithms_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/new_algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/new_algorithms_test.cpp.o.d"
+  "/root/repo/tests/stop/partition_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/partition_test.cpp.o.d"
+  "/root/repo/tests/stop/reposition_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/reposition_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/reposition_test.cpp.o.d"
+  "/root/repo/tests/stop/run_options_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/run_options_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/run_options_test.cpp.o.d"
+  "/root/repo/tests/stop/shape_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/shape_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/shape_test.cpp.o.d"
+  "/root/repo/tests/stop/stress_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/stress_test.cpp.o.d"
+  "/root/repo/tests/stop/varied_lengths_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/varied_lengths_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/varied_lengths_test.cpp.o.d"
+  "/root/repo/tests/stop/verify_test.cpp" "tests/CMakeFiles/test_stop.dir/stop/verify_test.cpp.o" "gcc" "tests/CMakeFiles/test_stop.dir/stop/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stop/CMakeFiles/spb_stop.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/spb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/spb_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/spb_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/spb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
