@@ -1,0 +1,526 @@
+#include "analyze/checks.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "mp/mailbox.h"
+#include "mp/message.h"
+#include "net/topology.h"
+
+namespace spb::analyze {
+
+namespace {
+
+using mp::ScheduleOp;
+
+std::string op_location(const ScheduleOp& op) { return op.to_string(); }
+
+/// Statically re-derived matching: send id <-> recv id (-1 = unmatched).
+struct Matching {
+  std::vector<int> send_consumer;  // indexed by op id; -1 for recvs
+  std::vector<int> recv_source;    // indexed by op id; -1 for sends
+};
+
+/// Re-derives the send/recv matching from filters alone, honouring FIFO
+/// per (src, dst, tag).  Recorded match edges only break wildcard ties.
+Matching derive_matching(const mp::Schedule& sched,
+                         std::vector<Violation>& out) {
+  const auto& ops = sched.ops();
+  Matching m;
+  m.send_consumer.assign(ops.size(), -1);
+  m.recv_source.assign(ops.size(), -1);
+
+  // Per destination rank: FIFO queues of pending send ids per (src, tag).
+  using Key = std::pair<Rank, int>;
+  std::vector<std::map<Key, std::deque<int>>> pending(
+      static_cast<std::size_t>(sched.rank_count()));
+  for (const ScheduleOp& op : ops) {
+    if (op.is_send())
+      pending[static_cast<std::size_t>(op.peer)][{op.rank, op.tag}]
+          .push_back(op.id);
+  }
+
+  const auto erase_from_queue = [](std::deque<int>& q, int id) {
+    q.erase(std::find(q.begin(), q.end(), id));
+  };
+
+  for (Rank d = 0; d < sched.rank_count(); ++d) {
+    auto& groups = pending[static_cast<std::size_t>(d)];
+    for (const int rid : sched.ops_of_rank(d)) {
+      const ScheduleOp& recv = ops[static_cast<std::size_t>(rid)];
+      if (!recv.is_recv()) continue;
+
+      const auto compatible = [&](const Key& k) {
+        const bool src_ok = recv.peer == mp::kAnySource || recv.peer == k.first;
+        const bool tag_ok = recv.tag == mp::kAnyTag || recv.tag == k.second;
+        return src_ok && tag_ok;
+      };
+
+      // Prefer the recorded match when it is still available and passes
+      // the filters (it resolves wildcard nondeterminism the way the run
+      // actually went).
+      int chosen = -1;
+      if (recv.match >= 0) {
+        const ScheduleOp& hint = ops[static_cast<std::size_t>(recv.match)];
+        if (hint.is_send() && hint.peer == d &&
+            m.send_consumer[static_cast<std::size_t>(hint.id)] < 0 &&
+            compatible({hint.rank, hint.tag})) {
+          chosen = hint.id;
+          erase_from_queue(groups[{hint.rank, hint.tag}], chosen);
+        }
+      }
+      if (chosen < 0) {
+        // Earliest-issued compatible send (FIFO heads only).
+        Key best_key{};
+        for (const auto& [key, q] : groups) {
+          if (q.empty() || !compatible(key)) continue;
+          if (chosen < 0 || q.front() < chosen) {
+            chosen = q.front();
+            best_key = key;
+          }
+        }
+        if (chosen >= 0) erase_from_queue(groups[best_key], chosen);
+      }
+
+      if (chosen < 0) {
+        Violation v;
+        v.kind = Violation::Kind::kUnmatchedRecv;
+        v.op = rid;
+        v.rank = recv.rank;
+        v.step = recv.step;
+        v.tag = recv.tag;
+        std::ostringstream os;
+        os << "no send satisfies " << op_location(recv)
+           << " — the program hangs here";
+        v.message = os.str();
+        out.push_back(std::move(v));
+        continue;
+      }
+
+      m.recv_source[static_cast<std::size_t>(rid)] = chosen;
+      m.send_consumer[static_cast<std::size_t>(chosen)] = rid;
+
+      const ScheduleOp& send = ops[static_cast<std::size_t>(chosen)];
+      // A completed receive recorded what actually arrived; its wire size
+      // must agree with the send we matched it to.
+      if (recv.completed && recv.wire_bytes != send.wire_bytes) {
+        Violation v;
+        v.kind = Violation::Kind::kSizeMismatch;
+        v.op = rid;
+        v.rank = recv.rank;
+        v.step = recv.step;
+        v.tag = send.tag;
+        std::ostringstream os;
+        os << op_location(recv) << " received " << recv.wire_bytes
+           << "B but its matched send (" << op_location(send) << ") carries "
+           << send.wire_bytes << "B";
+        v.message = os.str();
+        out.push_back(std::move(v));
+      }
+    }
+  }
+
+  for (const ScheduleOp& op : ops) {
+    if (!op.is_send()) continue;
+    if (m.send_consumer[static_cast<std::size_t>(op.id)] >= 0) continue;
+    Violation v;
+    v.kind = Violation::Kind::kUnreceivedSend;
+    v.op = op.id;
+    v.rank = op.rank;
+    v.step = op.step;
+    v.tag = op.tag;
+    std::ostringstream os;
+    os << "no receive on rank " << op.peer << " ever consumes "
+       << op_location(op) << " — redundant or mis-tagged traffic";
+    v.message = os.str();
+    out.push_back(std::move(v));
+  }
+  return m;
+}
+
+/// Wait-for graph: op -> ops it waits on (program predecessor; for a
+/// receive, also the send it matches).
+std::vector<std::vector<int>> dependency_edges(const mp::Schedule& sched,
+                                               const Matching& m) {
+  const auto& ops = sched.ops();
+  std::vector<std::vector<int>> deps(ops.size());
+  for (Rank r = 0; r < sched.rank_count(); ++r) {
+    const auto& ids = sched.ops_of_rank(r);
+    for (std::size_t i = 1; i < ids.size(); ++i)
+      deps[static_cast<std::size_t>(ids[i])].push_back(ids[i - 1]);
+  }
+  for (const ScheduleOp& op : ops) {
+    if (!op.is_recv()) continue;
+    const int s = m.recv_source[static_cast<std::size_t>(op.id)];
+    if (s >= 0) deps[static_cast<std::size_t>(op.id)].push_back(s);
+  }
+  return deps;
+}
+
+/// DFS cycle detection; returns one cycle as op ids (empty = acyclic).
+std::vector<int> find_cycle(const std::vector<std::vector<int>>& deps) {
+  const int n = static_cast<int>(deps.size());
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0/1/2
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    // Iterative DFS; the stack holds (node, next edge index).
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < deps[static_cast<std::size_t>(u)].size()) {
+        const int v = deps[static_cast<std::size_t>(u)][next++];
+        if (color[static_cast<std::size_t>(v)] == 1) {
+          // Found a back edge u -> v: walk parents from u back to v.
+          std::vector<int> cycle{v};
+          for (int w = u; w != v; w = parent[static_cast<std::size_t>(w)])
+            cycle.push_back(w);
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(v)] == 0) {
+          color[static_cast<std::size_t>(v)] = 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          stack.push_back({v, 0});
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+/// Kahn topological order over the dependency edges (partial if cyclic).
+std::vector<int> topological_order(
+    const std::vector<std::vector<int>>& deps) {
+  const int n = static_cast<int>(deps.size());
+  std::vector<int> blockers(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> unblocks(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    blockers[static_cast<std::size_t>(u)] =
+        static_cast<int>(deps[static_cast<std::size_t>(u)].size());
+    for (const int v : deps[static_cast<std::size_t>(u)])
+      unblocks[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::deque<int> ready;
+  for (int u = 0; u < n; ++u)
+    if (blockers[static_cast<std::size_t>(u)] == 0) ready.push_back(u);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (const int w : unblocks[static_cast<std::size_t>(u)])
+      if (--blockers[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kUnmatchedRecv: return "unmatched-recv";
+    case Violation::Kind::kUnreceivedSend: return "unreceived-send";
+    case Violation::Kind::kSizeMismatch: return "size-mismatch";
+    case Violation::Kind::kDeadlockCycle: return "deadlock-cycle";
+    case Violation::Kind::kChunkIntegrity: return "chunk-integrity";
+    case Violation::Kind::kUnknownSource: return "unknown-source";
+    case Violation::Kind::kProvenance: return "provenance";
+    case Violation::Kind::kCoverage: return "coverage";
+    case Violation::Kind::kQuality: return "quality-gate";
+  }
+  return "?";
+}
+
+std::string QualityMetrics::to_string() const {
+  std::ostringstream os;
+  os << "steps: max/rank " << max_rank_steps << ", critical depth "
+     << critical_depth << " (lower bound " << round_lower_bound << ")\n"
+     << "volume: payload " << total_payload_bytes << "B total, busiest rank "
+     << max_rank_payload_bytes << "B (balanced lower bound "
+     << per_rank_volume_lower_bound << "B/rank), wire " << total_wire_bytes
+     << "B\n"
+     << "redundancy: " << redundant_chunk_deliveries
+     << " already-held chunk deliveries, " << redundant_payload_bytes
+     << "B\n"
+     << "link conflicts: worst " << max_link_conflicts
+     << " same-level transfers on one link";
+  if (worst_conflict_level >= 0)
+    os << " (level " << worst_conflict_level << ")";
+  return os.str();
+}
+
+std::string AnalysisReport::to_string(int max_report) const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "schedule OK\n";
+  } else {
+    os << violations.size() << " violation(s)\n";
+    int shown = 0;
+    for (const Violation& v : violations) {
+      if (shown++ >= max_report) {
+        os << "  ... and " << (violations.size() -
+                               static_cast<std::size_t>(max_report))
+           << " more\n";
+        break;
+      }
+      os << "  [" << violation_kind_name(v.kind) << "] " << v.message
+         << "\n";
+    }
+  }
+  os << quality.to_string();
+  return os.str();
+}
+
+AnalysisReport analyze_schedule(const mp::Schedule& sched,
+                                const stop::Problem& pb,
+                                const AnalysisOptions& options) {
+  pb.validate();
+  SPB_REQUIRE(sched.rank_count() == pb.p(),
+              "schedule covers " << sched.rank_count()
+                                 << " ranks but the problem has " << pb.p());
+  AnalysisReport report;
+  const auto& ops = sched.ops();
+
+  // ---- 1. send/recv matching -----------------------------------------
+  const Matching m = derive_matching(sched, report.violations);
+
+  // ---- 2. wait-for graph ---------------------------------------------
+  const std::vector<std::vector<int>> deps = dependency_edges(sched, m);
+  const std::vector<int> cycle = find_cycle(deps);
+  if (!cycle.empty()) {
+    Violation v;
+    v.kind = Violation::Kind::kDeadlockCycle;
+    v.op = cycle.front();
+    v.rank = ops[static_cast<std::size_t>(cycle.front())].rank;
+    v.step = ops[static_cast<std::size_t>(cycle.front())].step;
+    std::ostringstream os;
+    os << "wait-for cycle of " << cycle.size() << " op(s):";
+    for (const int id : cycle)
+      os << "\n      " << op_location(ops[static_cast<std::size_t>(id)]);
+    os << "\n      ... back to the first op";
+    v.message = os.str();
+    report.violations.push_back(std::move(v));
+  }
+  const std::vector<int> topo = topological_order(deps);
+
+  // ---- 3. chunk conservation -----------------------------------------
+  std::vector<char> is_source(static_cast<std::size_t>(pb.p()), 0);
+  for (const Rank s : pb.sources) is_source[static_cast<std::size_t>(s)] = 1;
+
+  for (const ScheduleOp& op : ops) {
+    if (!op.is_send()) continue;
+    std::vector<Rank> sorted = op.chunk_sources;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const Rank c = sorted[i];
+      if (i > 0 && sorted[i - 1] == c) {
+        Violation v;
+        v.kind = Violation::Kind::kChunkIntegrity;
+        v.op = op.id;
+        v.rank = op.rank;
+        v.step = op.step;
+        v.tag = op.tag;
+        std::ostringstream os;
+        os << op_location(op) << " carries the chunk of source " << c
+           << " more than once in a single message";
+        v.message = os.str();
+        report.violations.push_back(std::move(v));
+        break;
+      }
+      if (c < 0 || c >= pb.p() || is_source[static_cast<std::size_t>(c)] == 0) {
+        Violation v;
+        v.kind = Violation::Kind::kUnknownSource;
+        v.op = op.id;
+        v.rank = op.rank;
+        v.step = op.step;
+        v.tag = op.tag;
+        std::ostringstream os;
+        os << op_location(op) << " carries a chunk of rank " << c
+           << ", which is not a source of this problem";
+        v.message = os.str();
+        report.violations.push_back(std::move(v));
+      }
+    }
+  }
+
+  // Held-chunk propagation in dependency order: a rank may only send what
+  // it started with or already received; deliveries of already-held
+  // chunks are the redundancy metric.
+  std::vector<std::vector<char>> held(
+      static_cast<std::size_t>(pb.p()),
+      std::vector<char>(static_cast<std::size_t>(pb.p()), 0));
+  for (const Rank s : pb.sources)
+    held[static_cast<std::size_t>(s)][static_cast<std::size_t>(s)] = 1;
+
+  std::size_t provenance_reported = 0;
+  for (const int id : topo) {
+    const ScheduleOp& op = ops[static_cast<std::size_t>(id)];
+    auto& mine = held[static_cast<std::size_t>(op.rank)];
+    if (op.is_send()) {
+      for (const Rank c : op.chunk_sources) {
+        if (c < 0 || c >= pb.p()) continue;  // already an unknown-source
+        if (mine[static_cast<std::size_t>(c)]) continue;
+        if (provenance_reported++ < 64) {
+          Violation v;
+          v.kind = Violation::Kind::kProvenance;
+          v.op = op.id;
+          v.rank = op.rank;
+          v.step = op.step;
+          v.tag = op.tag;
+          std::ostringstream os;
+          os << op_location(op) << " ships the chunk of source " << c
+             << " which rank " << op.rank
+             << " has neither originated nor received by step " << op.step;
+          v.message = os.str();
+          report.violations.push_back(std::move(v));
+        }
+      }
+    } else {
+      const int sid = m.recv_source[static_cast<std::size_t>(id)];
+      if (sid < 0) continue;  // unmatched: already reported
+      const ScheduleOp& send = ops[static_cast<std::size_t>(sid)];
+      for (const Rank c : send.chunk_sources) {
+        if (c < 0 || c >= pb.p()) continue;
+        auto& flag = mine[static_cast<std::size_t>(c)];
+        if (flag) {
+          ++report.quality.redundant_chunk_deliveries;
+          // Attribute the redundant bytes by looking the chunk size up.
+          for (std::size_t i = 0; i < pb.sources.size(); ++i)
+            if (pb.sources[i] == c)
+              report.quality.redundant_payload_bytes += pb.bytes_of_source(i);
+        } else {
+          flag = 1;
+        }
+      }
+    }
+  }
+
+  // Coverage: every rank must end up holding every source's chunk.
+  std::size_t coverage_reported = 0;
+  for (Rank r = 0; r < pb.p(); ++r) {
+    std::vector<Rank> missing;
+    for (const Rank s : pb.sources)
+      if (!held[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)])
+        missing.push_back(s);
+    if (missing.empty()) continue;
+    if (coverage_reported++ >= 64) continue;
+    Violation v;
+    v.kind = Violation::Kind::kCoverage;
+    v.rank = r;
+    std::ostringstream os;
+    os << "rank " << r << " never obtains " << missing.size() << " of "
+       << pb.s() << " chunks (missing sources:";
+    for (std::size_t i = 0; i < missing.size() && i < 8; ++i)
+      os << " " << missing[i];
+    if (missing.size() > 8) os << " ...";
+    os << ")";
+    v.message = os.str();
+    report.violations.push_back(std::move(v));
+  }
+
+  // ---- 4. schedule quality -------------------------------------------
+  QualityMetrics& q = report.quality;
+  Bytes source_bytes_total = 0;
+  for (std::size_t i = 0; i < pb.sources.size(); ++i)
+    source_bytes_total += pb.bytes_of_source(i);
+  q.round_lower_bound =
+      pb.p() > pb.s()
+          ? ilog2_ceil(ceil_div(pb.p(), pb.s()))
+          : 0;
+  q.per_rank_volume_lower_bound =
+      source_bytes_total * static_cast<Bytes>(pb.p() - 1) /
+      static_cast<Bytes>(pb.p());
+
+  std::vector<Bytes> sent_payload(static_cast<std::size_t>(pb.p()), 0);
+  for (Rank r = 0; r < pb.p(); ++r)
+    q.max_rank_steps = std::max(
+        q.max_rank_steps, static_cast<int>(sched.ops_of_rank(r).size()));
+  for (const ScheduleOp& op : ops) {
+    if (!op.is_send()) continue;
+    q.total_payload_bytes += op.payload_bytes;
+    q.total_wire_bytes += op.wire_bytes;
+    sent_payload[static_cast<std::size_t>(op.rank)] += op.payload_bytes;
+  }
+  for (const Bytes b : sent_payload)
+    q.max_rank_payload_bytes = std::max(q.max_rank_payload_bytes, b);
+
+  // Message level = longest chain of matched messages ending at a send;
+  // doubling argument: level_max >= ceil(log2(p/s)).
+  std::vector<int> level(ops.size(), 0);
+  std::vector<int> rank_depth(static_cast<std::size_t>(pb.p()), 0);
+  for (const int id : topo) {
+    const ScheduleOp& op = ops[static_cast<std::size_t>(id)];
+    auto& depth = rank_depth[static_cast<std::size_t>(op.rank)];
+    if (op.is_send()) {
+      level[static_cast<std::size_t>(id)] = depth + 1;
+    } else {
+      const int sid = m.recv_source[static_cast<std::size_t>(id)];
+      if (sid >= 0)
+        depth = std::max(depth, level[static_cast<std::size_t>(sid)]);
+    }
+  }
+  for (const int l : level) q.critical_depth = std::max(q.critical_depth, l);
+
+  if (options.link_conflicts && pb.machine.topology) {
+    const net::Topology& topo_net = *pb.machine.topology;
+    const net::RankMapping& mapping = pb.machine.mapping;
+    // conflicts[level][link] would be huge; count per level on the fly.
+    std::map<int, std::unordered_map<LinkId, int>> per_level;
+    for (const ScheduleOp& op : ops) {
+      if (!op.is_send()) continue;
+      const NodeId a = mapping.node_of(op.rank);
+      const NodeId b = mapping.node_of(op.peer);
+      auto& counts = per_level[level[static_cast<std::size_t>(op.id)]];
+      for (const LinkId l : topo_net.route(a, b)) {
+        const int c = ++counts[l];
+        if (c > q.max_link_conflicts) {
+          q.max_link_conflicts = c;
+          q.worst_conflict_level = level[static_cast<std::size_t>(op.id)];
+        }
+      }
+    }
+  }
+
+  if (options.max_step_slack > 0 && q.round_lower_bound > 0 &&
+      q.max_rank_steps >
+          options.max_step_slack * q.round_lower_bound) {
+    Violation v;
+    v.kind = Violation::Kind::kQuality;
+    std::ostringstream os;
+    os << "step gate: busiest rank runs " << q.max_rank_steps
+       << " comm ops against a lower bound of " << q.round_lower_bound
+       << " rounds (slack " << options.max_step_slack << ")";
+    v.message = os.str();
+    report.violations.push_back(std::move(v));
+  }
+  if (options.max_volume_slack > 0 && q.per_rank_volume_lower_bound > 0 &&
+      static_cast<double>(q.max_rank_payload_bytes) >
+          options.max_volume_slack *
+              static_cast<double>(q.per_rank_volume_lower_bound)) {
+    Violation v;
+    v.kind = Violation::Kind::kQuality;
+    std::ostringstream os;
+    os << "volume gate: busiest rank sends " << q.max_rank_payload_bytes
+       << "B against a balanced lower bound of "
+       << q.per_rank_volume_lower_bound << "B (slack "
+       << options.max_volume_slack << ")";
+    v.message = os.str();
+    report.violations.push_back(std::move(v));
+  }
+
+  return report;
+}
+
+}  // namespace spb::analyze

@@ -1,0 +1,109 @@
+#include "analyze/mutate.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mp/mailbox.h"
+#include "mp/message.h"
+
+namespace spb::analyze {
+
+namespace {
+
+using mp::ScheduleOp;
+
+/// A tag value no algorithm uses (tags are small non-negative ints).
+constexpr int kBogusTag = 1 << 20;
+
+int pick(const std::vector<int>& candidates, std::uint64_t seed,
+         const char* what) {
+  SPB_REQUIRE(!candidates.empty(),
+              "schedule has no eligible op for a " << what << " mutation");
+  Rng rng(seed);
+  return candidates[static_cast<std::size_t>(
+      rng.next_below(candidates.size()))];
+}
+
+}  // namespace
+
+std::string mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kDropSend: return "drop-send";
+    case Mutation::kTagMismatch: return "tag-mismatch";
+    case Mutation::kDuplicateChunk: return "dup-chunk";
+  }
+  return "?";
+}
+
+Mutation mutation_from_name(const std::string& name) {
+  for (const Mutation m : all_mutations())
+    if (mutation_name(m) == name) return m;
+  SPB_REQUIRE(false, "unknown mutation '" << name
+                                          << "' (drop-send, tag-mismatch, "
+                                             "dup-chunk)");
+  return Mutation::kDropSend;  // unreachable
+}
+
+const std::vector<Mutation>& all_mutations() {
+  static const std::vector<Mutation> kAll{
+      Mutation::kDropSend, Mutation::kTagMismatch, Mutation::kDuplicateChunk};
+  return kAll;
+}
+
+MutationResult apply_mutation(const mp::Schedule& schedule, Mutation m,
+                              std::uint64_t seed) {
+  const auto& ops = schedule.ops();
+  std::vector<ScheduleOp> mutated(ops.begin(), ops.end());
+  MutationResult out;
+  std::ostringstream desc;
+
+  switch (m) {
+    case Mutation::kDropSend: {
+      std::vector<int> candidates;
+      for (const ScheduleOp& op : ops)
+        if (op.is_send() && op.match >= 0) candidates.push_back(op.id);
+      const int id = pick(candidates, seed, "drop-send");
+      out.target_op = id;
+      desc << "dropped " << ops[static_cast<std::size_t>(id)].to_string();
+      mutated.erase(mutated.begin() + id);
+      break;
+    }
+    case Mutation::kTagMismatch: {
+      // Only a send consumed by a tag-pinned receive is a guaranteed bug:
+      // an any-tag receive would legitimately accept the new tag.
+      std::vector<int> candidates;
+      for (const ScheduleOp& op : ops) {
+        if (!op.is_send() || op.match < 0) continue;
+        if (ops[static_cast<std::size_t>(op.match)].tag != mp::kAnyTag)
+          candidates.push_back(op.id);
+      }
+      const int id = pick(candidates, seed, "tag-mismatch");
+      out.target_op = id;
+      ScheduleOp& op = mutated[static_cast<std::size_t>(id)];
+      desc << "retagged " << op.to_string() << " to tag " << kBogusTag;
+      op.tag = kBogusTag;
+      break;
+    }
+    case Mutation::kDuplicateChunk: {
+      std::vector<int> candidates;
+      for (const ScheduleOp& op : ops)
+        if (op.is_send() && !op.chunk_sources.empty())
+          candidates.push_back(op.id);
+      const int id = pick(candidates, seed, "dup-chunk");
+      out.target_op = id;
+      ScheduleOp& op = mutated[static_cast<std::size_t>(id)];
+      desc << "duplicated chunk of source " << op.chunk_sources.front()
+           << " inside " << op.to_string();
+      op.chunk_sources.push_back(op.chunk_sources.front());
+      break;
+    }
+  }
+
+  out.schedule =
+      mp::Schedule::from_ops(schedule.rank_count(), std::move(mutated));
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace spb::analyze

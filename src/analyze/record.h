@@ -1,0 +1,34 @@
+// Runs an algorithm once with schedule recording enabled and hands the
+// symbolic schedule to the static checks — including when the run
+// deadlocks or a program throws, which is precisely when the schedule is
+// most interesting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mp/payload.h"
+#include "mp/schedule.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+
+namespace spb::analyze {
+
+struct RecordedRun {
+  mp::Schedule schedule;
+  /// Final payload of every rank (meaningful only when completed).
+  std::vector<mp::Payload> final_payloads;
+  /// The simulation drained with every program finished.
+  bool completed = false;
+  /// The runtime reported a deadlock (failure holds its diagnostic).
+  bool deadlocked = false;
+  /// Text of the DeadlockError / CheckError, empty when completed.
+  std::string failure;
+};
+
+/// Records one run.  Never throws for deadlocks or program CheckErrors —
+/// those land in `failure` with the partial schedule preserved.
+RecordedRun record_run(const stop::Algorithm& algorithm,
+                       const stop::Problem& problem);
+
+}  // namespace spb::analyze

@@ -29,6 +29,9 @@ struct Message {
   SimTime sent_at = 0;
   /// When the complete message reached the destination node.
   SimTime arrived_at = 0;
+  /// Schedule-recording stamp: id of the originating send op when the
+  /// runtime records a Schedule (see mp/schedule.h), -1 otherwise.
+  int sched_send_op = -1;
 };
 
 }  // namespace spb::mp

@@ -7,6 +7,17 @@
 
 namespace spb::mp {
 
+namespace {
+
+std::vector<Rank> chunk_sources_of(const Payload& p) {
+  std::vector<Rank> srcs;
+  srcs.reserve(p.chunk_count());
+  for (const Chunk& c : p.chunks()) srcs.push_back(c.source);
+  return srcs;
+}
+
+}  // namespace
+
 // ----------------------------------------------------------------- Comm
 
 int Comm::size() const { return rt_->size(); }
@@ -78,6 +89,12 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
   msg.payload = std::move(payload);
   msg.sent_at = rt.sim_.now();
 
+  if (rt.schedule_enabled_) {
+    msg.sched_send_op = rt.schedule_.record_send(
+        c.rank_, dst, tag, msg.wire_bytes, chunk_sources_of(msg.payload),
+        msg.payload.total_bytes());
+  }
+
   c.metrics_.on_send(msg.wire_bytes);
 
   const SimTime ready =
@@ -114,6 +131,9 @@ void Comm::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
   const CommParams& cp = rt.params_;
   called_at = rt.sim_.now();
 
+  if (rt.schedule_enabled_)
+    sched_op = rt.schedule_.record_recv_post(c.rank_, src, tag);
+
   Message msg;
   if (c.mailbox_.try_take(src, tag, msg)) {
     blocked = false;
@@ -130,6 +150,11 @@ void Comm::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
 
 Message Comm::RecvAwaiter::await_resume() {
   Comm& c = *comm;
+  if (c.rt_->schedule_enabled_ && sched_op >= 0) {
+    c.rt_->schedule_.record_recv_match(
+        sched_op, result.sched_send_op, result.wire_bytes,
+        chunk_sources_of(result.payload), result.payload.total_bytes());
+  }
   c.metrics_.on_recv(result.wire_bytes, blocked,
                      blocked ? result.arrived_at - called_at : 0.0);
   if (c.rt_->trace_enabled_) {
@@ -206,6 +231,12 @@ void Runtime::spawn(Rank r, sim::Task task) {
   tasks_[static_cast<std::size_t>(r)] = std::move(task);
 }
 
+void Runtime::enable_schedule_recording() {
+  SPB_REQUIRE(!ran_, "enable_schedule_recording() after run()");
+  schedule_enabled_ = true;
+  schedule_ = Schedule(size());
+}
+
 void Runtime::deliver(Message msg) {
   Comm& dst = comm(msg.dst);
   if (dst.pending_.has_value()) {
@@ -260,7 +291,13 @@ RunOutcome Runtime::run() {
         } else {
           stuck << pending->src;
         }
+        if (pending->tag != kAnyTag) stuck << ", tag=" << pending->tag;
         stuck << ")";
+        const std::size_t parked =
+            comms_[static_cast<std::size_t>(r)]->mailbox_.size();
+        if (parked > 0)
+          stuck << " while " << parked
+                << " non-matching message(s) sit in its mailbox";
       } else {
         stuck << " suspended outside a receive";
       }

@@ -35,6 +35,7 @@
 #include "mp/message.h"
 #include "mp/metrics.h"
 #include "mp/payload.h"
+#include "mp/schedule.h"
 #include "mp/trace.h"
 #include "net/mapping.h"
 #include "net/network.h"
@@ -120,6 +121,8 @@ class Comm {
     Message result;
     bool blocked = false;
     SimTime called_at = 0;
+    /// Schedule-recording stamp of this receive post (-1 = not recording).
+    int sched_op = -1;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
     Message await_resume();
@@ -213,6 +216,13 @@ class Runtime {
   void enable_trace() { trace_enabled_ = true; }
   const Trace& trace() const { return trace_; }
 
+  /// Enables symbolic schedule recording (before run()); see mp/schedule.h.
+  /// The schedule survives a DeadlockError thrown by run(), which is what
+  /// the static analyzer inspects for hung programs.
+  void enable_schedule_recording();
+  bool schedule_recording() const { return schedule_enabled_; }
+  const Schedule& schedule() const { return schedule_; }
+
   sim::Simulator& simulator() { return sim_; }
   const net::NetworkModel& network() const { return net_; }
   const CommParams& comm_params() const { return params_; }
@@ -234,6 +244,8 @@ class Runtime {
   bool ran_ = false;
   bool trace_enabled_ = false;
   Trace trace_;
+  bool schedule_enabled_ = false;
+  Schedule schedule_;
 };
 
 }  // namespace spb::mp

@@ -1,0 +1,104 @@
+// Symbolic communication-schedule recording.
+//
+// When enabled on a Runtime, every send and every posted receive is
+// recorded as a ScheduleOp — who, to/from whom, which tag, which source
+// chunks, and at which per-rank program step — together with the match
+// edge (which send a receive actually consumed).  Unlike mp::Trace, which
+// captures *timing*, a Schedule captures the *logical* communication
+// structure, so it can be checked statically without advancing the
+// simulator: send/recv matching, deadlock-freedom of the wait-for graph,
+// chunk coverage, and round/volume bounds (see src/analyze).
+//
+// Recv ops are recorded when the receive is *posted*, not when it
+// completes; a receive that never matches (a deadlocked program) is still
+// in the schedule, flagged as incomplete — which is exactly what the
+// static deadlock analysis needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spb::mp {
+
+struct ScheduleOp {
+  enum class Kind { kSend, kRecv };
+
+  Kind kind = Kind::kSend;
+  /// Index of this op in Schedule::ops(); stable identifier for match
+  /// edges and reports.
+  int id = -1;
+  /// The rank that issued the operation.
+  Rank rank = kNoRank;
+  /// Program step of the op on its rank: 0, 1, 2, ... over that rank's
+  /// sends and receive posts, in program order.
+  int step = -1;
+  /// kSend: destination rank.  kRecv: source filter (kAnySource allowed).
+  Rank peer = kNoRank;
+  /// kSend: message tag.  kRecv: tag filter (kAnyTag allowed).
+  int tag = 0;
+  /// kSend: bytes on the wire.  kRecv: wire size of the matched message
+  /// (0 while unmatched).
+  Bytes wire_bytes = 0;
+  /// Source ranks of the chunks carried (kSend) or delivered (kRecv,
+  /// matched).  Empty for sized filler segments, which move bytes only.
+  std::vector<Rank> chunk_sources;
+  /// Payload bytes summed over the carried chunks (the wire size also
+  /// counts envelope and filler bytes).
+  Bytes payload_bytes = 0;
+  /// kSend: id of the recv op that consumed this message (-1 = never
+  /// received).  kRecv: id of the matched send (-1 = never matched).
+  int match = -1;
+  /// kRecv only: the receive completed during the recorded run.
+  bool completed = false;
+
+  bool is_send() const { return kind == Kind::kSend; }
+  bool is_recv() const { return kind == Kind::kRecv; }
+
+  /// "rank 3 step 2: send(dst=7, tag=0, 4128B, chunks={0,5})" — reports.
+  std::string to_string() const;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int rank_count);
+
+  /// Rebuilds a schedule from a transformed op list (the mutation harness
+  /// in src/analyze uses this).  Ops keep their relative order; ids, steps
+  /// and match edges are recomputed/remapped, with match edges to removed
+  /// ops cleared.
+  static Schedule from_ops(int rank_count, std::vector<ScheduleOp> ops);
+
+  int rank_count() const { return rank_count_; }
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<ScheduleOp>& ops() const { return ops_; }
+  const ScheduleOp& op(int id) const { return ops_[static_cast<std::size_t>(id)]; }
+
+  /// Ids of one rank's ops, in program order.
+  const std::vector<int>& ops_of_rank(Rank r) const;
+
+  // --- recording hooks (called by mp::Runtime) -------------------------
+
+  /// Records a send; returns its op id.
+  int record_send(Rank rank, Rank dst, int tag, Bytes wire_bytes,
+                  std::vector<Rank> chunk_sources, Bytes payload_bytes);
+
+  /// Records a posted receive (not yet matched); returns its op id.
+  int record_recv_post(Rank rank, Rank src_filter, int tag_filter);
+
+  /// Marks recv op `recv_id` as completed by send op `send_id` (-1 when
+  /// the consumed message predates recording) and fills in what arrived.
+  void record_recv_match(int recv_id, int send_id, Bytes wire_bytes,
+                         std::vector<Rank> chunk_sources,
+                         Bytes payload_bytes);
+
+ private:
+  int rank_count_ = 0;
+  std::vector<ScheduleOp> ops_;
+  std::vector<std::vector<int>> by_rank_;  // per-rank op ids, program order
+};
+
+}  // namespace spb::mp

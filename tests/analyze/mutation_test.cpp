@@ -1,0 +1,128 @@
+#include "analyze/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/checks.h"
+#include "analyze/record.h"
+#include "common/check.h"
+#include "machine/config.h"
+#include "mp/mailbox.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+
+// Seeded-bug harness: each mutation corrupts a recorded 2-Step schedule
+// (fully tag-pinned, so every mutation has eligible ops) and the static
+// analyzer must flag it with a report naming the culprit.
+
+namespace spb::analyze {
+namespace {
+
+struct Recorded {
+  stop::Problem pb;
+  mp::Schedule schedule;
+};
+
+const Recorded& recorded_two_step() {
+  static const Recorded r = [] {
+    const stop::AlgorithmPtr alg = stop::find_algorithm("2-Step");
+    stop::Problem pb = stop::make_problem(machine::paragon(4, 4),
+                                          dist::Kind::kRow, 4, 2048);
+    RecordedRun run = record_run(*alg, pb);
+    SPB_CHECK_MSG(run.completed, run.failure);
+    return Recorded{std::move(pb), std::move(run.schedule)};
+  }();
+  return r;
+}
+
+bool has_kind(const AnalysisReport& r, Violation::Kind k) {
+  for (const Violation& v : r.violations)
+    if (v.kind == k) return true;
+  return false;
+}
+
+TEST(Mutation, DropSendIsFlaggedWithHangAndCoverage) {
+  const Recorded& rec = recorded_two_step();
+  const MutationResult mut =
+      apply_mutation(rec.schedule, Mutation::kDropSend, /*seed=*/3);
+  EXPECT_EQ(mut.schedule.size(), rec.schedule.size() - 1);
+  const AnalysisReport report = analyze_schedule(mut.schedule, rec.pb);
+  EXPECT_FALSE(report.ok());
+  // The dropped message's receiver can never be satisfied (pigeonhole on
+  // its mailbox), and its chunks never reach the subtree behind it.
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kUnmatchedRecv))
+      << report.to_string();
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kCoverage))
+      << report.to_string();
+  EXPECT_NE(mut.description.find("rank"), std::string::npos)
+      << mut.description;
+}
+
+TEST(Mutation, TagMismatchStarvesReceiverAndStrandsSend) {
+  const Recorded& rec = recorded_two_step();
+  const MutationResult mut =
+      apply_mutation(rec.schedule, Mutation::kTagMismatch, /*seed=*/3);
+  const AnalysisReport report = analyze_schedule(mut.schedule, rec.pb);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kUnmatchedRecv))
+      << report.to_string();
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kUnreceivedSend))
+      << report.to_string();
+}
+
+TEST(Mutation, DuplicateChunkTripsIntegrity) {
+  const Recorded& rec = recorded_two_step();
+  const MutationResult mut =
+      apply_mutation(rec.schedule, Mutation::kDuplicateChunk, /*seed=*/3);
+  const AnalysisReport report = analyze_schedule(mut.schedule, rec.pb);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kChunkIntegrity))
+      << report.to_string();
+}
+
+TEST(Mutation, SameSeedPicksSameTarget) {
+  const Recorded& rec = recorded_two_step();
+  const MutationResult a =
+      apply_mutation(rec.schedule, Mutation::kDropSend, 42);
+  const MutationResult b =
+      apply_mutation(rec.schedule, Mutation::kDropSend, 42);
+  EXPECT_EQ(a.target_op, b.target_op);
+  EXPECT_EQ(a.description, b.description);
+}
+
+TEST(Mutation, TagMismatchNeedsATagPinnedReceive) {
+  // A schedule whose only receive is fully wildcard has no eligible op.
+  mp::ScheduleOp send;
+  send.kind = mp::ScheduleOp::Kind::kSend;
+  send.id = 0;
+  send.rank = 0;
+  send.peer = 1;
+  send.tag = 0;
+  send.wire_bytes = 1020;
+  send.chunk_sources = {0};
+  send.payload_bytes = 1000;
+  send.match = 1;
+  mp::ScheduleOp recv;
+  recv.kind = mp::ScheduleOp::Kind::kRecv;
+  recv.id = 1;
+  recv.rank = 1;
+  recv.peer = mp::kAnySource;
+  recv.tag = mp::kAnyTag;
+  recv.completed = true;
+  recv.match = 0;
+  const mp::Schedule sched = mp::Schedule::from_ops(2, {send, recv});
+  EXPECT_THROW(apply_mutation(sched, Mutation::kTagMismatch, 1),
+               CheckError);
+}
+
+TEST(Mutation, NamesRoundTrip) {
+  for (const Mutation m : all_mutations())
+    EXPECT_EQ(mutation_from_name(mutation_name(m)), m);
+  EXPECT_THROW(mutation_from_name("no-such-mutation"), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::analyze

@@ -92,7 +92,10 @@ TEST(FailureInjection, DeadlockDetectorNamesTheStuckRank) {
   } catch (const mp::DeadlockError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("1 of 8"), std::string::npos) << what;
-    EXPECT_NE(what.find("rank 0 blocked in recv(1)"), std::string::npos)
+    // The diagnostic names the stuck rank, the receive filter including
+    // its pinned tag, and (here) that the mailbox holds nothing usable.
+    EXPECT_NE(what.find("rank 0 blocked in recv(1, tag=17)"),
+              std::string::npos)
         << what;
   }
 }

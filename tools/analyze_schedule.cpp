@@ -1,0 +1,257 @@
+// analyze_schedule — static communication-schedule checker CLI.
+//
+// Records the symbolic send/recv schedule of every algorithm x source
+// distribution x machine combination and runs the src/analyze static
+// checks on it: send/recv matching, wait-for-graph acyclicity, chunk
+// coverage/provenance, and round/volume bounds with link-conflict counts.
+// Exits nonzero when any combination violates a check.
+//
+//   analyze_schedule                 # full sweep: 4x4, 8x8 Paragon + 8x8x8 T3D
+//   analyze_schedule --machine paragon8x8 --algo Br_Lin --dist Cr
+//   analyze_schedule --mutate drop-send   # seed a bug, expect a red report
+//
+// With --mutate, the recorded schedule is mutated before analysis; the
+// checker must flag it (exit stays nonzero unless --expect-violations is
+// given, which inverts the verdict for use as a self-test).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks.h"
+#include "analyze/mutate.h"
+#include "analyze/record.h"
+#include "common/check.h"
+#include "dist/distribution.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "stop/verify.h"
+
+namespace {
+
+using namespace spb;  // NOLINT(google-build-using-namespace): CLI main
+
+struct MachineChoice {
+  std::string key;
+  machine::MachineConfig config;
+};
+
+std::vector<MachineChoice> make_machines(const std::string& filter) {
+  std::vector<MachineChoice> all;
+  all.push_back({"paragon4x4", machine::paragon(4, 4)});
+  all.push_back({"paragon8x8", machine::paragon(8, 8)});
+  all.push_back({"t3d512", machine::t3d(512)});
+  if (filter == "all") return all;
+  for (auto& m : all)
+    if (m.key == filter) return {std::move(m)};
+  SPB_REQUIRE(false, "unknown machine '"
+                         << filter
+                         << "' (paragon4x4, paragon8x8, t3d512, all)");
+  return {};
+}
+
+struct Options {
+  std::string machine = "all";
+  std::string algo = "all";
+  std::string dist = "all";
+  int s = 0;  // 0 = p/4 (at least 2)
+  Bytes bytes = 2048;
+  std::uint64_t seed = 1;
+  std::vector<analyze::Mutation> mutations;
+  bool expect_violations = false;
+  bool verbose = false;
+  double step_slack = 0.0;
+  double volume_slack = 0.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --machine M    paragon4x4 | paragon8x8 | t3d512 | all\n"
+      << "  --algo A       algorithm name (see --list) | all\n"
+      << "  --dist D       R C E Dr Dl B Cr Sq Rand | all\n"
+      << "  --s N          source count (default p/4, min 2)\n"
+      << "  --bytes N      message length L in bytes (default 2048)\n"
+      << "  --seed N       seed for Rand distribution and mutations\n"
+      << "  --mutate M     drop-send | tag-mismatch | dup-chunk | all\n"
+      << "  --expect-violations   exit 0 iff every combo was flagged\n"
+      << "  --step-slack X / --volume-slack X   optional quality gates\n"
+      << "  --list         print algorithm and distribution names\n"
+      << "  --verbose      print the full report for every combo\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--machine") {
+      o.machine = next(i);
+    } else if (a == "--algo") {
+      o.algo = next(i);
+    } else if (a == "--dist") {
+      o.dist = next(i);
+    } else if (a == "--s") {
+      o.s = std::stoi(next(i));
+    } else if (a == "--bytes") {
+      o.bytes = static_cast<Bytes>(std::stoull(next(i)));
+    } else if (a == "--seed") {
+      o.seed = std::stoull(next(i));
+    } else if (a == "--mutate") {
+      const std::string m = next(i);
+      if (m == "all") {
+        o.mutations = analyze::all_mutations();
+      } else {
+        o.mutations.push_back(analyze::mutation_from_name(m));
+      }
+    } else if (a == "--expect-violations") {
+      o.expect_violations = true;
+    } else if (a == "--step-slack") {
+      o.step_slack = std::stod(next(i));
+    } else if (a == "--volume-slack") {
+      o.volume_slack = std::stod(next(i));
+    } else if (a == "--list") {
+      std::cout << "algorithms:\n";
+      for (const auto& alg : stop::all_algorithms())
+        std::cout << "  " << alg->name() << "\n";
+      std::cout << "distributions:\n";
+      for (const dist::Kind k : dist::all_kinds())
+        std::cout << "  " << dist::kind_name(k) << "\n";
+      std::exit(0);
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+int run_cli(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::vector<stop::AlgorithmPtr> algorithms;
+  if (opt.algo == "all") {
+    algorithms = stop::all_algorithms();
+  } else {
+    algorithms.push_back(stop::find_algorithm(opt.algo));
+  }
+  std::vector<dist::Kind> kinds;
+  if (opt.dist == "all") {
+    kinds = dist::all_kinds();
+  } else {
+    kinds.push_back(dist::kind_from_name(opt.dist));
+  }
+
+  analyze::AnalysisOptions aopt;
+  aopt.max_step_slack = opt.step_slack;
+  aopt.max_volume_slack = opt.volume_slack;
+
+  int combos = 0;
+  int flagged = 0;
+  for (const MachineChoice& mc : make_machines(opt.machine)) {
+    const int s =
+        opt.s > 0 ? opt.s : std::max(2, mc.config.p / 4);
+    for (const stop::AlgorithmPtr& alg : algorithms) {
+      for (const dist::Kind kind : kinds) {
+        const stop::Problem pb = stop::make_problem(
+            mc.config, kind, std::min(s, mc.config.p), opt.bytes, opt.seed);
+
+        try {
+          const analyze::RecordedRun run = analyze::record_run(*alg, pb);
+
+          std::vector<std::string> extra;
+          if (!run.completed)
+            extra.push_back("run did not complete: " + run.failure);
+
+          if (opt.mutations.empty()) {
+            ++combos;
+            analyze::AnalysisReport report =
+                analyze::analyze_schedule(run.schedule, pb, aopt);
+            if (run.completed) {
+              const stop::VerifyResult v =
+                  stop::verify_broadcast(pb, run.final_payloads);
+              if (!v.ok)
+                extra.push_back("final payloads wrong: " + v.error);
+            }
+            const bool bad =
+                !report.ok() || !extra.empty();
+            if (bad) ++flagged;
+            const auto& q = report.quality;
+            std::cout << (bad ? "FAIL " : "ok   ") << mc.key << "  "
+                      << alg->name() << "  " << dist::kind_name(kind)
+                      << "  depth " << q.critical_depth << "/"
+                      << q.round_lower_bound << "  steps "
+                      << q.max_rank_steps << "  conflicts "
+                      << q.max_link_conflicts << "\n";
+            if (bad || opt.verbose) {
+              for (const std::string& e : extra) std::cout << "  " << e << "\n";
+              std::cout << report.to_string() << "\n";
+            }
+          } else {
+            for (const analyze::Mutation m : opt.mutations) {
+              analyze::MutationResult mut;
+              try {
+                mut = analyze::apply_mutation(run.schedule, m, opt.seed);
+              } catch (const CheckError&) {
+                // No eligible op (e.g. tag mismatch on an all-wildcard
+                // algorithm): nothing to seed, nothing to miss.
+                std::cout << "SKIP    " << mc.key << "  " << alg->name()
+                          << "  " << dist::kind_name(kind) << "  ["
+                          << analyze::mutation_name(m)
+                          << "] no eligible op\n";
+                continue;
+              }
+              ++combos;
+              const analyze::AnalysisReport report =
+                  analyze::analyze_schedule(mut.schedule, pb, aopt);
+              const bool bad = !report.ok();
+              if (bad) ++flagged;
+              std::cout << (bad ? "FLAGGED " : "MISSED  ") << mc.key << "  "
+                        << alg->name() << "  " << dist::kind_name(kind)
+                        << "  [" << analyze::mutation_name(m) << "] "
+                        << mut.description << "\n";
+              if (bad || opt.verbose)
+                std::cout << report.to_string() << "\n";
+            }
+          }
+        } catch (const CheckError& e) {
+          ++combos;
+          ++flagged;
+          std::cout << "FAIL " << mc.key << "  " << alg->name() << "  "
+                    << dist::kind_name(kind) << "  " << e.what() << "\n";
+        }
+      }
+    }
+  }
+
+  if (opt.expect_violations) {
+    const bool all_flagged = flagged == combos && combos > 0;
+    std::cout << (all_flagged ? "self-test ok: " : "self-test FAILED: ")
+              << flagged << "/" << combos << " combos flagged\n";
+    return all_flagged ? 0 : 1;
+  }
+  std::cout << combos << " combinations analyzed, " << flagged
+            << " with violations\n";
+  return flagged == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Bad CLI input (unknown machine/algorithm/distribution name) surfaces as
+  // CheckError; report it like a usage error instead of aborting.
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "analyze_schedule: " << e.what() << "\n";
+    return 2;
+  }
+}

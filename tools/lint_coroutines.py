@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Lint for C++20 coroutine pitfalls specific to this codebase.
+
+Two bug classes that compile cleanly, pass -Wall, and then corrupt or hang
+a simulation:
+
+1. Capturing coroutine lambdas.  A lambda whose body uses co_await /
+   co_return keeps its captures inside the *closure object*, not the
+   coroutine frame.  Our program factories build sim::Task values from
+   temporary lambdas; if such a lambda were itself a coroutine, every
+   capture would dangle after the first suspension.  The safe idiom (used
+   everywhere in src/) is a non-coroutine lambda that *calls* a free
+   coroutine function.  Any capturing coroutine lambda is flagged.
+
+2. Un-awaited sim::Task calls.  Calling a Task-returning coroutine
+   function as a bare statement creates a suspended coroutine, destroys
+   it at the semicolon, and silently does nothing.  Tasks must be
+   co_await-ed, spawned on a Runtime, or stored.  We collect every
+   function declared as returning sim::Task and flag bare-statement
+   calls of them.
+
+Usage: lint_coroutines.py DIR [DIR ...]
+Exits 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+TASK_DECL = re.compile(r"\bsim::Task\s+(\w+)\s*\(")
+LAMBDA_INTRO = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^)]*\)\s*)?"
+                          r"(?:mutable\s*)?(?:->\s*[\w:]+\s*)?\{")
+CO_KEYWORD = re.compile(r"\bco_(?:await|return|yield)\b")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            quote = text[i]
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def matching_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+def check_file(path: Path, task_functions: set[str]) -> list[str]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    text = strip_comments(raw)
+    findings = []
+
+    # 1. capturing coroutine lambdas
+    for m in LAMBDA_INTRO.finditer(text):
+        captures = m.group(1).strip()
+        if not captures:
+            continue
+        body_open = text.index("{", m.end() - 1)
+        body_close = matching_brace(text, body_open)
+        body = text[body_open:body_close]
+        if CO_KEYWORD.search(body):
+            findings.append(
+                f"{path}:{line_of(text, m.start())}: capturing coroutine "
+                f"lambda [{captures}] — captures outlive only the closure, "
+                f"not the coroutine frame; call a free coroutine function "
+                f"instead")
+
+    # 2. bare-statement calls of Task-returning functions
+    for name in task_functions:
+        for m in re.finditer(rf"(^|[;{{}}])\s*(?:\w+::)?{name}\s*\(",
+                             text, re.MULTILINE):
+            start = m.start(0) + len(m.group(1))
+            prefix = text[max(0, start - 80):start]
+            # Declarations/definitions and uses that consume the task.
+            if re.search(r"(co_await|co_return|return|=|\bspawn\b|"
+                         r"sim::Task|\bTask\b)\s*$", prefix.strip()):
+                continue
+            # Walk to the matching ')' and require ';' right after —
+            # otherwise it is a sub-expression of something that uses it.
+            i = text.index("(", start)
+            depth = 0
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1:i + 2]
+            if tail == ";":
+                findings.append(
+                    f"{path}:{line_of(text, start)}: result of coroutine "
+                    f"'{name}(...)' is discarded — the task is destroyed "
+                    f"before it ever runs; co_await it, spawn() it, or "
+                    f"store it")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = []
+    for d in argv[1:]:
+        p = Path(d)
+        if p.is_file():
+            files.append(p)
+        else:
+            files.extend(sorted(p.rglob("*.cpp")))
+            files.extend(sorted(p.rglob("*.h")))
+
+    task_functions: set[str] = set()
+    for f in files:
+        text = strip_comments(f.read_text(encoding="utf-8", errors="replace"))
+        for m in TASK_DECL.finditer(text):
+            task_functions.add(m.group(1))
+    # Task member/utility names that are not coroutine factories.
+    task_functions -= {"Task", "get_return_object"}
+
+    findings = []
+    for f in files:
+        findings.extend(check_file(f, task_functions))
+
+    for finding in findings:
+        print(finding)
+    print(f"lint_coroutines: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
