@@ -5,19 +5,25 @@
 // format.
 //
 //   $ ./export_csv results/
+//   $ ./export_csv results/ --jobs 4     # figures in parallel, same bytes
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "stop/algorithm.h"
 #include "stop/run.h"
+#include "sweep_runner.h"
 
 namespace {
 
 using namespace spb;
 
+// Silent on stdout: figures run concurrently under --jobs, so main prints
+// the path list in figure order afterwards — output is byte-identical for
+// every job count.
 FILE* open_csv(const std::filesystem::path& dir, const std::string& name,
                const std::string& header) {
   const std::filesystem::path path = dir / name;
@@ -27,7 +33,6 @@ FILE* open_csv(const std::filesystem::path& dir, const std::string& name,
     std::exit(1);
   }
   std::fprintf(f, "%s\n", header.c_str());
-  std::printf("  %s\n", path.string().c_str());
   return f;
 }
 
@@ -239,23 +244,45 @@ void fig13a(const std::filesystem::path& dir) {
   std::fclose(f);
 }
 
+struct FigJob {
+  const char* file;
+  void (*fn)(const std::filesystem::path&);
+};
+
+// Listed in the historical serial order; the path list prints in this
+// order regardless of which worker finishes first.
+constexpr FigJob kFigures[] = {
+    {"fig03.csv", fig03}, {"fig04.csv", fig04},   {"fig05.csv", fig05},
+    {"fig06.csv", fig06}, {"fig07.csv", fig07},   {"fig08.csv", fig08},
+    {"fig09.csv", fig09}, {"fig10.csv", fig10},   {"fig11b.csv", fig11b},
+    {"fig12.csv", fig12}, {"fig13a.csv", fig13a},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "results";
+  std::filesystem::path dir = "results";
+  int jobs = 1;
+  bool dir_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs == 0) jobs = bench::SweepRunner::hardware_jobs();
+    } else if (!dir_seen) {
+      dir = argv[i];
+      dir_seen = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [dir] [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
   std::filesystem::create_directories(dir);
   std::printf("writing figure series:\n");
-  fig03(dir);
-  fig04(dir);
-  fig05(dir);
-  fig06(dir);
-  fig07(dir);
-  fig08(dir);
-  fig09(dir);
-  fig10(dir);
-  fig11b(dir);
-  fig12(dir);
-  fig13a(dir);
+  const std::size_t count = std::size(kFigures);
+  const bench::SweepRunner runner(jobs);
+  runner.run(count, [&](std::size_t i) { kFigures[i].fn(dir); });
+  for (const FigJob& job : kFigures)
+    std::printf("  %s\n", (dir / job.file).string().c_str());
   std::printf("done.\n");
   return 0;
 }

@@ -25,16 +25,24 @@ int main() {
   const std::vector<int> source_counts = {1,  5,  10, 20, 30, 40,
                                           50, 60, 70, 80, 90, 100};
 
+  std::vector<bench::SweepCase> cases;
+  for (const int s : source_counts) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    for (const auto& a : algorithms) cases.push_back({a, pb});
+  }
+  const std::vector<double> timed =
+      bench::time_ms_sweep(cases, bench::default_jobs());
+
   TextTable t;
   t.row().cell("s");
   for (const auto& a : algorithms) t.cell(a->name());
   std::map<std::string, std::map<int, double>> ms;
+  std::size_t next = 0;
   for (const int s : source_counts) {
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kEqual, s, L);
     t.row().num(static_cast<std::int64_t>(s));
     for (const auto& a : algorithms) {
-      const double v = bench::time_ms(a, pb);
+      const double v = timed[next++];
       ms[a->name()][s] = v;
       t.num(v, 2);
     }

@@ -22,16 +22,24 @@ int main() {
   const std::vector<Bytes> lengths = {32,   128,  512,   1024,
                                       2048, 4096, 8192, 16384};
 
+  std::vector<bench::SweepCase> cases;
+  for (const Bytes L : lengths) {
+    const stop::Problem pb =
+        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    for (const auto& a : algorithms) cases.push_back({a, pb});
+  }
+  const std::vector<double> timed =
+      bench::time_ms_sweep(cases, bench::default_jobs());
+
   TextTable t;
   t.row().cell("L");
   for (const auto& a : algorithms) t.cell(a->name());
   std::map<std::string, std::map<Bytes, double>> ms;
+  std::size_t next = 0;
   for (const Bytes L : lengths) {
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
     t.row().cell(human_bytes(L));
     for (const auto& a : algorithms) {
-      const double v = bench::time_ms(a, pb);
+      const double v = timed[next++];
       ms[a->name()][L] = v;
       t.num(v, 2);
     }

@@ -5,11 +5,13 @@
 // hundreds of runs and stay fast because these stay fast.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <numeric>
 
 #include "coll/halving.h"
 #include "dist/ideal.h"
 #include "mp/payload.h"
+#include "net/route_cache.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
 #include "stop/algorithm.h"
@@ -21,11 +23,27 @@ using namespace spb;
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  // Each event carries the runtime's typical delivery capture — a pointer
+  // plus a slot index plus a timestamp — and is invoked on pop, exactly
+  // like the simulator loop does.
+  struct Delivery {
+    std::uint64_t* sink;
+    std::uint32_t slot;
+    double at;
+  };
+  std::uint64_t sum = 0;
   for (auto _ : state) {
     sim::EventQueue q;
-    for (int i = 0; i < n; ++i)
-      q.push(static_cast<double>((i * 7919) % 1000), [] {});
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+    for (int i = 0; i < n; ++i) {
+      const Delivery d{&sum, static_cast<std::uint32_t>(i),
+                       static_cast<double>((i * 7919) % 1000)};
+      q.push(d.at, [d] { *d.sink += d.slot; });
+    }
+    while (!q.empty()) {
+      sim::Event ev = q.pop();
+      ev.fn();
+    }
+    benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -53,6 +71,20 @@ void BM_TorusRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_TorusRoute);
 
+void BM_TorusRouteCached(benchmark::State& state) {
+  // Warm route-cache hits — what NetworkModel::reserve pays per message
+  // after the first send between a pair.
+  const net::Torus3D torus(8, 8, 8);
+  net::RouteCache cache(torus);
+  int a = 0;
+  for (auto _ : state) {
+    const int b = (a * 31 + 17) % torus.node_count();
+    benchmark::DoNotOptimize(cache.path(a, b).size());
+    a = (a + 1) % torus.node_count();
+  }
+}
+BENCHMARK(BM_TorusRouteCached);
+
 void BM_PayloadMerge(benchmark::State& state) {
   const int chunks = static_cast<int>(state.range(0));
   std::vector<mp::Chunk> even;
@@ -63,14 +95,41 @@ void BM_PayloadMerge(benchmark::State& state) {
   }
   const mp::Payload a = mp::Payload::of(even);
   const mp::Payload b = mp::Payload::of(odd);
+  // The accumulator lives across iterations, as a rank's payload lives
+  // across its receives: after the first iteration the merge runs entirely
+  // within settled capacity.  Even/odd interleave is the worst case for
+  // the merge walk itself (no disjoint-range shortcut applies).
+  mp::Payload m;
   for (auto _ : state) {
-    mp::Payload m = a;
+    m = a;
     m.merge(b);
     benchmark::DoNotOptimize(m.total_bytes());
   }
   state.SetItemsProcessed(state.iterations() * 2 * chunks);
 }
 BENCHMARK(BM_PayloadMerge)->Arg(16)->Arg(256);
+
+void BM_PayloadMergeDisjoint(benchmark::State& state) {
+  // Contiguous source ranges — the shape recursive halving produces on
+  // nearly every receive; hits the append fast path.
+  const int chunks = static_cast<int>(state.range(0));
+  std::vector<mp::Chunk> lo;
+  std::vector<mp::Chunk> hi;
+  for (int i = 0; i < chunks; ++i) {
+    lo.push_back({i, 64});
+    hi.push_back({chunks + i, 64});
+  }
+  const mp::Payload a = mp::Payload::of(lo);
+  const mp::Payload b = mp::Payload::of(hi);
+  mp::Payload m;
+  for (auto _ : state) {
+    m = a;
+    m.merge(b);
+    benchmark::DoNotOptimize(m.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * chunks);
+}
+BENCHMARK(BM_PayloadMergeDisjoint)->Arg(256);
 
 void BM_HalvingSchedule(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

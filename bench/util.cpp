@@ -1,13 +1,32 @@
 #include "util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/str.h"
+#include "sweep_runner.h"
 
 namespace spb::bench {
 
 double time_ms(const stop::AlgorithmPtr& alg, const stop::Problem& pb) {
   return stop::run_ms(*alg, pb);
+}
+
+std::vector<double> time_ms_sweep(const std::vector<SweepCase>& cases,
+                                  int jobs) {
+  std::vector<double> ms(cases.size());
+  const SweepRunner runner(jobs);
+  runner.run(cases.size(), [&](std::size_t i) {
+    ms[i] = time_ms(cases[i].algorithm, cases[i].problem);
+  });
+  return ms;
+}
+
+int default_jobs() {
+  const char* env = std::getenv("SPB_BENCH_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int jobs = std::atoi(env);
+  return jobs == 0 ? SweepRunner::hardware_jobs() : jobs;
 }
 
 Checker::Checker(std::string bench_name) : name_(std::move(bench_name)) {

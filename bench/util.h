@@ -17,9 +17,34 @@
 
 namespace spb::bench {
 
+// Timed runs must not pay schedule-recording or tracing overhead; both are
+// opt-in and the benches rely on the default staying off.
+static_assert(!stop::RunOptions{}.trace,
+              "RunOptions::trace must default to off for timed benches");
+static_assert(!stop::RunOptions{}.record_schedule,
+              "RunOptions::record_schedule must default to off for timed "
+              "benches");
+
 /// Milliseconds for one algorithm/problem pair (single deterministic run —
 /// the simulator has no noise to average away).
 double time_ms(const stop::AlgorithmPtr& alg, const stop::Problem& pb);
+
+/// One cell of a figure sweep: an algorithm on a problem instance.
+struct SweepCase {
+  stop::AlgorithmPtr algorithm;
+  stop::Problem problem;
+};
+
+/// Times every case, fanning out over `jobs` worker threads (see
+/// bench/sweep_runner.h).  Returns milliseconds in case order; each run is
+/// an independent deterministic simulation, so the results are identical
+/// for every job count.
+std::vector<double> time_ms_sweep(const std::vector<SweepCase>& cases,
+                                  int jobs);
+
+/// Worker-thread count for figure benches: the SPB_BENCH_JOBS environment
+/// variable when set (0 = all cores), otherwise 1.
+int default_jobs();
 
 /// Global pass/fail state of the current bench binary.
 class Checker {

@@ -1,0 +1,88 @@
+#include "analyze/sweep.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analyze/record.h"
+#include "common/check.h"
+#include "stop/problem.h"
+#include "stop/verify.h"
+
+namespace spb::analyze {
+
+// The formatting here is shared CLI output: analyze_schedule prints these
+// strings verbatim, and the determinism test diffs them between serial and
+// parallel sweeps — keep any format change in sync with both.
+ComboResult analyze_combo(const SweepCombo& combo, const SweepOptions& opt) {
+  const int p = combo.machine.p;
+  const int s = opt.s > 0 ? opt.s : std::max(2, p / 4);
+  const stop::Problem pb = stop::make_problem(
+      combo.machine, combo.kind, std::min(s, p), opt.bytes, opt.seed);
+
+  ComboResult result;
+  std::ostringstream out;
+  const std::string alg_name = combo.algorithm->name();
+  const std::string dist_name = dist::kind_name(combo.kind);
+
+  try {
+    const RecordedRun run = record_run(*combo.algorithm, pb);
+
+    std::vector<std::string> extra;
+    if (!run.completed)
+      extra.push_back("run did not complete: " + run.failure);
+
+    if (opt.mutations.empty()) {
+      ++result.combos;
+      AnalysisReport report = analyze_schedule(run.schedule, pb, opt.analysis);
+      if (run.completed) {
+        const stop::VerifyResult v =
+            stop::verify_broadcast(pb, run.final_payloads);
+        if (!v.ok) extra.push_back("final payloads wrong: " + v.error);
+      }
+      const bool bad = !report.ok() || !extra.empty();
+      if (bad) ++result.flagged;
+      const auto& q = report.quality;
+      out << (bad ? "FAIL " : "ok   ") << combo.machine_key << "  "
+          << alg_name << "  " << dist_name << "  depth " << q.critical_depth
+          << "/" << q.round_lower_bound << "  steps " << q.max_rank_steps
+          << "  conflicts " << q.max_link_conflicts << "\n";
+      if (bad || opt.verbose) {
+        for (const std::string& e : extra) out << "  " << e << "\n";
+        out << report.to_string() << "\n";
+      }
+    } else {
+      for (const Mutation m : opt.mutations) {
+        MutationResult mut;
+        try {
+          mut = apply_mutation(run.schedule, m, opt.seed);
+        } catch (const CheckError&) {
+          // No eligible op (e.g. tag mismatch on an all-wildcard
+          // algorithm): nothing to seed, nothing to miss.
+          out << "SKIP    " << combo.machine_key << "  " << alg_name << "  "
+              << dist_name << "  [" << mutation_name(m)
+              << "] no eligible op\n";
+          continue;
+        }
+        ++result.combos;
+        const AnalysisReport report =
+            analyze_schedule(mut.schedule, pb, opt.analysis);
+        const bool bad = !report.ok();
+        if (bad) ++result.flagged;
+        out << (bad ? "FLAGGED " : "MISSED  ") << combo.machine_key << "  "
+            << alg_name << "  " << dist_name << "  [" << mutation_name(m)
+            << "] " << mut.description << "\n";
+        if (bad || opt.verbose) out << report.to_string() << "\n";
+      }
+    }
+  } catch (const CheckError& e) {
+    ++result.combos;
+    ++result.flagged;
+    out << "FAIL " << combo.machine_key << "  " << alg_name << "  "
+        << dist_name << "  " << e.what() << "\n";
+  }
+
+  result.text = out.str();
+  return result;
+}
+
+}  // namespace spb::analyze

@@ -1,0 +1,54 @@
+// One schedule-analysis combination as a pure function.
+//
+// The analyze_schedule CLI sweeps machine x algorithm x distribution; this
+// header factors the per-combination work (record, optionally mutate,
+// analyze, format the report lines) out of the CLI loop so that
+//  * the CLI can fan combinations out over bench::SweepRunner, and
+//  * tests can assert that a parallel sweep is byte-identical to a serial
+//    one (the combo returns its output as text instead of printing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/checks.h"
+#include "analyze/mutate.h"
+#include "common/types.h"
+#include "dist/distribution.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+
+namespace spb::analyze {
+
+/// One point of the sweep grid.
+struct SweepCombo {
+  std::string machine_key;  // "paragon4x4" etc., used in report lines
+  machine::MachineConfig machine;
+  stop::AlgorithmPtr algorithm;
+  dist::Kind kind = dist::Kind::kRow;
+};
+
+struct SweepOptions {
+  int s = 0;  // source count; 0 = p/4 (at least 2), clamped to p
+  Bytes bytes = 2048;
+  std::uint64_t seed = 1;
+  /// When non-empty, each mutation is seeded and the analyzer must flag it.
+  std::vector<Mutation> mutations;
+  bool verbose = false;
+  AnalysisOptions analysis;
+};
+
+/// What one combination contributed: the exact text a serial CLI would
+/// have printed, and the counters for the final summary line.
+struct ComboResult {
+  std::string text;
+  int combos = 0;   // analyzed sub-combos (mutation SKIPs don't count)
+  int flagged = 0;  // sub-combos with violations
+};
+
+/// Analyzes one combination.  Self-contained and thread-safe: reads only
+/// its inputs, touches no global state, and returns its report as text.
+ComboResult analyze_combo(const SweepCombo& combo, const SweepOptions& opt);
+
+}  // namespace spb::analyze

@@ -1,0 +1,155 @@
+// A small-buffer vector for trivially copyable element types.
+//
+// The message-passing hot path builds and merges many tiny chunk lists
+// (most payloads hold a handful of chunks); std::vector pays one heap
+// allocation per list.  SmallVec keeps up to N elements inline and only
+// spills to the heap beyond that.  Restricting T to trivially copyable
+// types keeps every copy/move a memcpy and the destructor trivial, which
+// is what lets mp::Payload and sim::EventQueue stay allocation-free in
+// the common case.
+//
+// Deliberately minimal: grow-only capacity, no insert/erase in the middle,
+// no allocator hooks.  Copy-assignment reuses existing capacity (like
+// std::vector), which the in-place Payload::merge relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace spb {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialized for trivially copyable types");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { assign(other.data_, other.size_); }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data_, other.size_);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// True iff the elements currently live in the inline buffer.
+  bool inline_storage() const { return data_ == inline_buf(); }
+
+  void clear() { size_ = 0; }
+
+  /// Grows capacity to at least `n`, preserving contents.  Never shrinks.
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    // Geometric growth so repeated merges amortize.
+    std::size_t cap = cap_;
+    while (cap < n) cap *= 2;
+    T* heap = new T[cap];
+    const std::size_t keep = size_;
+    std::memcpy(static_cast<void*>(heap), data_, keep * sizeof(T));
+    release();
+    data_ = heap;
+    cap_ = static_cast<std::uint32_t>(cap);
+    size_ = static_cast<std::uint32_t>(keep);
+  }
+
+  /// Sets the size to `n` (n <= capacity()); the caller fills new slots.
+  /// Used by in-place merges that know their final size up front.
+  void resize_within_capacity(std::size_t n) {
+    SPB_CHECK_MSG(n <= cap_, "resize_within_capacity(" << n << ") beyond "
+                                                       << cap_);
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void push_back(const T& v) {
+    reserve(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  bool operator==(const SmallVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  T* inline_buf() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_buf() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void release() {
+    if (!inline_storage()) delete[] data_;
+    data_ = inline_buf();
+    cap_ = N;
+    size_ = 0;
+  }
+
+  void assign(const T* src, std::size_t n) {
+    if (n > cap_) {
+      // No contents worth preserving; replace the buffer outright.
+      release();
+      data_ = new T[n];
+      cap_ = static_cast<std::uint32_t>(n);
+    }
+    std::memcpy(static_cast<void*>(data_), src, n * sizeof(T));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void steal(SmallVec& other) noexcept {
+    if (other.inline_storage()) {
+      data_ = inline_buf();
+      cap_ = N;
+      size_ = other.size_;
+      std::memcpy(static_cast<void*>(data_), other.data_,
+                  other.size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_buf();
+      other.cap_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  T* data_ = inline_buf();
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace spb

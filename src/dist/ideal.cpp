@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "coll/halving.h"
@@ -111,7 +112,15 @@ std::vector<int> ideal_positions(int n, int k) {
   SPB_REQUIRE(n >= 1, "segment must have at least one position");
   SPB_REQUIRE(k >= 0 && k <= n, "source count " << k << " outside 0.." << n);
   if (k == 0) return {};
+  // Process-wide memo shared by every concurrent sweep job; the parallel
+  // runner calls generate() from worker threads, so the whole
+  // lookup-or-compute is serialized.  Holding the mutex across the search
+  // is deliberate: it also deduplicates the (expensive) computation when
+  // several workers ask for the same (n, k) at once, and any combination
+  // is computed at most once per process anyway.
+  static std::mutex cache_mutex;
   static std::map<std::pair<int, int>, std::vector<int>> cache;
+  const std::scoped_lock lock(cache_mutex);
   const auto key = std::make_pair(n, k);
   const auto it = cache.find(key);
   if (it != cache.end()) return it->second;

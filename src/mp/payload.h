@@ -12,11 +12,19 @@
 // sources on merge with a CheckError — a duplicate means an algorithm sent
 // the same source's data to the same rank twice, which the paper's
 // combining model never does.
+//
+// Storage is a SmallVec with a four-chunk inline buffer (most messages in
+// the halving algorithms carry a handful of chunks), merges happen in
+// place reusing existing capacity, and the total byte count is cached —
+// wire_bytes() is called once per send, which made the O(chunks) sum a
+// measurable cost in large sweeps.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace spb::mp {
@@ -30,6 +38,10 @@ struct Chunk {
 
 class Payload {
  public:
+  /// Inline chunk capacity: payloads at or below this size never touch the
+  /// heap.
+  static constexpr std::size_t kInlineChunks = 4;
+
   Payload() = default;
 
   /// The initial payload of a source rank: one chunk of `bytes` bytes.
@@ -40,16 +52,21 @@ class Payload {
 
   bool empty() const { return chunks_.empty(); }
   std::size_t chunk_count() const { return chunks_.size(); }
-  const std::vector<Chunk>& chunks() const { return chunks_; }
+  std::span<const Chunk> chunks() const {
+    return {chunks_.data(), chunks_.size()};
+  }
 
-  /// Sum of chunk sizes.
-  Bytes total_bytes() const;
+  /// Current chunk storage capacity (tests assert that merges reuse it).
+  std::size_t chunk_capacity() const { return chunks_.capacity(); }
+
+  /// Sum of chunk sizes (cached; O(1)).
+  Bytes total_bytes() const { return total_bytes_; }
 
   /// True iff a chunk from `source` is present.
   bool has_source(Rank source) const;
 
-  /// Merges `other` into this payload.  The chunk sets must be disjoint —
-  /// receiving the same source twice indicates an algorithm bug.
+  /// Merges `other` into this payload, in place.  The chunk sets must be
+  /// disjoint — receiving the same source twice indicates an algorithm bug.
   void merge(const Payload& other);
 
   /// Like merge() but silently keeps one copy of duplicated sources
@@ -59,7 +76,10 @@ class Payload {
 
   /// Removes all chunks (used when a rank forwards its data away during
   /// repositioning).
-  void clear() { chunks_.clear(); }
+  void clear() {
+    chunks_.clear();
+    total_bytes_ = 0;
+  }
 
   bool operator==(const Payload&) const = default;
 
@@ -67,7 +87,12 @@ class Payload {
   std::string to_string() const;
 
  private:
-  std::vector<Chunk> chunks_;  // sorted by source, unique sources
+  void merge_impl(const Payload& other, bool allow_dup);
+  void undo_partial_merge(const Chunk* b, std::size_t n, std::size_t m,
+                          std::size_t j, std::size_t k);
+
+  SmallVec<Chunk, kInlineChunks> chunks_;  // sorted by source, unique
+  Bytes total_bytes_ = 0;
 };
 
 }  // namespace spb::mp

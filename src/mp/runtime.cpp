@@ -118,8 +118,11 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
   }
 
   // Delivery happens at the arrival time regardless of receiver state.
-  rt.sim_.at(t.arrive, [&rt, m = std::move(msg)]() mutable {
-    rt.deliver(std::move(m));
+  // The message parks in the in-flight pool so this callback stays small
+  // enough for the event queue's inline storage (no per-event allocation).
+  const std::uint32_t slot = rt.stash_inflight(std::move(msg));
+  rt.sim_.at(t.arrive, [rtp = &rt, slot]() {
+    rtp->deliver(rtp->unstash_inflight(slot));
   });
   // The sender regains control once its injection is complete.
   rt.sim_.at(t.inject_done, [h]() { h.resume(); });
@@ -237,6 +240,23 @@ void Runtime::enable_schedule_recording() {
   schedule_ = Schedule(size());
 }
 
+std::uint32_t Runtime::stash_inflight(Message msg) {
+  if (!inflight_free_.empty()) {
+    const std::uint32_t slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_[slot] = std::move(msg);
+    return slot;
+  }
+  inflight_.push_back(std::move(msg));
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
+Message Runtime::unstash_inflight(std::uint32_t slot) {
+  Message m = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  return m;
+}
+
 void Runtime::deliver(Message msg) {
   Comm& dst = comm(msg.dst);
   if (dst.pending_.has_value()) {
@@ -328,6 +348,7 @@ RunOutcome Runtime::run() {
   for (LinkId l = 0; l < links; ++l)
     out.link_busy_us.push_back(net_.link_busy_us(l));
   out.events = sim_.events_executed();
+  out.peak_queue_depth = sim_.peak_queue_depth();
   return out;
 }
 

@@ -78,6 +78,8 @@ struct RunOutcome {
   /// raw material of contention heatmaps (see examples/link_heatmap).
   std::vector<double> link_busy_us;
   std::uint64_t events = 0;
+  /// High-water mark of the simulator's pending-event queue.
+  std::size_t peak_queue_depth = 0;
 };
 
 class Runtime;
@@ -234,6 +236,13 @@ class Runtime {
   /// Called at a message's arrival time: hand to a parked recv or buffer.
   void deliver(Message msg);
 
+  // In-flight message pool.  Delivery events used to capture the whole
+  // Message inside their callback, forcing a heap allocation per event;
+  // parking the message in a slot-reusing pool lets the callback capture
+  // just (runtime, slot) and stay inside EventFn's inline buffer.
+  std::uint32_t stash_inflight(Message msg);
+  Message unstash_inflight(std::uint32_t slot);
+
   sim::Simulator sim_;
   net::NetworkModel net_;
   CommParams params_;
@@ -241,6 +250,8 @@ class Runtime {
   std::vector<std::unique_ptr<Comm>> comms_;
   std::vector<sim::Task> tasks_;
   std::vector<SimTime> done_at_;
+  std::vector<Message> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   bool ran_ = false;
   bool trace_enabled_ = false;
   Trace trace_;

@@ -1,16 +1,28 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/check.h"
 
 namespace spb::net {
 
+namespace {
+
+const Topology& require_topology(
+    const std::shared_ptr<const Topology>& topo) {
+  SPB_REQUIRE(topo != nullptr, "NetworkModel needs a topology");
+  return *topo;
+}
+
+}  // namespace
+
 NetworkModel::NetworkModel(std::shared_ptr<const Topology> topo,
                            NetParams params)
-    : topo_(std::move(topo)), params_(params) {
-  SPB_REQUIRE(topo_ != nullptr, "NetworkModel needs a topology");
+    : topo_(std::move(topo)),
+      params_(params),
+      routes_(require_topology(topo_)) {
   SPB_REQUIRE(params_.bytes_per_us > 0, "bandwidth must be positive");
   SPB_REQUIRE(params_.alpha_us >= 0 && params_.per_hop_us >= 0,
               "latencies must be non-negative");
@@ -84,7 +96,7 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   SPB_REQUIRE(src >= 0 && src < topo_->node_count(), "src out of range");
   SPB_REQUIRE(dst >= 0 && dst < topo_->node_count(), "dst out of range");
 
-  const std::vector<LinkId> path = topo_->route(src, dst);
+  const std::span<const LinkId> path = routes_.path(src, dst);
   const double serialize =
       static_cast<double>(bytes) / params_.bytes_per_us;
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/route_cache.h"
 #include "net/topology.h"
 
 namespace spb::net {
@@ -79,6 +80,9 @@ class NetworkModel {
   const NetParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// The per-model route cache (diagnostics/tests; reserve() feeds it).
+  const RouteCache& routes() const { return routes_; }
+
   /// Pure timing of an uncontended transfer (used in tests as the lower
   /// bound of reserve()).
   double uncontended_us(int hops, Bytes bytes) const;
@@ -100,6 +104,7 @@ class NetworkModel {
 
   std::shared_ptr<const Topology> topo_;
   NetParams params_;
+  RouteCache routes_;
   std::vector<Channel> links_;    // indexed by LinkId
   std::vector<Channel> inject_;   // node * inject_channels + idx
   std::vector<Channel> eject_;    // node * eject_channels + idx

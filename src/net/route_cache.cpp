@@ -1,0 +1,38 @@
+#include "net/route_cache.h"
+
+#include "common/check.h"
+
+namespace spb::net {
+
+RouteCache::RouteCache(const Topology& topo)
+    : topo_(&topo),
+      n_(topo.node_count()),
+      caching_(topo.node_count() <= kMaxCachedNodes) {
+  if (caching_)
+    slots_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+}
+
+std::span<const LinkId> RouteCache::path(NodeId a, NodeId b) {
+  SPB_REQUIRE(a >= 0 && a < n_, "route src " << a << " out of range");
+  SPB_REQUIRE(b >= 0 && b < n_, "route dst " << b << " out of range");
+
+  if (!caching_) {
+    scratch_ = topo_->route(a, b);
+    return {scratch_.data(), scratch_.size()};
+  }
+
+  Slot& slot = slots_[static_cast<std::size_t>(a) *
+                          static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(b)];
+  if (slot.length < 0) {
+    const std::vector<LinkId> fresh = topo_->route(a, b);
+    slot.offset = static_cast<std::uint32_t>(arena_.size());
+    slot.length = static_cast<std::int32_t>(fresh.size());
+    arena_.insert(arena_.end(), fresh.begin(), fresh.end());
+    ++cached_pairs_;
+  }
+  return {arena_.data() + slot.offset,
+          static_cast<std::size_t>(slot.length)};
+}
+
+}  // namespace spb::net

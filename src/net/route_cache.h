@@ -1,0 +1,65 @@
+// Arena-backed cache of dimension-ordered routes.
+//
+// Topology::route() builds a fresh std::vector<LinkId> per call; the
+// network model used to pay that allocation for every reserved message,
+// and a sweep reserves hundreds of thousands of messages over at most
+// p^2 distinct (src, dst) pairs.  RouteCache computes each pair's path
+// once, appends it to one contiguous arena, and afterwards answers with a
+// std::span into the arena — no allocation, no copy.
+//
+// The slot table is n^2 entries of 8 bytes, populated lazily, so the cache
+// costs nothing for pairs a run never routes.  Topologies beyond
+// kMaxCachedNodes (none of the modeled machines come close) fall back to
+// re-running route() into a reused scratch buffer.
+//
+// Not thread-safe: each NetworkModel owns its own cache, and a simulation
+// is single-threaded.  The parallel sweep runner gets its isolation from
+// one-runtime-per-job, not from sharing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace spb::net {
+
+class RouteCache {
+ public:
+  /// Largest node count that gets the n^2 slot table (512-node T3D and
+  /// every Paragon mesh are far below; a 32x32 mesh still fits).
+  static constexpr int kMaxCachedNodes = 1024;
+
+  /// The topology must outlive the cache (NetworkModel owns both).
+  explicit RouteCache(const Topology& topo);
+
+  /// The dimension-ordered route from a to b.  The span stays valid until
+  /// the next path() call on an uncached pair (arena growth may move it),
+  /// so consume it before requesting another route.
+  std::span<const LinkId> path(NodeId a, NodeId b);
+
+  /// True when the n^2 slot table is active (false only beyond
+  /// kMaxCachedNodes).
+  bool caching() const { return caching_; }
+
+  /// Number of distinct (src, dst) pairs resolved so far.
+  std::size_t cached_pairs() const { return cached_pairs_; }
+
+ private:
+  struct Slot {
+    std::uint32_t offset = 0;
+    std::int32_t length = -1;  // -1 = not computed yet
+  };
+
+  const Topology* topo_;
+  int n_;
+  bool caching_;
+  std::size_t cached_pairs_ = 0;
+  std::vector<Slot> slots_;    // index src * n_ + dst
+  std::vector<LinkId> arena_;  // concatenated cached paths
+  std::vector<LinkId> scratch_;  // fallback buffer when !caching_
+};
+
+}  // namespace spb::net

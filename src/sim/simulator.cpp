@@ -6,13 +6,13 @@
 
 namespace spb::sim {
 
-void Simulator::at(SimTime t, std::function<void()> fn) {
+void Simulator::at(SimTime t, EventFn fn) {
   SPB_REQUIRE(t >= now_, "cannot schedule an event in the past (t="
                              << t << ", now=" << now_ << ")");
   queue_.push(t, std::move(fn));
 }
 
-void Simulator::after(SimTime delay, std::function<void()> fn) {
+void Simulator::after(SimTime delay, EventFn fn) {
   SPB_REQUIRE(delay >= 0, "negative delay " << delay);
   queue_.push(now_ + delay, std::move(fn));
 }

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -18,10 +17,10 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules fn at absolute time t (t must be >= now()).
-  void at(SimTime t, std::function<void()> fn);
+  void at(SimTime t, EventFn fn);
 
   /// Schedules fn after a non-negative delay.
-  void after(SimTime delay, std::function<void()> fn);
+  void after(SimTime delay, EventFn fn);
 
   /// Runs until the event queue is empty.  Returns the final clock value.
   SimTime run();
@@ -32,6 +31,9 @@ class Simulator {
 
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
+
+  /// High-water mark of the pending-event queue (see EventQueue::peak_size).
+  std::size_t peak_queue_depth() const { return queue_.peak_size(); }
 
   bool idle() const { return queue_.empty(); }
 

@@ -16,6 +16,7 @@ RunResult run(const Algorithm& algorithm, const Problem& problem,
   mp::Runtime rt = problem.machine.make_runtime(algorithm.mpi_flavored());
   SPB_CHECK(rt.size() == problem.p());
   if (options.trace) rt.enable_trace();
+  if (options.record_schedule) rt.enable_schedule_recording();
 
   RunResult result;
   result.final_payloads.assign(static_cast<std::size_t>(problem.p()),
@@ -33,6 +34,7 @@ RunResult run(const Algorithm& algorithm, const Problem& problem,
   result.outcome = rt.run();
   result.time_us = result.outcome.makespan_us;
   if (options.trace) result.trace = rt.trace();
+  if (options.record_schedule) result.schedule = rt.schedule();
 
   if (options.verify) {
     const VerifyResult v = verify_broadcast(problem, result.final_payloads);

@@ -21,6 +21,8 @@ struct RunResult {
   std::vector<mp::Payload> final_payloads;
   /// Filled when RunOptions::trace is set (see mp/trace.h).
   mp::Trace trace;
+  /// Filled when RunOptions::record_schedule is set (see mp/schedule.h).
+  mp::Schedule schedule;
 };
 
 struct RunOptions {
@@ -29,6 +31,11 @@ struct RunOptions {
   bool verify = true;
   /// Record a full communication trace into RunResult::trace.
   bool trace = false;
+  /// Record the symbolic send/recv schedule into RunResult::schedule.
+  /// Off by default: recording allocates per operation, and timed bench
+  /// runs must not pay that overhead (bench/util statically asserts the
+  /// default stays off).
+  bool record_schedule = false;
 };
 
 RunResult run(const Algorithm& algorithm, const Problem& problem,

@@ -1,0 +1,111 @@
+#include "common/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb {
+namespace {
+
+using Vec = SmallVec<std::int64_t, 4>;
+
+TEST(SmallVec, StartsInlineAndEmpty) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.inline_storage());
+}
+
+TEST(SmallVec, StaysInlineUpToN) {
+  Vec v;
+  for (std::int64_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(v.size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVec, SpillsToHeapPreservingContents) {
+  Vec v;
+  for (std::int64_t i = 0; i < 9; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_GE(v.capacity(), 9u);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, ReserveGrowsGeometricallyAndKeepsSize) {
+  Vec v;
+  v.push_back(7);
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+  // reserve below current capacity is a no-op.
+  const std::size_t cap = v.capacity();
+  v.reserve(2);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVec, CopyAssignReusesCapacity) {
+  Vec big;
+  for (std::int64_t i = 0; i < 64; ++i) big.push_back(i);
+  const std::size_t cap = big.capacity();
+  const std::int64_t* buf = big.data();
+
+  Vec small;
+  small.push_back(1);
+  small.push_back(2);
+  big = small;
+  EXPECT_EQ(big.size(), 2u);
+  EXPECT_EQ(big.capacity(), cap);  // no shrink-to-fit
+  EXPECT_EQ(big.data(), buf);      // same heap buffer, no reallocation
+  EXPECT_EQ(big[0], 1);
+  EXPECT_EQ(big[1], 2);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  Vec v;
+  for (std::int64_t i = 0; i < 32; ++i) v.push_back(i);
+  const std::int64_t* buf = v.data();
+  Vec w = std::move(v);
+  EXPECT_EQ(w.data(), buf);
+  EXPECT_EQ(w.size(), 32u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): spec'd reset
+}
+
+TEST(SmallVec, MoveOfInlineCopies) {
+  Vec v;
+  v.push_back(5);
+  Vec w = std::move(v);
+  EXPECT_TRUE(w.inline_storage());
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 5);
+}
+
+TEST(SmallVec, ResizeWithinCapacityShrinksAndRestores) {
+  Vec v;
+  for (std::int64_t i = 0; i < 6; ++i) v.push_back(i);
+  v.resize_within_capacity(3);
+  EXPECT_EQ(v.size(), 3u);
+  // The trailing elements were not destroyed (trivially copyable):
+  // growing back within capacity exposes them again.
+  v.resize_within_capacity(6);
+  EXPECT_EQ(v[5], 5);
+  EXPECT_THROW(v.resize_within_capacity(v.capacity() + 1), CheckError);
+}
+
+TEST(SmallVec, EqualityComparesContents) {
+  Vec a;
+  Vec b;
+  a.push_back(1);
+  b.push_back(1);
+  EXPECT_EQ(a, b);
+  b.push_back(2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace spb

@@ -1,0 +1,115 @@
+// Determinism and thread-safety of the parallel sweep layer.
+//
+// The sweep runner claims work with an atomic cursor and writes results
+// into index-addressed slots, so a parallel sweep must produce the same
+// bytes as a serial one for any job count.  These tests run the real
+// analyzer combos (full record + static checks per combination) across
+// threads — under TSan they double as the data-race check for everything
+// a combination touches (runtime, simulator, route cache, ideal-placement
+// memo).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analyze/sweep.h"
+#include "dist/distribution.h"
+#include "dist/ideal.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "sweep_runner.h"
+
+namespace spb {
+namespace {
+
+std::vector<analyze::SweepCombo> paragon4x4_grid() {
+  std::vector<analyze::SweepCombo> grid;
+  const machine::MachineConfig machine = machine::paragon(4, 4);
+  for (const stop::AlgorithmPtr& alg : stop::all_algorithms())
+    for (const dist::Kind kind : dist::all_kinds())
+      grid.push_back({"paragon4x4", machine, alg, kind});
+  return grid;
+}
+
+std::string sweep_text(const std::vector<analyze::SweepCombo>& grid,
+                       int jobs) {
+  const analyze::SweepOptions sopt;
+  std::vector<analyze::ComboResult> results(grid.size());
+  const bench::SweepRunner runner(jobs);
+  runner.run(grid.size(), [&](std::size_t i) {
+    results[i] = analyze::analyze_combo(grid[i], sopt);
+  });
+  std::string text;
+  for (const analyze::ComboResult& r : results) text += r.text;
+  return text;
+}
+
+TEST(ConcurrentSweep, ParallelByteIdenticalToSerial) {
+  const std::vector<analyze::SweepCombo> grid = paragon4x4_grid();
+  ASSERT_GT(grid.size(), 100u);
+  const std::string serial = sweep_text(grid, 1);
+  EXPECT_EQ(sweep_text(grid, 2), serial);
+  EXPECT_EQ(sweep_text(grid, 7), serial);  // more jobs than a small grid slice
+}
+
+TEST(SweepRunner, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  const bench::SweepRunner runner(4);
+  runner.run(n, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(SweepRunner, ZeroTasksIsANoop) {
+  const bench::SweepRunner runner(4);
+  runner.run(0, [](std::size_t) { FAIL() << "task invoked for empty range"; });
+}
+
+TEST(SweepRunner, PropagatesWorkerException) {
+  const bench::SweepRunner runner(3);
+  EXPECT_THROW(runner.run(100,
+                          [](std::size_t i) {
+                            if (i == 42)
+                              throw std::runtime_error("combo 42 failed");
+                          }),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, ClampsJobsToAtLeastOne) {
+  EXPECT_GE(bench::SweepRunner(0).jobs(), 1);
+  EXPECT_GE(bench::SweepRunner::hardware_jobs(), 1);
+}
+
+TEST(ConcurrentIdealCache, ManyThreadsSameAnswers) {
+  // The ideal-placement memo is the one shared mutable structure the
+  // parallel sweep exercises; hammer one (n, k) set from many threads and
+  // compare every result against a single-threaded reference.
+  const std::vector<std::pair<int, int>> queries = {
+      {16, 4}, {16, 5}, {64, 7}, {64, 8}, {100, 30}, {100, 31}, {128, 9}};
+  std::vector<std::vector<int>> reference;
+  for (const auto& [n, k] : queries)
+    reference.push_back(dist::ideal_positions(n, k));
+
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          const auto& [n, k] = queries[q];
+          if (dist::ideal_positions(n, k) != reference[q]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace spb

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
 
 namespace spb::mp {
@@ -93,6 +96,113 @@ TEST(Payload, ToStringFormat) {
   EXPECT_EQ(Payload{}.to_string(), "{}");
   EXPECT_EQ(Payload::of({{0, 4096}, {7, 512}}).to_string(),
             "{0:4096, 7:512}");
+}
+
+// ---- in-place merge: capacity reuse and chunk algebra ----
+
+TEST(Payload, SmallMergesStayInline) {
+  Payload a = Payload::of({{0, 10}, {2, 10}});
+  a.merge(Payload::of({{1, 10}, {3, 10}}));
+  EXPECT_EQ(a.chunk_count(), 4u);
+  EXPECT_EQ(a.chunk_capacity(), Payload::kInlineChunks);
+}
+
+TEST(Payload, MergeWithinCapacityDoesNotReallocate) {
+  std::vector<Chunk> wide;
+  for (int i = 0; i < 40; ++i) wide.push_back({2 * i, 8});
+  std::vector<Chunk> even(wide.begin(), wide.begin() + 32);
+  Payload a = Payload::of(wide);  // settles capacity >= 40
+  const Payload small = Payload::of(even);
+  a = small;  // copy-assignment reuses the settled capacity
+  const std::size_t cap = a.chunk_capacity();
+  ASSERT_GE(cap, 33u);  // room for one more without growing
+  a.merge(Payload::of({{1, 8}}));
+  EXPECT_EQ(a.chunk_count(), 33u);
+  EXPECT_EQ(a.chunk_capacity(), cap);
+}
+
+TEST(Payload, RepeatedAssignMergeSettlesCapacity) {
+  // The benches' steady-state shape: the accumulator is reassigned and
+  // re-merged every iteration; after the first, capacity must not move.
+  std::vector<Chunk> even;
+  std::vector<Chunk> odd;
+  for (int i = 0; i < 64; ++i) {
+    even.push_back({2 * i, 8});
+    odd.push_back({2 * i + 1, 8});
+  }
+  const Payload a = Payload::of(even);
+  const Payload b = Payload::of(odd);
+  Payload m = a;
+  m.merge(b);
+  const std::size_t cap = m.chunk_capacity();
+  for (int round = 0; round < 4; ++round) {
+    m = a;
+    m.merge(b);
+    EXPECT_EQ(m.chunk_capacity(), cap);
+    EXPECT_EQ(m.chunk_count(), 128u);
+  }
+}
+
+TEST(Payload, MergeMatchesReferenceAlgebraAcrossShapes) {
+  // In-place fast paths (append, prepend, in-capacity interleave, growth)
+  // must all produce the same sorted union a std::merge would.
+  const auto reference = [](std::vector<Chunk> x, std::vector<Chunk> y) {
+    for (const Chunk& c : y) x.push_back(c);
+    std::sort(x.begin(), x.end(),
+              [](const Chunk& l, const Chunk& r) { return l.source < r.source; });
+    return x;
+  };
+  struct Case {
+    std::vector<Chunk> a;
+    std::vector<Chunk> b;
+  };
+  std::vector<Case> cases;
+  cases.push_back({{{0, 1}, {1, 2}, {2, 3}}, {{10, 4}, {11, 5}}});  // append
+  cases.push_back({{{10, 4}, {11, 5}}, {{0, 1}, {1, 2}}});          // prepend
+  cases.push_back({{{0, 1}, {4, 2}, {8, 3}}, {{2, 4}, {6, 5}}});    // weave
+  {
+    Case big;  // growth path: n + m far beyond inline capacity
+    for (int i = 0; i < 40; ++i) big.a.push_back({3 * i, 8});
+    for (int i = 0; i < 40; ++i) big.b.push_back({3 * i + 1, 8});
+    cases.push_back(big);
+  }
+  for (const Case& c : cases) {
+    Payload p = Payload::of(c.a);
+    p.merge(Payload::of(c.b));
+    const std::vector<Chunk> want = reference(c.a, c.b);
+    ASSERT_EQ(p.chunk_count(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(p.chunks()[i], want[i]);
+    Bytes bytes = 0;
+    for (const Chunk& ch : want) bytes += ch.bytes;
+    EXPECT_EQ(p.total_bytes(), bytes);
+  }
+}
+
+TEST(Payload, FailedMergeLeavesPayloadUnchanged) {
+  // The duplicate is discovered only after the backward merge has already
+  // overwritten part of the original prefix — the rollback must restore
+  // it exactly (shape: last elements merge first, dup found late).
+  const Payload orig = Payload::of({{1, 10}, {5, 10}, {6, 10}});
+  Payload a = orig;
+  EXPECT_THROW(a.merge(Payload::of({{1, 10}, {7, 10}})), CheckError);
+  EXPECT_EQ(a, orig);
+
+  // Dup found immediately (equal max sources).
+  Payload b = orig;
+  EXPECT_THROW(b.merge(Payload::of({{6, 10}})), CheckError);
+  EXPECT_EQ(b, orig);
+
+  // Growth path (result would exceed capacity) must also be atomic.
+  std::vector<Chunk> many;
+  for (int i = 0; i < 30; ++i) many.push_back({2 * i, 8});
+  const Payload wide = Payload::of(many);
+  Payload c = wide;
+  std::vector<Chunk> clash;
+  for (int i = 0; i < 30; ++i) clash.push_back({2 * i + 1, 8});
+  clash[29] = {58, 8};  // duplicates a source in `wide`
+  EXPECT_THROW(c.merge(Payload::of(clash)), CheckError);
+  EXPECT_EQ(c, wide);
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+#include "net/route_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace spb::net {
+namespace {
+
+// A cached path must be the exact route() result for every pair — the
+// cache is a pure memoization, so any divergence is a correctness bug in
+// the arena bookkeeping, not a modelling choice.
+void expect_all_pairs_match(const Topology& topo) {
+  RouteCache cache(topo);
+  const int n = topo.node_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const std::vector<LinkId> fresh = topo.route(a, b);
+      const std::span<const LinkId> cached = cache.path(a, b);
+      ASSERT_EQ(cached.size(), fresh.size()) << "pair " << a << "->" << b;
+      for (std::size_t i = 0; i < fresh.size(); ++i)
+        ASSERT_EQ(cached[i], fresh[i]) << "pair " << a << "->" << b
+                                       << " hop " << i;
+    }
+  }
+  // Second lookup of every pair must hit the cache, not recompute.
+  const std::size_t pairs = cache.cached_pairs();
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b) (void)cache.path(a, b);
+  EXPECT_EQ(cache.cached_pairs(), pairs);
+}
+
+TEST(RouteCache, Mesh2DAllPairs) { expect_all_pairs_match(Mesh2D(4, 6)); }
+
+TEST(RouteCache, Torus3DAllPairs) { expect_all_pairs_match(Torus3D(3, 4, 2)); }
+
+TEST(RouteCache, HypercubeAllPairs) { expect_all_pairs_match(Hypercube(5)); }
+
+TEST(RouteCache, SlotTableActiveForModeledMachines) {
+  const Torus3D t3d(8, 8, 8);
+  RouteCache cache(t3d);
+  EXPECT_TRUE(cache.caching());
+  EXPECT_EQ(cache.cached_pairs(), 0u);
+  (void)cache.path(0, 511);
+  EXPECT_EQ(cache.cached_pairs(), 1u);
+  (void)cache.path(0, 511);
+  EXPECT_EQ(cache.cached_pairs(), 1u);  // hit, not a second computation
+}
+
+TEST(RouteCache, SelfRouteIsEmpty) {
+  const Mesh2D mesh(3, 3);
+  RouteCache cache(mesh);
+  EXPECT_TRUE(cache.path(4, 4).empty());
+  // An empty cached path must still count as cached (length 0, not the
+  // "not computed" sentinel) — probe via the pair counter.
+  const std::size_t pairs = cache.cached_pairs();
+  (void)cache.path(4, 4);
+  EXPECT_EQ(cache.cached_pairs(), pairs);
+}
+
+}  // namespace
+}  // namespace spb::net

@@ -37,8 +37,8 @@ class DropsChunk final : public Algorithm {
     co_await inner(comm, data);
     if (comm.rank() == victim) {
       // Lose the first source's chunk.
-      auto chunks = data.chunks();
-      chunks.erase(chunks.begin());
+      std::vector<mp::Chunk> chunks(data.chunks().begin() + 1,
+                                    data.chunks().end());
       data = mp::Payload::of(std::move(chunks));
     }
   }

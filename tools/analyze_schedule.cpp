@@ -7,27 +7,30 @@
 // Exits nonzero when any combination violates a check.
 //
 //   analyze_schedule                 # full sweep: 4x4, 8x8 Paragon + 8x8x8 T3D
+//   analyze_schedule --jobs 8        # same sweep, 8 worker threads
 //   analyze_schedule --machine paragon8x8 --algo Br_Lin --dist Cr
 //   analyze_schedule --mutate drop-send   # seed a bug, expect a red report
 //
 // With --mutate, the recorded schedule is mutated before analysis; the
 // checker must flag it (exit stays nonzero unless --expect-violations is
 // given, which inverts the verdict for use as a self-test).
+//
+// Combinations are independent simulations, so --jobs N runs them on a
+// thread pool; results are buffered per combination and printed in grid
+// order, making the output byte-identical to a serial run.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "analyze/checks.h"
 #include "analyze/mutate.h"
-#include "analyze/record.h"
+#include "analyze/sweep.h"
 #include "common/check.h"
 #include "dist/distribution.h"
 #include "machine/config.h"
 #include "stop/algorithm.h"
-#include "stop/problem.h"
-#include "stop/verify.h"
+#include "sweep_runner.h"
 
 namespace {
 
@@ -64,6 +67,7 @@ struct Options {
   bool verbose = false;
   double step_slack = 0.0;
   double volume_slack = 0.0;
+  int jobs = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -78,6 +82,8 @@ struct Options {
       << "  --mutate M     drop-send | tag-mismatch | dup-chunk | all\n"
       << "  --expect-violations   exit 0 iff every combo was flagged\n"
       << "  --step-slack X / --volume-slack X   optional quality gates\n"
+      << "  --jobs N       worker threads (0 = all cores; default 1);\n"
+      << "                 output is byte-identical for every N\n"
       << "  --list         print algorithm and distribution names\n"
       << "  --verbose      print the full report for every combo\n";
   std::exit(2);
@@ -116,6 +122,9 @@ Options parse(int argc, char** argv) {
       o.step_slack = std::stod(next(i));
     } else if (a == "--volume-slack") {
       o.volume_slack = std::stod(next(i));
+    } else if (a == "--jobs") {
+      o.jobs = std::stoi(next(i));
+      if (o.jobs == 0) o.jobs = bench::SweepRunner::hardware_jobs();
     } else if (a == "--list") {
       std::cout << "algorithms:\n";
       for (const auto& alg : stop::all_algorithms())
@@ -150,86 +159,35 @@ int run_cli(int argc, char** argv) {
     kinds.push_back(dist::kind_from_name(opt.dist));
   }
 
-  analyze::AnalysisOptions aopt;
-  aopt.max_step_slack = opt.step_slack;
-  aopt.max_volume_slack = opt.volume_slack;
+  analyze::SweepOptions sopt;
+  sopt.s = opt.s;
+  sopt.bytes = opt.bytes;
+  sopt.seed = opt.seed;
+  sopt.mutations = opt.mutations;
+  sopt.verbose = opt.verbose;
+  sopt.analysis.max_step_slack = opt.step_slack;
+  sopt.analysis.max_volume_slack = opt.volume_slack;
+
+  std::vector<analyze::SweepCombo> grid;
+  for (const MachineChoice& mc : make_machines(opt.machine))
+    for (const stop::AlgorithmPtr& alg : algorithms)
+      for (const dist::Kind kind : kinds)
+        grid.push_back({mc.key, mc.config, alg, kind});
+
+  // Each combination fills its own slot; printing in grid order afterwards
+  // makes the output independent of the job count.
+  std::vector<analyze::ComboResult> results(grid.size());
+  const bench::SweepRunner runner(opt.jobs);
+  runner.run(grid.size(), [&](std::size_t i) {
+    results[i] = analyze::analyze_combo(grid[i], sopt);
+  });
 
   int combos = 0;
   int flagged = 0;
-  for (const MachineChoice& mc : make_machines(opt.machine)) {
-    const int s =
-        opt.s > 0 ? opt.s : std::max(2, mc.config.p / 4);
-    for (const stop::AlgorithmPtr& alg : algorithms) {
-      for (const dist::Kind kind : kinds) {
-        const stop::Problem pb = stop::make_problem(
-            mc.config, kind, std::min(s, mc.config.p), opt.bytes, opt.seed);
-
-        try {
-          const analyze::RecordedRun run = analyze::record_run(*alg, pb);
-
-          std::vector<std::string> extra;
-          if (!run.completed)
-            extra.push_back("run did not complete: " + run.failure);
-
-          if (opt.mutations.empty()) {
-            ++combos;
-            analyze::AnalysisReport report =
-                analyze::analyze_schedule(run.schedule, pb, aopt);
-            if (run.completed) {
-              const stop::VerifyResult v =
-                  stop::verify_broadcast(pb, run.final_payloads);
-              if (!v.ok)
-                extra.push_back("final payloads wrong: " + v.error);
-            }
-            const bool bad =
-                !report.ok() || !extra.empty();
-            if (bad) ++flagged;
-            const auto& q = report.quality;
-            std::cout << (bad ? "FAIL " : "ok   ") << mc.key << "  "
-                      << alg->name() << "  " << dist::kind_name(kind)
-                      << "  depth " << q.critical_depth << "/"
-                      << q.round_lower_bound << "  steps "
-                      << q.max_rank_steps << "  conflicts "
-                      << q.max_link_conflicts << "\n";
-            if (bad || opt.verbose) {
-              for (const std::string& e : extra) std::cout << "  " << e << "\n";
-              std::cout << report.to_string() << "\n";
-            }
-          } else {
-            for (const analyze::Mutation m : opt.mutations) {
-              analyze::MutationResult mut;
-              try {
-                mut = analyze::apply_mutation(run.schedule, m, opt.seed);
-              } catch (const CheckError&) {
-                // No eligible op (e.g. tag mismatch on an all-wildcard
-                // algorithm): nothing to seed, nothing to miss.
-                std::cout << "SKIP    " << mc.key << "  " << alg->name()
-                          << "  " << dist::kind_name(kind) << "  ["
-                          << analyze::mutation_name(m)
-                          << "] no eligible op\n";
-                continue;
-              }
-              ++combos;
-              const analyze::AnalysisReport report =
-                  analyze::analyze_schedule(mut.schedule, pb, aopt);
-              const bool bad = !report.ok();
-              if (bad) ++flagged;
-              std::cout << (bad ? "FLAGGED " : "MISSED  ") << mc.key << "  "
-                        << alg->name() << "  " << dist::kind_name(kind)
-                        << "  [" << analyze::mutation_name(m) << "] "
-                        << mut.description << "\n";
-              if (bad || opt.verbose)
-                std::cout << report.to_string() << "\n";
-            }
-          }
-        } catch (const CheckError& e) {
-          ++combos;
-          ++flagged;
-          std::cout << "FAIL " << mc.key << "  " << alg->name() << "  "
-                    << dist::kind_name(kind) << "  " << e.what() << "\n";
-        }
-      }
-    }
+  for (const analyze::ComboResult& r : results) {
+    std::cout << r.text;
+    combos += r.combos;
+    flagged += r.flagged;
   }
 
   if (opt.expect_violations) {

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a perf_harness BENCH_core.json against a checked-in baseline.
+
+Direction-aware: metrics named *_ns / *_ms are times (lower is better),
+*_per_sec are rates (higher is better); everything else (queue depths,
+combo counts, job counts) is informational and printed but never gates.
+
+The gate is a ratio: a time metric fails when current > baseline *
+max_regress, a rate metric when current < baseline / max_regress.  CI runs
+on shared machines with unknown hardware, so its tolerance is generous —
+the gate exists to catch order-of-magnitude regressions (a lost fast path,
+an accidental O(n^2)), not 10%% noise.
+
+  bench_compare.py baseline.json current.json [--max-regress 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def classify(name: str) -> str:
+    if name.endswith("_ns") or name.endswith("_ms"):
+        return "time"
+    if name.endswith("_per_sec"):
+        return "rate"
+    return "info"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=1.5,
+        help="allowed slowdown ratio per metric (default 1.5)",
+    )
+    args = ap.parse_args()
+    if args.max_regress < 1.0:
+        ap.error("--max-regress must be >= 1.0")
+
+    with open(args.baseline) as f:
+        base = json.load(f)["metrics"]
+    with open(args.current) as f:
+        cur = json.load(f)["metrics"]
+
+    failures = []
+    print(f"{'metric':36} {'baseline':>14} {'current':>14} {'ratio':>8}  verdict")
+    for name, b in base.items():
+        if name not in cur:
+            print(f"{name:36} {b:14.2f} {'missing':>14}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        c = cur[name]
+        kind = classify(name)
+        if kind == "info" or b == 0:
+            print(f"{name:36} {b:14.2f} {c:14.2f} {'':>8}  info")
+            continue
+        ratio = c / b
+        # Normalize so ratio > 1 always means "got worse".
+        worse = ratio if kind == "time" else (b / c if c else float("inf"))
+        ok = worse <= args.max_regress
+        verdict = "ok" if ok else f"REGRESSED (>{args.max_regress:g}x)"
+        print(f"{name:36} {b:14.2f} {c:14.2f} {ratio:8.3f}  {verdict}")
+        if not ok:
+            failures.append(f"{name}: {worse:.2f}x worse than baseline")
+
+    for name in cur:
+        if name not in base:
+            print(f"{name:36} {'new':>14} {cur[name]:14.2f} {'':>8}  info")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nall gated metrics within {args.max_regress:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
