@@ -1,0 +1,116 @@
+// Extension: graceful degradation under deterministic fault injection.
+//
+// The paper's machines were assumed healthy; this bench asks how the five
+// base algorithms behave when the machine is not — transient message drops
+// (with NIC-style retransmission), a subset of links at a fraction of
+// their bandwidth, and a straggler node — and verifies that every
+// algorithm still completes a correct broadcast at every intensity (the
+// runtime's retransmit/reorder machinery guarantees delivery, so
+// stop::run's verification is the real assertion here).
+//
+// What to expect: Br_* tolerate drops best (their O(log p) rounds give
+// each message slack before the next dependency), while 2-Step's
+// root-bottlenecked gather amplifies a straggler at P0's row and
+// PersAlltoAll pays the most retransmissions because it moves the most
+// messages.  Link degradation hurts everyone roughly in proportion to the
+// traffic they push across the degraded cut.
+#include "util.h"
+
+namespace {
+
+struct Intensity {
+  const char* label;
+  const char* spec;  // FaultSpec::parse input, "" = no faults
+};
+
+}  // namespace
+
+int main() {
+  using namespace spb;
+  bench::Checker check(
+      "Extension — fault-intensity sweep, five base algorithms (8x8 "
+      "Paragon)");
+
+  const auto machine = machine::paragon(8, 8);
+  const std::vector<stop::AlgorithmPtr> algorithms = {
+      stop::make_two_step(false), stop::make_pers_alltoall(false),
+      stop::make_br_lin(), stop::make_br_xy_source(), stop::make_br_xy_dim()};
+
+  const Intensity levels[] = {
+      {"healthy", ""},
+      {"drop2%", "drop=0.02"},
+      {"drop10%", "drop=0.1"},
+      {"links/4", "links=0.25x4,lat=2"},
+      {"straggler", "straggle=1x3"},
+      {"combined", "drop=0.1,links=0.25x4,lat=2,straggle=1x3"},
+  };
+  const int s = 16;
+  const Bytes L = 2048;
+  const std::uint64_t kFaultSeed = 42;
+
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, s, L);
+
+  TextTable t;
+  {
+    auto& head = t.row().cell("algorithm");
+    for (const Intensity& lv : levels) head.cell(std::string(lv.label) + " [ms]");
+    head.cell("retx@drop10%").cell("deg@links/4");
+  }
+
+  // times[alg][level]
+  std::vector<std::vector<double>> times(
+      algorithms.size(), std::vector<double>(std::size(levels), 0.0));
+  bool deterministic = true;
+  bool all_verified = true;
+
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    std::uint64_t retx = 0;
+    std::uint64_t degraded = 0;
+    for (std::size_t lv = 0; lv < std::size(levels); ++lv) {
+      stop::RunOptions opt;
+      opt.faults = fault::FaultSpec::parse(levels[lv].spec);
+      opt.fault_seed = kFaultSeed;
+      try {
+        const stop::RunResult r = stop::run(*algorithms[a], pb, opt);
+        times[a][lv] = r.time_us / 1000.0;
+        if (std::string(levels[lv].label) == "drop10%")
+          retx = r.outcome.metrics.retransmits;
+        if (std::string(levels[lv].label) == "links/4")
+          degraded = r.outcome.network.degraded_transfers;
+        if (std::string(levels[lv].label) == "combined") {
+          // Identical seed + spec must reproduce byte-identical metrics.
+          const stop::RunResult again = stop::run(*algorithms[a], pb, opt);
+          deterministic = deterministic &&
+                          again.time_us == r.time_us &&
+                          again.outcome.metrics.retransmits ==
+                              r.outcome.metrics.retransmits &&
+                          again.outcome.metrics.duplicates ==
+                              r.outcome.metrics.duplicates;
+        }
+      } catch (const CheckError&) {
+        all_verified = false;
+        times[a][lv] = -1;
+      }
+    }
+    auto& row = t.row().cell(algorithms[a]->name());
+    for (std::size_t lv = 0; lv < std::size(levels); ++lv)
+      row.num(times[a][lv], 2);
+    row.num(static_cast<std::int64_t>(retx))
+        .num(static_cast<std::int64_t>(degraded));
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  check.expect(all_verified,
+               "every algorithm verifies at every fault intensity");
+  check.expect(deterministic,
+               "identical fault seed+spec reproduces identical runs");
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const std::string name = algorithms[a]->name();
+    check.expect(times[a][5] >= times[a][0],
+                 name + ": the combined fault load never speeds a run up");
+    check.expect(times[a][2] >= times[a][1],
+                 name + ": 10% drops cost at least as much as 2%");
+  }
+  return check.exit_code();
+}

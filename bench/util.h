@@ -24,6 +24,9 @@ static_assert(!stop::RunOptions{}.trace,
 static_assert(!stop::RunOptions{}.record_schedule,
               "RunOptions::record_schedule must default to off for timed "
               "benches");
+static_assert(!stop::RunOptions{}.faults.any(),
+              "RunOptions::faults must default to no-faults so the fault "
+              "hooks stay zero-cost in timed benches");
 
 /// Milliseconds for one algorithm/problem pair (single deterministic run —
 /// the simulator has no noise to average away).

@@ -6,7 +6,8 @@
 namespace spb::analyze {
 
 RecordedRun record_run(const stop::Algorithm& algorithm,
-                       const stop::Problem& problem) {
+                       const stop::Problem& problem,
+                       fault::FaultPlanPtr fault_plan) {
   problem.validate();
   const stop::Frame frame = stop::Frame::whole(problem);
   const stop::ProgramFactory factory = algorithm.prepare(frame);
@@ -14,6 +15,7 @@ RecordedRun record_run(const stop::Algorithm& algorithm,
   mp::Runtime rt = problem.machine.make_runtime(algorithm.mpi_flavored());
   SPB_CHECK(rt.size() == problem.p());
   rt.enable_schedule_recording();
+  if (fault_plan != nullptr) rt.set_fault_plan(std::move(fault_plan));
 
   RecordedRun out;
   out.final_payloads.assign(static_cast<std::size_t>(problem.p()),

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "mp/payload.h"
 #include "mp/schedule.h"
 #include "stop/algorithm.h"
@@ -27,8 +28,12 @@ struct RecordedRun {
 };
 
 /// Records one run.  Never throws for deadlocks or program CheckErrors —
-/// those land in `failure` with the partial schedule preserved.
+/// those land in `failure` with the partial schedule preserved.  A non-null
+/// fault plan (built for the problem's machine) is installed on the runtime;
+/// the symbolic schedule still records only the algorithm's logical sends,
+/// not the fault-induced retransmissions.
 RecordedRun record_run(const stop::Algorithm& algorithm,
-                       const stop::Problem& problem);
+                       const stop::Problem& problem,
+                       fault::FaultPlanPtr fault_plan = nullptr);
 
 }  // namespace spb::analyze

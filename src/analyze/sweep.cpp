@@ -25,7 +25,13 @@ ComboResult analyze_combo(const SweepCombo& combo, const SweepOptions& opt) {
   const std::string dist_name = dist::kind_name(combo.kind);
 
   try {
-    const RecordedRun run = record_run(*combo.algorithm, pb);
+    fault::FaultPlanPtr plan;
+    if (opt.faults.any()) {
+      plan = std::make_shared<const fault::FaultPlan>(
+          opt.faults, opt.fault_seed, combo.machine.topology->link_space(),
+          combo.machine.p);
+    }
+    const RecordedRun run = record_run(*combo.algorithm, pb, std::move(plan));
 
     std::vector<std::string> extra;
     if (!run.completed)

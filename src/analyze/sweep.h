@@ -16,6 +16,7 @@
 #include "analyze/mutate.h"
 #include "common/types.h"
 #include "dist/distribution.h"
+#include "fault/fault.h"
 #include "machine/config.h"
 #include "stop/algorithm.h"
 
@@ -35,6 +36,11 @@ struct SweepOptions {
   std::uint64_t seed = 1;
   /// When non-empty, each mutation is seeded and the analyzer must flag it.
   std::vector<Mutation> mutations;
+  /// Fault injection applied to every recorded run (default: none).  A
+  /// fresh plan is built per machine from `fault_seed` — determinism of a
+  /// parallel sweep is unaffected because plans are pure.
+  fault::FaultSpec faults{};
+  std::uint64_t fault_seed = 1;
   bool verbose = false;
   AnalysisOptions analysis;
 };

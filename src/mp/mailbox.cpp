@@ -6,6 +6,30 @@ namespace spb::mp {
 
 void Mailbox::deliver(Message msg) { inbox_.push_back(std::move(msg)); }
 
+std::vector<Message> Mailbox::sequence(Message msg, bool& duplicate) {
+  duplicate = false;
+  SeqState& st = seq_[msg.src];
+  const auto seq = static_cast<std::uint32_t>(msg.seq);
+  if (seq < st.next || st.held.contains(seq)) {
+    duplicate = true;
+    return {};
+  }
+  std::vector<Message> ready;
+  if (seq != st.next) {
+    st.held.emplace(seq, std::move(msg));  // early: wait for the gap
+    return ready;
+  }
+  ready.push_back(std::move(msg));
+  ++st.next;
+  for (auto it = st.held.find(st.next); it != st.held.end();
+       it = st.held.find(st.next)) {
+    ready.push_back(std::move(it->second));
+    st.held.erase(it);
+    ++st.next;
+  }
+  return ready;
+}
+
 bool Mailbox::try_take(Rank src, int tag, Message& out) {
   for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
     const bool src_ok = src == kAnySource || it->src == src;

@@ -6,7 +6,11 @@
 // order, which preserves FIFO per (src, dst, tag) triple.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "mp/message.h"
@@ -25,11 +29,28 @@ class Mailbox {
   /// buffered, moves the earliest-arrived one into `out`, returns true.
   bool try_take(Rank src, int tag, Message& out);
 
+  /// Reliable-delivery sequencing for fault runs: retransmission can
+  /// reorder or replay a (src, dst) message stream, but programs are
+  /// promised FIFO per (src, dst) — so arrivals pass through a per-source
+  /// reorder buffer keyed by Message::seq.  Returns the messages that
+  /// become releasable once `msg` lands, in sequence order: empty when the
+  /// message is early (held until the gap fills; a predecessor always
+  /// arrives because final attempts are never dropped) or a duplicate
+  /// (`duplicate` set, message discarded).  Only called for messages
+  /// carrying a sequence number, so fault-free runs never touch this.
+  std::vector<Message> sequence(Message msg, bool& duplicate);
+
   bool empty() const { return inbox_.empty(); }
   std::size_t size() const { return inbox_.size(); }
 
  private:
+  struct SeqState {
+    std::uint32_t next = 0;                 // next seq to release
+    std::map<std::uint32_t, Message> held;  // early arrivals
+  };
+
   std::deque<Message> inbox_;  // arrival order
+  std::unordered_map<Rank, SeqState> seq_;  // fault runs only, per source
 };
 
 }  // namespace spb::mp

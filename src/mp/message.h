@@ -1,6 +1,8 @@
 // An in-flight or delivered message.
 #pragma once
 
+#include <cstdint>
+
 #include "common/types.h"
 #include "mp/payload.h"
 
@@ -32,6 +34,12 @@ struct Message {
   /// Schedule-recording stamp: id of the originating send op when the
   /// runtime records a Schedule (see mp/schedule.h), -1 otherwise.
   int sched_send_op = -1;
+  /// Fault-injection sequence number within (src, dst); -1 when the run has
+  /// no message faults, and then no suppression bookkeeping happens at all.
+  std::int32_t seq = -1;
+  /// True for the extra transmission provoked by a lost acknowledgement;
+  /// the receiver's duplicate suppression discards it on arrival.
+  bool duplicate = false;
 };
 
 }  // namespace spb::mp

@@ -69,6 +69,9 @@ RunMetrics RunMetrics::aggregate(const std::vector<RankMetrics>& ranks) {
     m.max_waits = std::max(m.max_waits, r.waits());
     m.max_send_recv = std::max(m.max_send_recv, r.send_recv_total());
     m.av_msg_lgth = std::max(m.av_msg_lgth, r.avg_message_bytes());
+    m.transit_drops += r.transit_drops();
+    m.retransmits += r.retransmits();
+    m.duplicates += r.duplicates();
     max_iters = std::max(max_iters, r.iterations().size());
   }
   m.iterations = max_iters;

@@ -37,6 +37,12 @@ class RankMetrics {
   void on_compute(SimTime us) { compute_us_ += us; }
   void mark_iteration();
 
+  // Fault-injection bookkeeping (sender side for drops/retransmits,
+  // receiver side for suppressed duplicates); all stay zero without faults.
+  void on_transit_drop() { ++transit_drops_; }
+  void on_retransmit() { ++retransmits_; }
+  void on_duplicate() { ++duplicates_; }
+
   std::uint64_t sends() const { return sends_; }
   std::uint64_t recvs() const { return recvs_; }
   std::uint64_t send_recv_total() const { return sends_ + recvs_; }
@@ -44,6 +50,12 @@ class RankMetrics {
   Bytes bytes_received() const { return bytes_received_; }
   /// Times a recv had to block because the message had not arrived yet.
   std::uint64_t waits() const { return waits_; }
+  /// Transmission attempts this rank lost in transit (fault runs only).
+  std::uint64_t transit_drops() const { return transit_drops_; }
+  /// Retransmissions this rank issued (fault runs only).
+  std::uint64_t retransmits() const { return retransmits_; }
+  /// Duplicate deliveries this rank suppressed (fault runs only).
+  std::uint64_t duplicates() const { return duplicates_; }
   /// Total time spent blocked in recv.
   SimTime wait_us() const { return wait_us_; }
   SimTime compute_us() const { return compute_us_; }
@@ -67,6 +79,9 @@ class RankMetrics {
   Bytes bytes_sent_ = 0;
   Bytes bytes_received_ = 0;
   std::uint64_t waits_ = 0;
+  std::uint64_t transit_drops_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicates_ = 0;
   SimTime wait_us_ = 0;
   SimTime compute_us_ = 0;
   std::vector<IterationCounters> iters_;
@@ -91,6 +106,10 @@ struct RunMetrics {
   double av_act_proc = 0;
   /// Number of iterations of the longest rank.
   std::size_t iterations = 0;
+  /// Fault-injection totals over all ranks (zero without faults).
+  std::uint64_t transit_drops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates = 0;
 
   static RunMetrics aggregate(const std::vector<RankMetrics>& ranks);
 };

@@ -202,15 +202,20 @@ void Payload::undo_partial_merge(const Chunk* b, std::size_t n,
                                  std::size_t m, std::size_t j,
                                  std::size_t k) {
   Chunk* out = chunks_.data();
-  std::size_t q = n + m;   // scans the merged tail backward
-  std::size_t bj = m;      // scans b's consumed suffix backward
+  // The restore region [k, n) overlaps the tail the originals are read
+  // back from, and the scan can reach a slot after the restore rewrote it
+  // — so scan a snapshot of the tail instead.  The copy is fine here: this
+  // path runs only on the way to a CheckError.
+  const std::vector<Chunk> tail(out + k, out + n + m);
+  std::size_t q = tail.size();  // scans the snapshot backward
+  std::size_t bj = m;           // scans b's consumed suffix backward
   for (std::size_t p = n; p > k;) {
     --q;
-    if (bj > j && out[q].source == b[bj - 1].source) {
+    if (bj > j && tail[q].source == b[bj - 1].source) {
       --bj;  // b's copy, not ours
       continue;
     }
-    out[--p] = out[q];
+    out[--p] = tail[q];
   }
   chunks_.resize_within_capacity(n);
 }

@@ -97,8 +97,20 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
 
   c.metrics_.on_send(msg.wire_bytes);
 
+  // Message faults need a per-(src, dst) sequence number for duplicate
+  // suppression; seq_ is only sized when the plan asks for them.
+  const bool message_faults = !rt.seq_.empty();
+  if (message_faults) {
+    std::uint32_t& next =
+        rt.seq_[static_cast<std::size_t>(c.rank_) *
+                    static_cast<std::size_t>(rt.size()) +
+                static_cast<std::size_t>(dst)];
+    msg.seq = static_cast<std::int32_t>(next++);
+  }
+
   const SimTime ready =
-      rt.sim_.now() + cp.send_overhead_us + cp.mpi_extra_us;
+      rt.sim_.now() +
+      (cp.send_overhead_us + cp.mpi_extra_us) * rt.slowdown(c.rank_);
   const net::Transfer t =
       rt.net_.reserve(rt.mapping_.node_of(c.rank_), rt.mapping_.node_of(dst),
                       msg.wire_bytes, ready);
@@ -121,9 +133,17 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
   // The message parks in the in-flight pool so this callback stays small
   // enough for the event queue's inline storage (no per-event allocation).
   const std::uint32_t slot = rt.stash_inflight(std::move(msg));
-  rt.sim_.at(t.arrive, [rtp = &rt, slot]() {
-    rtp->deliver(rtp->unstash_inflight(slot));
-  });
+  if (message_faults) {
+    // The fault path decides whether this attempt lands, duplicates or is
+    // retransmitted; the sender is released at attempt 0's injection time
+    // either way (retries run NIC-style in the background, so algorithms
+    // stay fault-oblivious).
+    rt.after_reserve(slot, 0, t);
+  } else {
+    rt.sim_.at(t.arrive, [rtp = &rt, slot]() {
+      rtp->deliver(rtp->unstash_inflight(slot));
+    });
+  }
   // The sender regains control once its injection is complete.
   rt.sim_.at(t.inject_done, [h]() { h.resume(); });
 }
@@ -141,8 +161,9 @@ void Comm::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
   if (c.mailbox_.try_take(src, tag, msg)) {
     blocked = false;
     result = std::move(msg);
-    rt.sim_.after(cp.recv_overhead_us + cp.mpi_extra_us,
-                  [h]() { h.resume(); });
+    rt.sim_.after(
+        (cp.recv_overhead_us + cp.mpi_extra_us) * rt.slowdown(c.rank_),
+        [h]() { h.resume(); });
     return;
   }
   blocked = true;
@@ -177,16 +198,17 @@ Message Comm::RecvAwaiter::await_resume() {
 
 void Comm::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
   Runtime& rt = *comm->rt_;
-  comm->metrics_.on_compute(us);
+  const double actual = us * rt.slowdown(comm->rank_);
+  comm->metrics_.on_compute(actual);
   if (rt.trace_enabled_) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kCompute;
     e.rank = comm->rank_;
     e.begin_us = rt.sim_.now();
-    e.end_us = rt.sim_.now() + us;
+    e.end_us = rt.sim_.now() + actual;
     rt.trace_.record(e);
   }
-  rt.sim_.after(us, [h]() { h.resume(); });
+  rt.sim_.after(actual, [h]() { h.resume(); });
 }
 
 void Comm::MergeAwaiter::await_resume() {
@@ -240,6 +262,19 @@ void Runtime::enable_schedule_recording() {
   schedule_ = Schedule(size());
 }
 
+void Runtime::set_fault_plan(fault::FaultPlanPtr plan) {
+  SPB_REQUIRE(!ran_, "set_fault_plan() after run()");
+  plan_ = plan;
+  net_.set_fault_plan(std::move(plan));
+  if (plan_ != nullptr && plan_->spec().message_faults()) {
+    seq_.assign(static_cast<std::size_t>(size()) *
+                    static_cast<std::size_t>(size()),
+                0);
+  } else {
+    seq_.clear();
+  }
+}
+
 std::uint32_t Runtime::stash_inflight(Message msg) {
   if (!inflight_free_.empty()) {
     const std::uint32_t slot = inflight_free_.back();
@@ -257,7 +292,85 @@ Message Runtime::unstash_inflight(std::uint32_t slot) {
   return m;
 }
 
+void Runtime::after_reserve(std::uint32_t slot, int attempt,
+                            const net::Transfer& t) {
+  Message& m = inflight_[slot];
+  const auto seq = static_cast<std::uint32_t>(m.seq);
+
+  if (!m.duplicate && plan_->transit_dropped(m.src, m.dst, seq, attempt)) {
+    // Attempt lost in transit; the (simulated) NIC times out and re-injects
+    // with exponential backoff.  The plan never drops the final attempt, so
+    // this recursion always terminates in a delivery.
+    comm(m.src).metrics_.on_transit_drop();
+    if (trace_enabled_) {
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kDrop;
+      e.rank = m.src;
+      e.peer = m.dst;
+      e.tag = m.tag;
+      e.wire_bytes = m.wire_bytes;
+      e.begin_us = t.start;
+      e.end_us = t.inject_done;
+      trace_.record(e);
+    }
+    sim_.at(t.inject_done + plan_->backoff_us(attempt),
+            [this, slot, attempt]() { retransmit(slot, attempt + 1); });
+    return;
+  }
+
+  m.arrived_at = t.arrive;
+
+  if (!m.duplicate && plan_->ack_dropped(m.src, m.dst, seq, attempt)) {
+    // The attempt landed but its acknowledgement was lost: the sender
+    // times out and re-sends once more.  The copy is flagged so it skips
+    // the drop/ack rolls (at most one duplicate per lost ack) and so the
+    // receiver's suppression discards it.
+    Message dup = m;
+    dup.duplicate = true;
+    const std::uint32_t dup_slot = stash_inflight(std::move(dup));
+    sim_.at(t.inject_done + plan_->backoff_us(attempt),
+            [this, dup_slot, attempt]() { retransmit(dup_slot, attempt + 1); });
+  }
+
+  sim_.at(t.arrive,
+          [this, slot]() { deliver(unstash_inflight(slot)); });
+}
+
+void Runtime::retransmit(std::uint32_t slot, int attempt) {
+  Message& m = inflight_[slot];
+  comm(m.src).metrics_.on_retransmit();
+  const net::Transfer t =
+      net_.reserve(mapping_.node_of(m.src), mapping_.node_of(m.dst),
+                   m.wire_bytes, sim_.now());
+  if (trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kRetransmit;
+    e.rank = m.src;
+    e.peer = m.dst;
+    e.tag = m.tag;
+    e.wire_bytes = m.wire_bytes;
+    e.begin_us = sim_.now();
+    e.end_us = t.inject_done;
+    e.arrive_us = t.arrive;
+    trace_.record(e);
+  }
+  after_reserve(slot, attempt, t);
+}
+
 void Runtime::deliver(Message msg) {
+  if (msg.seq >= 0) {
+    Comm& dst = comm(msg.dst);
+    bool duplicate = false;
+    std::vector<Message> ready =
+        dst.mailbox_.sequence(std::move(msg), duplicate);
+    if (duplicate) dst.metrics_.on_duplicate();
+    for (Message& m : ready) deliver_now(std::move(m));
+    return;
+  }
+  deliver_now(std::move(msg));
+}
+
+void Runtime::deliver_now(Message msg) {
   Comm& dst = comm(msg.dst);
   if (dst.pending_.has_value()) {
     auto& p = *dst.pending_;
@@ -267,9 +380,11 @@ void Runtime::deliver(Message msg) {
       Comm::RecvAwaiter* aw = p.awaiter;
       const std::coroutine_handle<> h = p.handle;
       dst.pending_.reset();
+      const Rank r = msg.dst;
       aw->result = std::move(msg);
-      sim_.after(params_.recv_overhead_us + params_.mpi_extra_us,
-                 [h]() { h.resume(); });
+      sim_.after(
+          (params_.recv_overhead_us + params_.mpi_extra_us) * slowdown(r),
+          [h]() { h.resume(); });
       return;
     }
   }

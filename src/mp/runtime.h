@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault.h"
 #include "mp/mailbox.h"
 #include "mp/message.h"
 #include "mp/metrics.h"
@@ -214,6 +215,19 @@ class Runtime {
   /// Runs all programs from simulated time 0 until completion.  One-shot.
   RunOutcome run();
 
+  /// Installs a fault plan (before run()): degraded links slow the network
+  /// model, stragglers stretch software overheads, and message faults turn
+  /// on per-send retransmission with duplicate suppression.  All delivery
+  /// guarantees hold under any plan — the final attempt always lands.  A
+  /// null plan (the default) leaves every fault hook on its zero-cost path.
+  void set_fault_plan(fault::FaultPlanPtr plan);
+  const fault::FaultPlanPtr& fault_plan() const { return plan_; }
+
+  /// Software-overhead multiplier of rank r (1.0 except for stragglers).
+  double slowdown(Rank r) const {
+    return plan_ == nullptr ? 1.0 : plan_->rank_slowdown(r);
+  }
+
   /// Enables event tracing (before run()); see mp/trace.h.
   void enable_trace() { trace_enabled_ = true; }
   const Trace& trace() const { return trace_; }
@@ -233,8 +247,19 @@ class Runtime {
  private:
   friend class Comm;
 
-  /// Called at a message's arrival time: hand to a parked recv or buffer.
+  /// Called at a message's arrival time.  Fault-run messages (seq >= 0)
+  /// first pass the mailbox's reorder buffer, which suppresses duplicates
+  /// and restores FIFO per (src, dst) despite retransmission; whatever it
+  /// releases is handed to a parked recv or buffered.
   void deliver(Message msg);
+  void deliver_now(Message msg);
+
+  /// Fault-run send path: decides the fate of one transmission attempt of
+  /// the stashed message (delivered, delivered-but-ack-lost, or dropped
+  /// with a scheduled retransmit) from the reserved transfer's timing.
+  void after_reserve(std::uint32_t slot, int attempt, const net::Transfer& t);
+  /// Re-injects a stashed message for transmission attempt `attempt`.
+  void retransmit(std::uint32_t slot, int attempt);
 
   // In-flight message pool.  Delivery events used to capture the whole
   // Message inside their callback, forcing a heap allocation per event;
@@ -252,6 +277,9 @@ class Runtime {
   std::vector<SimTime> done_at_;
   std::vector<Message> inflight_;
   std::vector<std::uint32_t> inflight_free_;
+  fault::FaultPlanPtr plan_;      // null = no faults
+  std::vector<std::uint32_t> seq_;  // next seq per (src * p + dst); empty
+                                    // unless the plan has message faults
   bool ran_ = false;
   bool trace_enabled_ = false;
   Trace trace_;

@@ -53,6 +53,12 @@ std::string Trace::render_timeline(int ranks, int columns) const {
       case TraceEvent::Kind::kCompute:
         paint(e.rank, e.begin_us, e.end_us, 'c');
         break;
+      case TraceEvent::Kind::kDrop:
+        paint(e.rank, e.begin_us, e.end_us, 'x');
+        break;
+      case TraceEvent::Kind::kRetransmit:
+        paint(e.rank, e.begin_us, e.end_us, 'R');
+        break;
     }
   }
 

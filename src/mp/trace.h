@@ -12,7 +12,10 @@
 namespace spb::mp {
 
 struct TraceEvent {
-  enum class Kind { kSend, kRecv, kCompute };
+  /// kDrop and kRetransmit only appear in fault-injection runs: a drop is a
+  /// transmission attempt lost in transit, a retransmit the follow-up
+  /// attempt (or the duplicate provoked by a lost acknowledgement).
+  enum class Kind { kSend, kRecv, kCompute, kDrop, kRetransmit };
 
   Kind kind = Kind::kSend;
   Rank rank = kNoRank;   // who performed the operation
@@ -47,8 +50,9 @@ class Trace {
 
   /// ASCII Gantt chart: one row per rank, `columns` time buckets; 'S' =
   /// sending (injection), 'w' = blocked waiting for a message, 'r' =
-  /// receive processing, 'c' = computing, '.' = idle.  Later operations
-  /// overwrite earlier marks within a bucket.
+  /// receive processing, 'c' = computing, 'x' = attempt lost in transit,
+  /// 'R' = retransmitting, '.' = idle.  Later operations overwrite earlier
+  /// marks within a bucket.
   std::string render_timeline(int ranks, int columns) const;
 
  private:

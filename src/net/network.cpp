@@ -79,6 +79,62 @@ int NetworkModel::pick_eject(NodeId n) const {
   return best;
 }
 
+void NetworkModel::set_fault_plan(fault::FaultPlanPtr plan) {
+  if (plan != nullptr && plan->degrades_links()) {
+    // The plan's degraded-link table must span this topology's links.
+    for (const LinkId l : plan->degraded_links())
+      SPB_REQUIRE(l >= 0 && l < topo_->link_space(),
+                  "fault plan degrades link " << l
+                      << " outside this topology's link space");
+  }
+  plan_ = std::move(plan);
+  routes_.invalidate();
+  alt_memo_.clear();
+  last_window_ = 0;
+}
+
+void NetworkModel::roll_window(SimTime ready) {
+  const std::uint64_t w = plan_->window_index(ready);
+  if (w == last_window_) return;
+  last_window_ = w;
+  routes_.invalidate();
+  alt_memo_.clear();
+  ++stats_.route_invalidations;
+}
+
+double NetworkModel::worst_divisor(std::span<const LinkId> path) const {
+  double worst = 1.0;
+  for (const LinkId l : path)
+    worst = std::max(worst, plan_->bandwidth_divisor(l));
+  return worst;
+}
+
+std::span<const LinkId> NetworkModel::faulted_path(
+    NodeId src, NodeId dst, std::span<const LinkId> primary) {
+  bool hit = false;
+  for (const LinkId l : primary)
+    if (plan_->link_degraded(l)) {
+      hit = true;
+      break;
+    }
+  if (!hit) return primary;
+
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+      static_cast<std::uint32_t>(dst);
+  auto it = alt_memo_.find(key);
+  if (it == alt_memo_.end()) {
+    std::vector<LinkId> alt = topo_->alt_route(src, dst);
+    // Keep the alternate order only when it is strictly less degraded.
+    if (worst_divisor({alt.data(), alt.size()}) >= worst_divisor(primary))
+      alt.clear();
+    it = alt_memo_.emplace(key, std::move(alt)).first;
+  }
+  if (it->second.empty()) return primary;
+  ++stats_.detours;
+  return {it->second.data(), it->second.size()};
+}
+
 double NetworkModel::uncontended_us(int hops, Bytes bytes) const {
   return params_.alpha_us + params_.per_hop_us * hops +
          static_cast<double>(bytes) / params_.bytes_per_us;
@@ -96,9 +152,28 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   SPB_REQUIRE(src >= 0 && src < topo_->node_count(), "src out of range");
   SPB_REQUIRE(dst >= 0 && dst < topo_->node_count(), "dst out of range");
 
-  const std::span<const LinkId> path = routes_.path(src, dst);
-  const double serialize =
-      static_cast<double>(bytes) / params_.bytes_per_us;
+  // Degradation windows flush cached routes, so roll before taking a span.
+  const bool faulted = plan_ != nullptr && plan_->degrades_links();
+  if (faulted) roll_window(ready);
+
+  std::span<const LinkId> path = routes_.path(src, dst);
+  double serialize = static_cast<double>(bytes) / params_.bytes_per_us;
+  double extra_latency_us = 0;
+
+  if (faulted && plan_->window_active(ready)) {
+    path = faulted_path(src, dst, path);
+    double worst = 1.0;
+    for (const LinkId l : path) {
+      if (!plan_->link_degraded(l)) continue;
+      worst = std::max(worst, plan_->bandwidth_divisor(l));
+      extra_latency_us += params_.per_hop_us * (plan_->latency_factor(l) - 1.0);
+    }
+    if (worst > 1.0 || extra_latency_us > 0) {
+      ++stats_.degraded_transfers;
+      stats_.degraded_link_us += serialize * (worst - 1.0);
+      serialize *= worst;
+    }
+  }
 
   Transfer t;
   t.hops = static_cast<int>(path.size());
@@ -106,7 +181,8 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   if (!params_.model_contention) {
     t.start = ready;
     t.inject_done = ready + serialize;
-    t.arrive = ready + uncontended_us(t.hops, bytes);
+    t.arrive = ready + params_.alpha_us + params_.per_hop_us * t.hops +
+               extra_latency_us + serialize;
     ++stats_.transfers;
     stats_.total_hops += static_cast<std::uint64_t>(t.hops);
     stats_.total_bytes += bytes;
@@ -136,7 +212,7 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   t.start = start;
   t.inject_done = until;
   t.arrive = start + params_.alpha_us + params_.per_hop_us * t.hops +
-             serialize;
+             extra_latency_us + serialize;
 
   ++stats_.transfers;
   stats_.total_hops += static_cast<std::uint64_t>(t.hops);

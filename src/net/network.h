@@ -20,9 +20,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault.h"
 #include "net/route_cache.h"
 #include "net/topology.h"
 
@@ -66,6 +69,11 @@ struct NetworkStats {
   double max_link_busy_us = 0;     // the hottest network link
   double total_stall_us = 0;       // sum of (start - ready) over transfers
   Bytes total_bytes = 0;
+  // Fault-plan effects (all zero when no plan is installed).
+  std::uint64_t degraded_transfers = 0;  // transfers that crossed a bad link
+  std::uint64_t detours = 0;             // transfers re-routed around one
+  std::uint64_t route_invalidations = 0;  // degradation-window cache flushes
+  double degraded_link_us = 0;  // extra serialization paid to degraded links
 };
 
 class NetworkModel {
@@ -75,6 +83,12 @@ class NetworkModel {
   /// Reserves the route from src to dst for a message of `bytes` bytes that
   /// becomes ready to inject at `ready`.  src != dst.
   Transfer reserve(NodeId src, NodeId dst, Bytes bytes, SimTime ready);
+
+  /// Installs (or clears, with nullptr) the fault plan whose degraded links
+  /// slow transfers down.  Flushes the route cache and the detour memo; the
+  /// plan must have been built for this topology's link space.
+  void set_fault_plan(fault::FaultPlanPtr plan);
+  const fault::FaultPlanPtr& fault_plan() const { return plan_; }
 
   const Topology& topology() const { return *topo_; }
   const NetParams& params() const { return params_; }
@@ -102,6 +116,17 @@ class NetworkModel {
   int pick_inject(NodeId n) const;
   int pick_eject(NodeId n) const;
 
+  /// Flushes the route cache + detour memo when `ready` crosses into a new
+  /// degradation window (windowed plans only).
+  void roll_window(SimTime ready);
+  /// The path a faulted transfer takes: the primary route, or the
+  /// alternate-dimension-order route when that avoids more degradation.
+  /// Decisions are memoized per (src, dst) until the window rolls.
+  std::span<const LinkId> faulted_path(NodeId src, NodeId dst,
+                                       std::span<const LinkId> primary);
+  /// Worst serialization divisor over a path's degraded links (1 if clean).
+  double worst_divisor(std::span<const LinkId> path) const;
+
   std::shared_ptr<const Topology> topo_;
   NetParams params_;
   RouteCache routes_;
@@ -109,6 +134,11 @@ class NetworkModel {
   std::vector<Channel> inject_;   // node * inject_channels + idx
   std::vector<Channel> eject_;    // node * eject_channels + idx
   NetworkStats stats_;
+  fault::FaultPlanPtr plan_;      // null = no faults, zero overhead
+  std::uint64_t last_window_ = 0;
+  // Detour memo: packed (src, dst) -> alternate route; an empty vector
+  // records "primary is no worse, keep it".
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> alt_memo_;
 };
 
 }  // namespace spb::net

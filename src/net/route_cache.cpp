@@ -1,5 +1,7 @@
 #include "net/route_cache.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace spb::net {
@@ -10,6 +12,13 @@ RouteCache::RouteCache(const Topology& topo)
       caching_(topo.node_count() <= kMaxCachedNodes) {
   if (caching_)
     slots_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+}
+
+void RouteCache::invalidate() {
+  if (cached_pairs_ == 0) return;
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  arena_.clear();
+  cached_pairs_ = 0;
 }
 
 std::span<const LinkId> RouteCache::path(NodeId a, NodeId b) {

@@ -40,6 +40,11 @@ class RouteCache {
   /// so consume it before requesting another route.
   std::span<const LinkId> path(NodeId a, NodeId b);
 
+  /// Drop every cached route (and invalidate outstanding spans).  The
+  /// fault-aware network model calls this when degraded-link windows flip,
+  /// since cached paths may embed detours that are no longer wanted.
+  void invalidate();
+
   /// True when the n^2 slot table is active (false only beyond
   /// kMaxCachedNodes).
   bool caching() const { return caching_; }

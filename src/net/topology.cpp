@@ -71,7 +71,8 @@ NodeId Mesh2D::node_at(const Coord& c) const {
   return c.y * cols_ + c.x;
 }
 
-std::vector<LinkId> Mesh2D::route(NodeId a, NodeId b) const {
+std::vector<LinkId> Mesh2D::route_impl(NodeId a, NodeId b,
+                                       bool y_first) const {
   const Coord ca = coord(a);
   const Coord cb = coord(b);
   std::vector<LinkId> path;
@@ -95,7 +96,7 @@ std::vector<LinkId> Mesh2D::route(NodeId a, NodeId b) const {
       y += ystep;
     }
   };
-  if (y_first_) {
+  if (y_first) {
     walk_y(ca.x);
     walk_x(cb.y);
   } else {
@@ -103,6 +104,14 @@ std::vector<LinkId> Mesh2D::route(NodeId a, NodeId b) const {
     walk_y(cb.x);
   }
   return path;
+}
+
+std::vector<LinkId> Mesh2D::route(NodeId a, NodeId b) const {
+  return route_impl(a, b, y_first_);
+}
+
+std::vector<LinkId> Mesh2D::alt_route(NodeId a, NodeId b) const {
+  return route_impl(a, b, !y_first_);
 }
 
 int Mesh2D::hops(NodeId a, NodeId b) const {
@@ -206,6 +215,30 @@ std::vector<LinkId> Torus3D::route(NodeId a, NodeId b) const {
   walk(&Coord::x, dx_, 0, 1);
   walk(&Coord::y, dy_, 2, 3);
   walk(&Coord::z, dz_, 4, 5);
+  SPB_CHECK(at == cb);
+  return path;
+}
+
+std::vector<LinkId> Torus3D::alt_route(NodeId a, NodeId b) const {
+  Coord at = coord(a);
+  const Coord cb = coord(b);
+  std::vector<LinkId> path;
+
+  // Same shorter-wrap walk as route(), in the reverse dimension order
+  // (z, y, x) so a degraded link on the primary path can be bypassed.
+  const auto walk = [&](int Coord::* axis, int dim_size, int pos_slot,
+                        int neg_slot) {
+    const int delta = torus_delta(at.*axis, cb.*axis, dim_size);
+    const int step = delta >= 0 ? 1 : -1;
+    const int slot = delta >= 0 ? pos_slot : neg_slot;
+    for (int i = 0; i != delta; i += step) {
+      path.push_back(node_at(at) * 6 + slot);
+      at.*axis = (at.*axis + step + dim_size) % dim_size;
+    }
+  };
+  walk(&Coord::z, dz_, 4, 5);
+  walk(&Coord::y, dy_, 2, 3);
+  walk(&Coord::x, dx_, 0, 1);
   SPB_CHECK(at == cb);
   return path;
 }

@@ -41,6 +41,14 @@ class Topology {
   /// directed links.  Empty iff a == b.
   virtual std::vector<LinkId> route(NodeId a, NodeId b) const = 0;
 
+  /// A deterministic alternate route using the opposite dimension order,
+  /// where the topology has one (mesh: YX instead of XY, torus: ZYX instead
+  /// of XYZ).  The fault-aware network model tries it when the primary
+  /// route crosses a degraded link.  Defaults to the primary route.
+  virtual std::vector<LinkId> alt_route(NodeId a, NodeId b) const {
+    return route(a, b);
+  }
+
   /// Hop distance (length of route(a, b) without materializing it).
   virtual int hops(NodeId a, NodeId b) const = 0;
 
@@ -94,6 +102,7 @@ class Mesh2D final : public Topology {
   int node_count() const override { return rows_ * cols_; }
   int link_space() const override { return node_count() * 4; }
   std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  std::vector<LinkId> alt_route(NodeId a, NodeId b) const override;
   int hops(NodeId a, NodeId b) const override;
   Coord coord(NodeId n) const override;
   NodeId node_at(const Coord& c) const override;
@@ -101,6 +110,8 @@ class Mesh2D final : public Topology {
   int slots_per_node() const override { return 4; }
 
  private:
+  std::vector<LinkId> route_impl(NodeId a, NodeId b, bool y_first) const;
+
   int rows_;
   int cols_;
   bool y_first_;
@@ -145,6 +156,7 @@ class Torus3D final : public Topology {
   int node_count() const override { return dx_ * dy_ * dz_; }
   int link_space() const override { return node_count() * 6; }
   std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  std::vector<LinkId> alt_route(NodeId a, NodeId b) const override;
   int hops(NodeId a, NodeId b) const override;
   Coord coord(NodeId n) const override;
   NodeId node_at(const Coord& c) const override;

@@ -17,6 +17,11 @@ RunResult run(const Algorithm& algorithm, const Problem& problem,
   SPB_CHECK(rt.size() == problem.p());
   if (options.trace) rt.enable_trace();
   if (options.record_schedule) rt.enable_schedule_recording();
+  if (options.faults.any()) {
+    rt.set_fault_plan(std::make_shared<const fault::FaultPlan>(
+        options.faults, options.fault_seed,
+        problem.machine.topology->link_space(), problem.p()));
+  }
 
   RunResult result;
   result.final_payloads.assign(static_cast<std::size_t>(problem.p()),

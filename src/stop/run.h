@@ -3,8 +3,10 @@
 // broadcast, and returns the timing plus the paper's Figure-2 metrics.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "mp/payload.h"
 #include "mp/runtime.h"
 #include "stop/algorithm.h"
@@ -36,6 +38,13 @@ struct RunOptions {
   /// runs must not pay that overhead (bench/util statically asserts the
   /// default stays off).
   bool record_schedule = false;
+  /// Fault injection: when any knob of the spec is set, a deterministic
+  /// FaultPlan seeded with `fault_seed` is built for the problem's machine
+  /// and installed on the runtime.  The default spec is faults-off and
+  /// must stay that way (bench/util statically asserts it) so the fault
+  /// hooks cost nothing in timed runs.
+  fault::FaultSpec faults{};
+  std::uint64_t fault_seed = 1;
 };
 
 RunResult run(const Algorithm& algorithm, const Problem& problem,

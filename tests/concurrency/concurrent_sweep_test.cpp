@@ -18,6 +18,7 @@
 
 #include "analyze/sweep.h"
 #include "dist/distribution.h"
+#include "fault/fault.h"
 #include "dist/ideal.h"
 #include "machine/config.h"
 #include "stop/algorithm.h"
@@ -36,8 +37,7 @@ std::vector<analyze::SweepCombo> paragon4x4_grid() {
 }
 
 std::string sweep_text(const std::vector<analyze::SweepCombo>& grid,
-                       int jobs) {
-  const analyze::SweepOptions sopt;
+                       int jobs, const analyze::SweepOptions& sopt = {}) {
   std::vector<analyze::ComboResult> results(grid.size());
   const bench::SweepRunner runner(jobs);
   runner.run(grid.size(), [&](std::size_t i) {
@@ -54,6 +54,21 @@ TEST(ConcurrentSweep, ParallelByteIdenticalToSerial) {
   const std::string serial = sweep_text(grid, 1);
   EXPECT_EQ(sweep_text(grid, 2), serial);
   EXPECT_EQ(sweep_text(grid, 7), serial);  // more jobs than a small grid slice
+}
+
+TEST(ConcurrentSweep, FaultedSweepByteIdenticalToSerial) {
+  // Fault decisions are stateless hashes of (seed, identifiers), so a
+  // faulted sweep must stay byte-identical across job counts — each combo
+  // builds its own plan and no worker order can leak into the decisions.
+  // Under TSan this also races the fault plan sharing inside one combo.
+  const std::vector<analyze::SweepCombo> grid = paragon4x4_grid();
+  analyze::SweepOptions sopt;
+  sopt.faults =
+      fault::FaultSpec::parse("drop=0.1,dup=0.05,links=0.25x4,straggle=1x3");
+  sopt.fault_seed = 42;
+  const std::string serial = sweep_text(grid, 1, sopt);
+  EXPECT_NE(serial, sweep_text(grid, 1));  // the faults really did bite
+  EXPECT_EQ(sweep_text(grid, 4, sopt), serial);
 }
 
 TEST(SweepRunner, VisitsEveryIndexExactlyOnce) {

@@ -1,0 +1,108 @@
+// Edge cases of the repositioning and partitioning wrappers: the smallest
+// machine partitioning accepts (p = 4), the extreme source counts (s = 1
+// and s = p, where repositioning has nothing or everything to move), and
+// degenerate 1 x p / p x 1 meshes where one grid dimension vanishes and
+// the "longer dimension" split has no choice.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stop/algorithm.h"
+#include "stop/partition.h"
+#include "stop/reposition.h"
+#include "stop/run.h"
+#include "stop/verify.h"
+
+namespace spb::stop {
+namespace {
+
+std::vector<AlgorithmPtr> wrapper_algorithms() {
+  std::vector<AlgorithmPtr> algs;
+  for (const auto& base :
+       {make_br_lin(), make_br_xy_source(), make_br_xy_dim()}) {
+    algs.push_back(make_repositioning(base));
+    algs.push_back(make_partitioning(base));
+  }
+  return algs;
+}
+
+void expect_all_wrappers_verify(const machine::MachineConfig& machine,
+                                int s) {
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, s, 256);
+  for (const AlgorithmPtr& alg : wrapper_algorithms()) {
+    const RunResult r = run(*alg, pb);  // run() verifies internally
+    EXPECT_TRUE(verify_broadcast(pb, r.final_payloads).ok)
+        << alg->name() << " on " << machine.name << " s=" << s;
+  }
+}
+
+TEST(DegenerateShapes, FourProcessorsOneSource) {
+  // s = 1: repositioning degenerates to at most one move, partitioning
+  // must still give the empty group a copy via the final exchange.
+  expect_all_wrappers_verify(machine::paragon(2, 2), 1);
+}
+
+TEST(DegenerateShapes, FourProcessorsAllSources) {
+  // s = p: every rank is a source; the ideal distribution is the full
+  // machine, so repositioning must be a no-op permutation (nothing may
+  // move to an occupied slot) and still verify.
+  expect_all_wrappers_verify(machine::paragon(2, 2), 4);
+}
+
+TEST(DegenerateShapes, OneByPMeshes) {
+  for (const int p : {4, 8}) {
+    for (const int s : {1, p / 2, p}) {
+      expect_all_wrappers_verify(machine::paragon(1, p), s);
+      expect_all_wrappers_verify(machine::paragon(p, 1), s);
+    }
+  }
+}
+
+TEST(DegenerateShapes, RepositioningAtFullOccupancyMovesNothing) {
+  // With s = p there is no free slot: the matcher must map every source to
+  // itself, so the repositioning phase adds zero sends.
+  const Problem pb =
+      make_problem(machine::paragon(2, 2), dist::Kind::kEqual, 4, 256);
+  const auto repos = make_repositioning(make_br_lin());
+  const auto base = make_br_lin();
+  const RunResult wrapped = run(*repos, pb);
+  const RunResult plain = run(*base, pb);
+  EXPECT_EQ(wrapped.outcome.metrics.total_sends,
+            plain.outcome.metrics.total_sends);
+}
+
+TEST(DegenerateShapes, PartitionSplitOnDegenerateMeshes) {
+  // 1 x p splits into two 1 x (p/2) halves; both groups stay non-empty
+  // and cover the machine.
+  for (const int p : {4, 9}) {
+    const Problem pb =
+        make_problem(machine::paragon(1, p), std::vector<Rank>{0}, 64);
+    const auto split = PartitionSplit::compute(Frame::whole(pb));
+    EXPECT_EQ(split.rows1, 1);
+    EXPECT_EQ(split.rows2, 1);
+    EXPECT_EQ(split.cols1 + split.cols2, p);
+    EXPECT_GE(split.g1.size(), 1u);
+    EXPECT_LE(split.g1.size(), split.g2.size());
+    EXPECT_EQ(split.g1.size() + split.g2.size(),
+              static_cast<std::size_t>(p));
+  }
+}
+
+TEST(DegenerateShapes, PermutationPlanExtremes) {
+  // s = 1: one mover or none.  Full occupancy: identity (no movers).
+  const PermutationPlan one =
+      PermutationPlan::match({5}, {2});
+  EXPECT_EQ(one.movers, (std::vector<Rank>{5}));
+  EXPECT_EQ(one.slots, (std::vector<Rank>{2}));
+  EXPECT_EQ(one.send_target(5), 2);
+  EXPECT_EQ(one.recv_origin(2), 5);
+  EXPECT_EQ(one.send_target(0), kNoRank);
+
+  const PermutationPlan onto =
+      PermutationPlan::match({0, 1, 2, 3}, {0, 1, 2, 3});
+  EXPECT_TRUE(onto.movers.empty());
+  EXPECT_TRUE(onto.slots.empty());
+}
+
+}  // namespace
+}  // namespace spb::stop

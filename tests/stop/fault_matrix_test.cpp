@@ -1,0 +1,101 @@
+// The acceptance matrix of the fault-injection subsystem: every algorithm
+// in the registry, on the two Paragon meshes and the scattered T3D, under
+// the full adverse load (10% drops, a quarter of the links at 4x slower,
+// one straggler) must complete and pass verification — the retransmit /
+// reorder / detour machinery makes faults invisible to the algorithms.
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "stop/algorithm.h"
+#include "stop/run.h"
+
+namespace spb::stop {
+namespace {
+
+RunOptions adverse_options() {
+  RunOptions opt;
+  opt.faults =
+      fault::FaultSpec::parse("drop=0.1,dup=0.05,links=0.25x4,lat=2,"
+                              "straggle=1x3");
+  opt.fault_seed = 42;
+  return opt;
+}
+
+class FaultMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultMatrix, EveryAlgorithmSurvivesTheAdverseLoad) {
+  const std::string which = GetParam();
+  const machine::MachineConfig machine =
+      which == "paragon4x4"   ? machine::paragon(4, 4)
+      : which == "paragon8x8" ? machine::paragon(8, 8)
+                              : machine::t3d(512);
+  // Small s and L keep the matrix fast; the fault machinery runs per
+  // message, so the coverage comes from the send count, not the bytes.
+  const Problem pb = make_problem(machine, dist::Kind::kDiagRight,
+                                  machine.p >= 64 ? 16 : 8, 512);
+  const RunOptions opt = adverse_options();
+  for (const AlgorithmPtr& alg : all_algorithms()) {
+    const RunResult r = run(*alg, pb, opt);  // run() verifies internally
+    EXPECT_GT(r.time_us, 0) << alg->name();
+    // The load is adverse enough that drops actually happened.
+    EXPECT_GT(r.outcome.metrics.retransmits, 0u) << alg->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, FaultMatrix,
+                         ::testing::Values("paragon4x4", "paragon8x8",
+                                           "t3d512"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FaultMatrix, RunsReplayByteIdenticalAcrossRepeats) {
+  // Determinism at matrix scale: the same seed + spec reproduces the same
+  // makespan, event count and fault counters for every algorithm.
+  const machine::MachineConfig machine = machine::paragon(4, 4);
+  const Problem pb = make_problem(machine, dist::Kind::kRandom, 6, 1024, 7);
+  const RunOptions opt = adverse_options();
+  for (const AlgorithmPtr& alg : all_algorithms()) {
+    const RunResult a = run(*alg, pb, opt);
+    const RunResult b = run(*alg, pb, opt);
+    EXPECT_EQ(a.time_us, b.time_us) << alg->name();
+    EXPECT_EQ(a.outcome.events, b.outcome.events) << alg->name();
+    EXPECT_EQ(a.outcome.metrics.retransmits, b.outcome.metrics.retransmits)
+        << alg->name();
+    EXPECT_EQ(a.outcome.metrics.duplicates, b.outcome.metrics.duplicates)
+        << alg->name();
+    EXPECT_EQ(a.outcome.metrics.transit_drops,
+              b.outcome.metrics.transit_drops)
+        << alg->name();
+    EXPECT_EQ(a.outcome.network.degraded_transfers,
+              b.outcome.network.degraded_transfers)
+        << alg->name();
+  }
+}
+
+TEST(FaultMatrix, DifferentSeedsGiveDifferentRuns) {
+  // The seed must matter: two seeds on the same spec should disagree on
+  // at least the fault counters for a busy algorithm.
+  const machine::MachineConfig machine = machine::paragon(8, 8);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 16, 1024);
+  RunOptions opt = adverse_options();
+  const RunResult a = run(*make_pers_alltoall(false), pb, opt);
+  opt.fault_seed = 43;
+  const RunResult b = run(*make_pers_alltoall(false), pb, opt);
+  EXPECT_NE(a.outcome.metrics.transit_drops, b.outcome.metrics.transit_drops);
+}
+
+TEST(FaultMatrix, FaultCountersStayZeroWhenOff) {
+  const machine::MachineConfig machine = machine::paragon(4, 4);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 8, 1024);
+  const RunResult r = run(*make_br_lin(), pb);  // default options: no faults
+  EXPECT_EQ(r.outcome.metrics.retransmits, 0u);
+  EXPECT_EQ(r.outcome.metrics.transit_drops, 0u);
+  EXPECT_EQ(r.outcome.metrics.duplicates, 0u);
+  EXPECT_EQ(r.outcome.network.degraded_transfers, 0u);
+  EXPECT_EQ(r.outcome.network.detours, 0u);
+  EXPECT_EQ(r.outcome.network.route_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace spb::stop

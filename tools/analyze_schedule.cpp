@@ -28,6 +28,7 @@
 #include "analyze/sweep.h"
 #include "common/check.h"
 #include "dist/distribution.h"
+#include "fault/fault.h"
 #include "machine/config.h"
 #include "stop/algorithm.h"
 #include "sweep_runner.h"
@@ -63,6 +64,8 @@ struct Options {
   Bytes bytes = 2048;
   std::uint64_t seed = 1;
   std::vector<analyze::Mutation> mutations;
+  fault::FaultSpec faults;
+  std::uint64_t fault_seed = 1;
   bool expect_violations = false;
   bool verbose = false;
   double step_slack = 0.0;
@@ -80,6 +83,11 @@ struct Options {
       << "  --bytes N      message length L in bytes (default 2048)\n"
       << "  --seed N       seed for Rand distribution and mutations\n"
       << "  --mutate M     drop-send | tag-mismatch | dup-chunk | all\n"
+      << "  --faults [SEED:]SPEC   deterministic fault injection, e.g.\n"
+      << "                 42:drop=0.1,links=0.25x4,straggle=1x3 (keys:\n"
+      << "                 drop, dup, links=FRACxDIV, lat, straggle=NxF,\n"
+      << "                 window, timeout, attempts); verification and the\n"
+      << "                 static checks must still pass under any plan\n"
       << "  --expect-violations   exit 0 iff every combo was flagged\n"
       << "  --step-slack X / --volume-slack X   optional quality gates\n"
       << "  --jobs N       worker threads (0 = all cores; default 1);\n"
@@ -116,6 +124,24 @@ Options parse(int argc, char** argv) {
       } else {
         o.mutations.push_back(analyze::mutation_from_name(m));
       }
+    } else if (a == "--faults") {
+      // "[SEED:]SPEC": an optional plan seed, then the comma-separated spec.
+      std::string text = next(i);
+      const std::size_t colon = text.find(':');
+      if (colon != std::string::npos) {
+        const std::string seed_text = text.substr(0, colon);
+        try {
+          std::size_t used = 0;
+          o.fault_seed = std::stoull(seed_text, &used);
+          SPB_REQUIRE(used == seed_text.size(), "trailing junk");
+        } catch (const std::exception&) {
+          SPB_REQUIRE(false, "bad fault seed '"
+                                 << seed_text
+                                 << "' in --faults (want [SEED:]SPEC)");
+        }
+        text = text.substr(colon + 1);
+      }
+      o.faults = fault::FaultSpec::parse(text);
     } else if (a == "--expect-violations") {
       o.expect_violations = true;
     } else if (a == "--step-slack") {
@@ -164,6 +190,8 @@ int run_cli(int argc, char** argv) {
   sopt.bytes = opt.bytes;
   sopt.seed = opt.seed;
   sopt.mutations = opt.mutations;
+  sopt.faults = opt.faults;
+  sopt.fault_seed = opt.fault_seed;
   sopt.verbose = opt.verbose;
   sopt.analysis.max_step_slack = opt.step_slack;
   sopt.analysis.max_volume_slack = opt.volume_slack;

@@ -27,6 +27,34 @@ def classify(name: str) -> str:
     return "info"
 
 
+def load_metrics(path: str, role: str) -> dict:
+    """Reads a perf_harness JSON file, failing with a clear one-line error
+    (not a traceback) on unreadable files, malformed JSON, or a document
+    without a numeric "metrics" object."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot read {role} file {path!r}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_compare: {role} file {path!r} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        sys.exit(
+            f"bench_compare: {role} file {path!r} has no top-level"
+            ' "metrics" object — is this a perf_harness output file?'
+        )
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or not all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in metrics.values()
+    ):
+        sys.exit(
+            f'bench_compare: "metrics" in {role} file {path!r} must map'
+            " metric names to numbers"
+        )
+    return metrics
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -41,10 +69,8 @@ def main() -> int:
     if args.max_regress < 1.0:
         ap.error("--max-regress must be >= 1.0")
 
-    with open(args.baseline) as f:
-        base = json.load(f)["metrics"]
-    with open(args.current) as f:
-        cur = json.load(f)["metrics"]
+    base = load_metrics(args.baseline, "baseline")
+    cur = load_metrics(args.current, "current")
 
     failures = []
     print(f"{'metric':36} {'baseline':>14} {'current':>14} {'ratio':>8}  verdict")

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Tests for bench_compare.py's gate and its input validation.
+
+Written as unittest.TestCase so both runners work:
+
+    python3 tools/test_bench_compare.py     # stdlib only
+    pytest tools/test_bench_compare.py      # CI
+
+Each case invokes the script as a subprocess — the exit code IS the
+interface CI depends on, so that is what gets asserted.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def run_compare(baseline: object, current: object, *extra: str,
+                raw_current: str | None = None):
+    """Runs bench_compare.py on two temp files; `raw_current` substitutes
+    literal (possibly malformed) file contents for the current side."""
+    with tempfile.TemporaryDirectory() as d:
+        bpath = os.path.join(d, "baseline.json")
+        cpath = os.path.join(d, "current.json")
+        with open(bpath, "w") as f:
+            json.dump(baseline, f)
+        with open(cpath, "w") as f:
+            f.write(raw_current if raw_current is not None
+                    else json.dumps(current))
+        return subprocess.run(
+            [sys.executable, SCRIPT, bpath, cpath, *extra],
+            capture_output=True, text=True)
+
+
+def doc(**metrics):
+    return {"metrics": metrics}
+
+
+class BenchCompareGate(unittest.TestCase):
+    def test_identical_metrics_pass(self):
+        r = run_compare(doc(run_ms=100.0, combos_per_sec=50.0),
+                        doc(run_ms=100.0, combos_per_sec=50.0))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("all gated metrics within", r.stdout)
+
+    def test_time_regression_fails(self):
+        r = run_compare(doc(run_ms=100.0), doc(run_ms=200.0),
+                        "--max-regress", "1.5")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSED", r.stdout)
+
+    def test_rate_regression_fails(self):
+        r = run_compare(doc(combos_per_sec=100.0), doc(combos_per_sec=40.0),
+                        "--max-regress", "1.5")
+        self.assertEqual(r.returncode, 1)
+
+    def test_info_metrics_never_gate(self):
+        r = run_compare(doc(peak_queue_depth=10.0),
+                        doc(peak_queue_depth=9999.0))
+        self.assertEqual(r.returncode, 0)
+
+    def test_missing_baseline_key_in_current_fails(self):
+        # A metric the baseline gates on must not silently vanish from the
+        # candidate — a renamed metric would otherwise disable its gate.
+        r = run_compare(doc(run_ms=100.0, sweep_ms=50.0), doc(run_ms=100.0))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing from current run", r.stderr)
+        self.assertIn("sweep_ms", r.stderr)
+
+    def test_new_metric_in_current_is_informational(self):
+        r = run_compare(doc(run_ms=100.0), doc(run_ms=100.0, extra_ms=5.0))
+        self.assertEqual(r.returncode, 0)
+
+
+class BenchCompareInputValidation(unittest.TestCase):
+    def assert_clean_failure(self, result, *needles):
+        """Non-zero exit with a one-line diagnostic, not a traceback."""
+        self.assertNotEqual(result.returncode, 0)
+        self.assertNotIn("Traceback", result.stderr)
+        for needle in needles:
+            self.assertIn(needle, result.stderr)
+
+    def test_malformed_json_current(self):
+        r = run_compare(doc(run_ms=1.0), None, raw_current="{not json")
+        self.assert_clean_failure(r, "not valid JSON", "current")
+
+    def test_missing_metrics_key(self):
+        r = run_compare(doc(run_ms=1.0), {"results": {"run_ms": 1.0}})
+        self.assert_clean_failure(r, '"metrics"', "current")
+
+    def test_non_numeric_metric_values(self):
+        r = run_compare(doc(run_ms=1.0), {"metrics": {"run_ms": "fast"}})
+        self.assert_clean_failure(r, "numbers")
+
+    def test_missing_file(self):
+        r = subprocess.run(
+            [sys.executable, SCRIPT, "/nonexistent/base.json",
+             "/nonexistent/cur.json"],
+            capture_output=True, text=True)
+        self.assert_clean_failure(r, "cannot read", "baseline")
+
+    def test_malformed_baseline_reported_as_baseline(self):
+        with tempfile.TemporaryDirectory() as d:
+            bpath = os.path.join(d, "baseline.json")
+            cpath = os.path.join(d, "current.json")
+            with open(bpath, "w") as f:
+                f.write("[1, 2")
+            with open(cpath, "w") as f:
+                json.dump(doc(run_ms=1.0), f)
+            r = subprocess.run([sys.executable, SCRIPT, bpath, cpath],
+                               capture_output=True, text=True)
+        self.assert_clean_failure(r, "not valid JSON", "baseline")
+
+
+if __name__ == "__main__":
+    unittest.main()
