@@ -8,8 +8,12 @@
 // segment.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: pipelined vs store-and-forward 2-Step "
+                      "broadcast (T3D p=128; s swept)"});
   bench::Checker check("Ablation — 2-Step broadcast: pipelined vs "
                        "store-and-forward (T3D 128)");
 
@@ -22,9 +26,9 @@ int main() {
       .cell("speedup");
   std::map<int, double> speedup;
   for (const int s : {4, 32, 128}) {
-    const Bytes L = 4096;
-    auto piped = machine::t3d(128);
-    auto plain = machine::t3d(128);
+    const Bytes L = opt.len_or(4096);
+    auto piped = opt.machine_or(machine::t3d(128));
+    auto plain = piped;
     plain.bcast_segment_bytes = 0;  // fall back to store-and-forward
     const auto alg = stop::make_two_step(true);
     const double a =

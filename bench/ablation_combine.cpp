@@ -4,8 +4,12 @@
 // (as it does on the Paragon); at the calibrated cost the order flips.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: message-combining cost sweep on the T3D "
+                      "(p=128, E(64), L=4K)"});
   bench::Checker check("Ablation — combining cost sweep on the T3D");
 
   TextTable t;
@@ -18,10 +22,11 @@ int main() {
   std::map<double, double> br_ms;
   const std::vector<double> costs = {0.0, 0.005, 0.015, 0.025, 0.05};
   for (const double cost : costs) {
-    auto machine = machine::t3d(128);
+    auto machine = opt.machine_or(machine::t3d(128));
     machine.comm.combine_per_byte_us = cost;
     const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kEqual, 64, 4096);
+        stop::make_problem(machine, opt.dist_or(dist::Kind::kEqual),
+                           opt.sources_or(64), opt.len_or(4096));
     const double br = bench::time_ms(stop::make_br_lin(), pb);
     const double a2a = bench::time_ms(stop::make_pers_alltoall(true), pb);
     br_wins[cost] = br < a2a;

@@ -7,16 +7,21 @@
 // the least — which is exactly why they win on the real machine.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: full-path link reservation on vs off "
+                      "(10x10 Paragon, E(40), L=16K)"});
   bench::Checker check("Ablation — link contention on/off (Paragon 10x10)");
 
-  auto machine = machine::paragon(10, 10);
-  const stop::Problem with =
-      stop::make_problem(machine, dist::Kind::kEqual, 40, 16384);
+  auto machine = opt.machine_or(machine::paragon(10, 10));
+  const dist::Kind kind = opt.dist_or(dist::Kind::kEqual);
+  const int s = opt.sources_or(40);
+  const Bytes L = opt.len_or(16384);
+  const stop::Problem with = stop::make_problem(machine, kind, s, L);
   machine.net.model_contention = false;
-  const stop::Problem without =
-      stop::make_problem(machine, dist::Kind::kEqual, 40, 16384);
+  const stop::Problem without = stop::make_problem(machine, kind, s, L);
 
   TextTable t;
   t.row().cell("algorithm").cell("with [ms]").cell("without [ms]").cell(

@@ -8,12 +8,19 @@
 // torus: every route into the root funnels through the same few links.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: T3D scattered vs contiguous placement "
+                      "(p=128, E(64), L=4K)"});
   bench::Checker check("Ablation — T3D placement: scattered vs contiguous");
 
-  const auto scattered = machine::t3d(128, /*scatter_seed=*/1);
+  const auto scattered = machine::t3d(128, /*scatter_seed=*/opt.seed_or(1));
   const auto contiguous = machine::t3d(128, /*scatter_seed=*/0);
+  const dist::Kind kind = opt.dist_or(dist::Kind::kEqual);
+  const int s_count = opt.sources_or(64);
+  const Bytes L = opt.len_or(4096);
 
   TextTable t;
   t.row()
@@ -26,9 +33,9 @@ int main() {
        {stop::make_two_step(true), stop::make_pers_alltoall(true),
         stop::make_br_lin()}) {
     const stop::Problem ps =
-        stop::make_problem(scattered, dist::Kind::kEqual, 64, 4096);
+        stop::make_problem(scattered, kind, s_count, L);
     const stop::Problem pc =
-        stop::make_problem(contiguous, dist::Kind::kEqual, 64, 4096);
+        stop::make_problem(contiguous, kind, s_count, L);
     const double s = bench::time_ms(alg, ps);
     const double c = bench::time_ms(alg, pc);
     ratio[alg->name()] = c / s;

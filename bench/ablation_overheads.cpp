@@ -4,8 +4,12 @@
 // parameters, not an artifact of one tuned point.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: Paragon calibration robustness "
+                      "(10x10, E(30), L=4K; parameters swept)"});
   bench::Checker check("Ablation — Paragon calibration robustness");
 
   struct Variant {
@@ -29,12 +33,13 @@ int main() {
       .cell("2-Step")
       .cell("PersAlltoAll");
   for (const Variant& v : variants) {
-    auto machine = machine::paragon(10, 10);
+    auto machine = opt.machine_or(machine::paragon(10, 10));
     machine.comm.send_overhead_us *= v.overhead_scale;
     machine.comm.recv_overhead_us *= v.overhead_scale;
     machine.net.bytes_per_us *= v.bandwidth_scale;
     const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kEqual, 30, 4096);
+        stop::make_problem(machine, opt.dist_or(dist::Kind::kEqual),
+                           opt.sources_or(30), opt.len_or(4096));
     const double xy = bench::time_ms(stop::make_br_xy_source(), pb);
     const double br = bench::time_ms(stop::make_br_lin(), pb);
     const double ts = bench::time_ms(stop::make_two_step(false), pb);

@@ -20,12 +20,18 @@ spb::machine::MachineConfig paragon_yx(int rows, int cols) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: XY vs YX mesh routing (10x10 Paragon, "
+                      "s=30, L=4K)"});
   bench::Checker check("Ablation — XY vs YX mesh routing (10x10 Paragon)");
 
   const auto xy = machine::paragon(10, 10);
   const auto yx = paragon_yx(10, 10);
+  const int s = opt.sources_or(30);
+  const Bytes L = opt.len_or(4096);
 
   TextTable t;
   t.row()
@@ -40,8 +46,8 @@ int main() {
         stop::make_br_lin(), stop::make_br_xy_source()}) {
     const bool combining = alg->name() != "PersAlltoAll";
     for (const dist::Kind kind : {dist::Kind::kEqual, dist::Kind::kRow}) {
-      const stop::Problem pbx = stop::make_problem(xy, kind, 30, 4096);
-      const stop::Problem pby = stop::make_problem(yx, kind, 30, 4096);
+      const stop::Problem pbx = stop::make_problem(xy, kind, s, L);
+      const stop::Problem pby = stop::make_problem(yx, kind, s, L);
       const double a = bench::time_ms(alg, pbx);
       const double b = bench::time_ms(alg, pby);
       t.row()
@@ -66,8 +72,7 @@ int main() {
                "sensitive (swing " + fixed(pers_swing, 2) + "x)");
 
   // The headline ordering survives the flip.
-  const stop::Problem pby =
-      stop::make_problem(yx, dist::Kind::kEqual, 30, 4096);
+  const stop::Problem pby = stop::make_problem(yx, dist::Kind::kEqual, s, L);
   check.expect(bench::time_ms(stop::make_br_xy_source(), pby) <
                    bench::time_ms(stop::make_two_step(false), pby),
                "Br_xy_source still beats 2-Step under YX routing");

@@ -6,11 +6,15 @@
 // ordering.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Ablation: Br_Lin row-major vs snake indexing "
+                      "(10x10 Paragon, s=30; dist/L swept)"});
   bench::Checker check("Ablation — Br_Lin indexing: row-major vs snake");
 
-  const auto machine = machine::paragon(10, 10);
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
   const auto plain = stop::make_br_lin();
   const auto snake = stop::find_algorithm("Br_Lin_snake");
 
@@ -22,7 +26,8 @@ int main() {
   for (const dist::Kind kind :
        {dist::Kind::kEqual, dist::Kind::kSquare, dist::Kind::kDiagLeft}) {
     for (const Bytes L : {Bytes{1024}, Bytes{16384}}) {
-      const stop::Problem pb = stop::make_problem(machine, kind, 30, L);
+      const stop::Problem pb =
+          stop::make_problem(machine, kind, opt.sources_or(30), L);
       const double a = bench::time_ms(plain, pb);
       const double b = bench::time_ms(snake, pb);
       worst = std::max(worst, b / a);

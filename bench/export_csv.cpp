@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "options.h"
 #include "stop/algorithm.h"
 #include "stop/run.h"
 #include "sweep_runner.h"
@@ -261,21 +262,15 @@ constexpr FigJob kFigures[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path dir = "results";
-  int jobs = 1;
-  bool dir_seen = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-      if (jobs == 0) jobs = bench::SweepRunner::hardware_jobs();
-    } else if (!dir_seen) {
-      dir = argv[i];
-      dir_seen = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [dir] [--jobs N]\n", argv[0]);
-      return 2;
-    }
-  }
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Exports the figure series as CSV files "
+                      "(--out or [dir], default ./results)",
+       .allow_positional = true,
+       .positional_help = "[dir]"});
+  const std::filesystem::path dir = opt.out_or(
+      opt.positional.empty() ? "results" : opt.positional);
+  const int jobs = opt.jobs;
   std::filesystem::create_directories(dir);
   std::printf("writing figure series:\n");
   const std::size_t count = std::size(kFigures);

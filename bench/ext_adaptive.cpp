@@ -6,11 +6,15 @@
 #include "stop/adaptive_repos.h"
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: adaptive repositioning across all "
+                      "distributions (16x16 Paragon, L=6K)"});
   bench::Checker check("Extension — adaptive repositioning, 16x16 Paragon");
 
-  const auto machine = machine::paragon(16, 16);
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
   const auto base = stop::make_br_xy_source();
   const auto repos = stop::make_repositioning(base);
   const auto adaptive = stop::make_adaptive_repositioning(base);
@@ -28,7 +32,8 @@ int main() {
   int cases = 0;
   for (const dist::Kind kind : dist::all_kinds()) {
     for (const int s : {48, 96}) {
-      const stop::Problem pb = stop::make_problem(machine, kind, s, 6144);
+      const stop::Problem pb =
+          stop::make_problem(machine, kind, s, opt.len_or(6144));
       const double b = bench::time_ms(base, pb);
       const double r = bench::time_ms(repos, pb);
       const double a = bench::time_ms(adaptive, pb);

@@ -25,13 +25,17 @@ struct Intensity {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: fault-intensity sweep over the five "
+                      "base algorithms (8x8 Paragon, E(16), L=2K)"});
   bench::Checker check(
       "Extension — fault-intensity sweep, five base algorithms (8x8 "
       "Paragon)");
 
-  const auto machine = machine::paragon(8, 8);
+  const auto machine = opt.machine_or(machine::paragon(8, 8));
   const std::vector<stop::AlgorithmPtr> algorithms = {
       stop::make_two_step(false), stop::make_pers_alltoall(false),
       stop::make_br_lin(), stop::make_br_xy_source(), stop::make_br_xy_dim()};
@@ -44,12 +48,12 @@ int main() {
       {"straggler", "straggle=1x3"},
       {"combined", "drop=0.1,links=0.25x4,lat=2,straggle=1x3"},
   };
-  const int s = 16;
-  const Bytes L = 2048;
-  const std::uint64_t kFaultSeed = 42;
+  const int s = opt.sources_or(16);
+  const Bytes L = opt.len_or(2048);
+  const std::uint64_t kFaultSeed = opt.seed_or(42);
 
   const stop::Problem pb =
-      stop::make_problem(machine, dist::Kind::kEqual, s, L);
+      stop::make_problem(machine, opt.dist_or(dist::Kind::kEqual), s, L);
 
   TextTable t;
   {

@@ -8,8 +8,12 @@
 // debate looked like for s-to-p broadcasting.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: Br_Lin on a hypercube vs a mesh "
+                      "(p=64, E(s), L=16K; s swept)"});
   bench::Checker check("Extension — Br_Lin on hypercube vs mesh (p=64)");
 
   const auto cube = machine::hypercube(6);
@@ -32,7 +36,7 @@ int main() {
       .cell("PersA2A cube");
   std::map<int, double> gain;
   for (const int s : {8, 32, 64}) {
-    const Bytes L = 16384;
+    const Bytes L = opt.len_or(16384);
     const stop::Problem pm =
         stop::make_problem(mesh, dist::Kind::kEqual, s, L);
     const stop::Problem pc =

@@ -13,12 +13,17 @@
 #include "stop/allgatherv_rd.h"
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: modern Allgatherv_RD vs the paper's "
+                      "algorithms (Paragon 10x10 and T3D 128, L=4K)"});
   bench::Checker check("Extension — modern Allgatherv_RD vs the paper's "
                        "algorithms");
 
   const auto modern = stop::make_allgatherv_rd();
+  const Bytes L = opt.len_or(4096);
 
   bench::section("Paragon 10x10, E(s), L=4K");
   TextTable tp;
@@ -28,7 +33,7 @@ int main() {
   std::map<int, double> p_brxy;
   for (const int s : {10, 30, 60, 100}) {
     const stop::Problem pb = stop::make_problem(
-        machine::paragon(10, 10), dist::Kind::kEqual, s, 4096);
+        machine::paragon(10, 10), dist::Kind::kEqual, s, L);
     p_modern[s] = bench::time_ms(modern, pb);
     p_brxy[s] = bench::time_ms(stop::make_br_xy_source(), pb);
     tp.row()
@@ -50,8 +55,8 @@ int main() {
   std::map<int, double> t_modern;
   std::map<int, double> t_best_paper;
   for (const int s : {10, 40, 96, 128}) {
-    const stop::Problem pb = stop::make_problem(machine::t3d(128),
-                                                dist::Kind::kEqual, s, 4096);
+    const stop::Problem pb =
+        stop::make_problem(machine::t3d(128), dist::Kind::kEqual, s, L);
     const double a2a = bench::time_ms(stop::make_pers_alltoall(true), pb);
     const double gather = bench::time_ms(stop::make_two_step(true), pb);
     const double br = bench::time_ms(stop::make_br_lin(), pb);

@@ -9,13 +9,17 @@
 // repositioning pass to a random target would cost on top.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: random source distributions on the T3D "
+                      "(p=128, s=48, L=4K)"});
   bench::Checker check("Extension — random distributions on the T3D");
 
-  const auto machine = machine::t3d(128);
-  const Bytes L = 4096;
-  const int s = 48;
+  const auto machine = opt.machine_or(machine::t3d(128));
+  const Bytes L = opt.len_or(4096);
+  const int s = opt.sources_or(48);
   const auto br = stop::make_br_lin();
   const auto a2a = stop::make_pers_alltoall(true);
 

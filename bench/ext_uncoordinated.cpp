@@ -11,12 +11,16 @@
 // total message count explodes exactly as the paper says.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: uncoordinated 1-to-all floods vs "
+                      "Br_xy_source (10x10 Paragon; s and L swept)"});
   bench::Checker check(
       "Extension — uncoordinated 1-to-all floods (10x10 Paragon)");
 
-  const auto machine = machine::paragon(10, 10);
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
   const auto unco = stop::find_algorithm("Uncoord_1toAll");
   const auto br = stop::make_br_xy_source();
 

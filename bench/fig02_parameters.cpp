@@ -16,13 +16,17 @@
 
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 2: algorithm/distribution parameters "
+                      "(16x16 Paragon, E(32)/E(37), L=1K)"});
   bench::Checker check("Figure 2 — algorithm/distribution parameters");
 
-  const auto machine = machine::paragon(16, 16);
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
   const int p = machine.p;
-  const Bytes L = 1024;
+  const Bytes L = opt.len_or(1024);
 
   struct Row {
     std::string algorithm;

@@ -10,12 +10,17 @@
 //  * the three Br_* curves scale linearly with the number of sources.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description =
+           "Figure 3: seven algorithms vs source count (10x10 Paragon, "
+           "E(s), L=4K)"});
   bench::Checker check("Figure 3 — 10x10 Paragon, E(s), L=4K, s=1..100");
 
-  const auto machine = machine::paragon(10, 10);
-  const Bytes L = 4096;
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
+  const Bytes L = opt.len_or(4096);
   const std::vector<stop::AlgorithmPtr> algorithms = {
       stop::make_two_step(false),     stop::make_two_step(true),
       stop::make_pers_alltoall(false), stop::make_pers_alltoall(true),
@@ -25,14 +30,13 @@ int main() {
   const std::vector<int> source_counts = {1,  5,  10, 20, 30, 40,
                                           50, 60, 70, 80, 90, 100};
 
+  const dist::Kind kind = opt.dist_or(dist::Kind::kEqual);
   std::vector<bench::SweepCase> cases;
   for (const int s : source_counts) {
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kEqual, s, L);
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
     for (const auto& a : algorithms) cases.push_back({a, pb});
   }
-  const std::vector<double> timed =
-      bench::time_ms_sweep(cases, bench::default_jobs());
+  const std::vector<double> timed = bench::time_ms_sweep(cases, opt.jobs);
 
   TextTable t;
   t.row().cell("s");

@@ -8,12 +8,17 @@
 //    linearly with L.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 4: time vs message length (10x10 Paragon, "
+                      "Dr(30), L=32..16K)"});
   bench::Checker check("Figure 4 — 10x10 Paragon, Dr(30), L=32..16K");
 
-  const auto machine = machine::paragon(10, 10);
-  const int s = 30;
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
+  const int s = opt.sources_or(30);
+  const dist::Kind kind = opt.dist_or(dist::Kind::kDiagRight);
   const std::vector<stop::AlgorithmPtr> algorithms = {
       stop::make_two_step(false), stop::make_pers_alltoall(false),
       stop::make_br_lin(), stop::make_br_xy_source(),
@@ -24,12 +29,10 @@ int main() {
 
   std::vector<bench::SweepCase> cases;
   for (const Bytes L : lengths) {
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
     for (const auto& a : algorithms) cases.push_back({a, pb});
   }
-  const std::vector<double> timed =
-      bench::time_ms_sweep(cases, bench::default_jobs());
+  const std::vector<double> timed = bench::time_ms_sweep(cases, opt.jobs);
 
   TextTable t;
   t.row().cell("L");

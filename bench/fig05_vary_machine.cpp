@@ -10,12 +10,17 @@
 
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 5: machine sizes 4..256 (swept), L=1K, "
+                      "s~sqrt(p), Dr"});
   bench::Checker check(
       "Figure 5 — Paragon p=4..256, L=1K, s~sqrt(p), Dr");
 
-  const Bytes L = 1024;
+  const Bytes L = opt.len_or(1024);
+  const dist::Kind kind = opt.dist_or(dist::Kind::kDiagRight);
   struct Shape {
     int rows;
     int cols;
@@ -36,8 +41,7 @@ int main() {
     const auto machine = machine::paragon(sh.rows, sh.cols);
     const int p = machine.p;
     const int s = std::max(1, static_cast<int>(std::lround(std::sqrt(p))));
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
     t.row().num(static_cast<std::int64_t>(p));
     for (const auto& a : algorithms) {
       const double v = bench::time_ms(a, pb);

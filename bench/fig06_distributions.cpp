@@ -12,13 +12,19 @@
 //    choosing the right dimension first").
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 6: Br_* across source distributions (swept; "
+                      "10x10 Paragon, L=2K, s=30)"});
   bench::Checker check("Figure 6 — 10x10 Paragon, L=2K, s=30, distributions");
 
-  const auto machine = machine::paragon(10, 10);
-  const int s = 30;
-  const Bytes L = 2048;
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
+  // Default s follows the figure; an overridden (smaller) machine clamps it
+  // so --machine composes without also spelling --sources.
+  const int s = opt.sources_or(std::min(30, machine.p));
+  const Bytes L = opt.len_or(2048);
   const std::vector<stop::AlgorithmPtr> algorithms = {
       stop::make_br_lin(), stop::make_br_xy_source(),
       stop::make_br_xy_dim()};
@@ -33,7 +39,7 @@ int main() {
   std::map<std::string, std::map<std::string, double>> ms;
   for (const dist::Kind kind : kinds) {
     const stop::Problem pb = stop::make_problem(machine, kind, s, L);
-    t.row().cell(dist::kind_name(kind) + "(30)");
+    t.row().cell(dist::kind_name(kind) + "(" + std::to_string(s) + ")");
     for (const auto& a : algorithms) {
       const double v = bench::time_ms(a, pb);
       ms[a->name()][dist::kind_name(kind)] = v;

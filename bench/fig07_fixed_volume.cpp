@@ -5,13 +5,19 @@
 // takes ~11.4 ms with Br_xy_source, over 40 sources only ~7.3 ms.)
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 7: fixed total volume (--len, default 80K) "
+                      "spread over a swept source count (10x10 Paragon, "
+                      "Dr)"});
   bench::Checker check(
       "Figure 7 — 10x10 Paragon, Dr, total volume 80K, s varies");
 
-  const auto machine = machine::paragon(10, 10);
-  const Bytes total = 80 * 1024;
+  const auto machine = opt.machine_or(machine::paragon(10, 10));
+  const Bytes total = opt.len_or(80 * 1024);
+  const dist::Kind kind = opt.dist_or(dist::Kind::kDiagRight);
   const std::vector<stop::AlgorithmPtr> algorithms = {
       stop::make_br_lin(), stop::make_br_xy_source(),
       stop::make_br_xy_dim()};
@@ -23,8 +29,7 @@ int main() {
   std::map<std::string, std::map<int, double>> ms;
   for (const int s : source_counts) {
     const Bytes L = total / static_cast<Bytes>(s);
-    const stop::Problem pb =
-        stop::make_problem(machine, dist::Kind::kDiagRight, s, L);
+    const stop::Problem pb = stop::make_problem(machine, kind, s, L);
     t.row().num(static_cast<std::int64_t>(s)).cell(human_bytes(L));
     for (const auto& a : algorithms) {
       const double v = bench::time_ms(a, pb);

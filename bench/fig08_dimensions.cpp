@@ -11,8 +11,12 @@
 
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 8: 120-node Paragon shapes (swept), E(s), "
+                      "L=4K, three source counts"});
   bench::Checker check("Figure 8 — p=120 Paragon, shapes vary, E(s), L=4K");
 
   struct Shape {
@@ -21,7 +25,8 @@ int main() {
   };
   const std::vector<Shape> shapes = {{4, 30}, {5, 24}, {6, 20},
                                      {8, 15}, {10, 12}, {12, 10}};
-  const Bytes L = 4096;
+  const Bytes L = opt.len_or(4096);
+  const dist::Kind kind = opt.dist_or(dist::Kind::kEqual);
   const auto alg = stop::make_br_lin();
   const std::vector<int> source_counts = {8, 15, 60};
 
@@ -34,8 +39,7 @@ int main() {
     const auto machine = machine::paragon(sh.rows, sh.cols);
     t.row().cell(std::to_string(sh.rows) + "x" + std::to_string(sh.cols));
     for (const int s : source_counts) {
-      const stop::Problem pb =
-          stop::make_problem(machine, dist::Kind::kEqual, s, L);
+      const stop::Problem pb = stop::make_problem(machine, kind, s, L);
       const double v = bench::time_ms(alg, pb);
       by_s[s].push_back(v);
       t.num(v, 2);

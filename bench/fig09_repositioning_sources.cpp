@@ -9,13 +9,17 @@
 //  * the gain tapers off as the number of sources grows large.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 9: repositioning gain vs source count "
+                      "(swept; 16x16 Paragon, L=6K, four distributions)"});
   bench::Checker check(
       "Figure 9 — Repos_xy_source vs Br_xy_source, 16x16, L=6K");
 
-  const auto machine = machine::paragon(16, 16);
-  const Bytes L = 6144;
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
+  const Bytes L = opt.len_or(6144);
   const auto base = stop::make_br_xy_source();
   const auto repos = stop::make_repositioning(base);
   const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,

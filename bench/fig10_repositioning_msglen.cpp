@@ -8,13 +8,17 @@
 //    distributions, then tapers off at the largest lengths.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 10: repositioning gain vs message length "
+                      "(swept; 16x16 Paragon, s=75)"});
   bench::Checker check(
       "Figure 10 — Repos_xy_source vs Br_xy_source, 16x16, s=75");
 
-  const auto machine = machine::paragon(16, 16);
-  const int s = 75;
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
+  const int s = opt.sources_or(75);
   const auto base = stop::make_br_xy_source();
   const auto repos = stop::make_repositioning(base);
   const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,

@@ -5,12 +5,16 @@
 // permutation" — the cross-seam exchange of s*L-byte messages.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Section 5.2: partitioning vs repositioning "
+                      "(16x16 Paragon; dist/s/L swept)"});
   bench::Checker check(
       "Section 5.2 — partitioning vs repositioning, 16x16 Paragon");
 
-  const auto machine = machine::paragon(16, 16);
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
   const auto base = stop::make_br_xy_source();
   const auto repos = stop::make_repositioning(base);
   const auto part = stop::make_partitioning(base);

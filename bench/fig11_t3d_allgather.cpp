@@ -17,8 +17,12 @@
 // series regardless so the comparison is visible.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 11: MPI_AllGather scalability on the T3D "
+                      "(machine sizes and source counts swept)"});
   bench::Checker check("Figure 11 — MPI_AllGather scalability on the T3D");
 
   const auto allgather = stop::make_two_step(true);

@@ -10,12 +10,16 @@
 // broadcast volume stays put); EXPERIMENTS.md discusses the divergence.
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 12: fixed total volume (--len, default "
+                      "128K) over a swept source count (T3D p=128)"});
   bench::Checker check("Figure 12 — T3D p=128, total 128K, s varies");
 
-  const auto machine = machine::t3d(128);
-  const Bytes total = 128 * 1024;
+  const auto machine = opt.machine_or(machine::t3d(128));
+  const Bytes total = opt.len_or(128 * 1024);
   const auto alltoall = stop::make_pers_alltoall(true);
   const auto allgather = stop::make_two_step(true);
   const std::vector<dist::Kind> kinds = {dist::Kind::kEqual,

@@ -16,12 +16,16 @@
 
 #include "util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spb;
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Figure 13: three-way comparison on the T3D "
+                      "(p=128, L=4K; s and distributions swept)"});
   bench::Checker check("Figure 13 — T3D p=128, L=4K, three algorithms");
 
-  const auto machine = machine::t3d(128);
-  const Bytes L = 4096;
+  const auto machine = opt.machine_or(machine::t3d(128));
+  const Bytes L = opt.len_or(4096);
   const auto allgather = stop::make_two_step(true);
   const auto alltoall = stop::make_pers_alltoall(true);
   const auto br_lin = stop::make_br_lin();

@@ -22,6 +22,7 @@
 #include "mp/payload.h"
 #include "net/route_cache.h"
 #include "net/topology.h"
+#include "options.h"
 #include "sim/event_queue.h"
 #include "stop/algorithm.h"
 #include "stop/run.h"
@@ -212,25 +213,20 @@ void write_json(const Metrics& m, const std::string& path, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_core.json";
   bool quick = false;
-  int jobs = bench::SweepRunner::hardware_jobs();
-  bool out_seen = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-      if (jobs == 0) jobs = bench::SweepRunner::hardware_jobs();
-    } else if (!out_seen) {
-      out = argv[i];
-      out_seen = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [out.json] [--quick] [--jobs N]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Perf-regression harness: emits BENCH_core.json "
+                      "for tools/bench_compare.py",
+       .extras = {{.name = "--quick",
+                   .toggle = &quick,
+                   .help = "short timing windows (CI smoke)"}},
+       .allow_positional = true,
+       .positional_help = "[out.json]"});
+  const std::string out = opt.out_or(
+      opt.positional.empty() ? "BENCH_core.json" : opt.positional);
+  const int jobs =
+      opt.jobs_set ? opt.jobs : bench::SweepRunner::hardware_jobs();
   const double min_ms = quick ? 20.0 : 200.0;
 
   Metrics m;

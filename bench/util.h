@@ -11,6 +11,7 @@
 
 #include "common/str.h"
 #include "common/table.h"
+#include "options.h"
 #include "stop/algorithm.h"
 #include "stop/problem.h"
 #include "stop/run.h"
@@ -27,6 +28,19 @@ static_assert(!stop::RunOptions{}.record_schedule,
 static_assert(!stop::RunOptions{}.faults.any(),
               "RunOptions::faults must default to no-faults so the fault "
               "hooks stay zero-cost in timed benches");
+static_assert(!stop::RunOptions{}.link_stats,
+              "RunOptions::link_stats must default to off so the network "
+              "usage probe stays a null pointer in timed benches");
+
+// The fluent RunConfig builder must lower to exactly the default
+// RunOptions when nothing is configured — benches that migrate to it pay
+// nothing.
+static_assert(stop::RunConfig{}.options().verify &&
+                  !stop::RunConfig{}.options().trace &&
+                  !stop::RunConfig{}.options().record_schedule &&
+                  !stop::RunConfig{}.options().link_stats &&
+                  !stop::RunConfig{}.options().faults.any(),
+              "RunConfig{} must lower to the all-off default RunOptions");
 
 /// Milliseconds for one algorithm/problem pair (single deterministic run —
 /// the simulator has no noise to average away).

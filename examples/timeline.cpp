@@ -20,8 +20,7 @@ namespace {
 void show(const std::string& name, const spb::stop::Problem& pb) {
   using namespace spb;
   const auto alg = stop::find_algorithm(name);
-  const stop::RunResult r =
-      stop::run(*alg, pb, {.verify = true, .trace = true});
+  const stop::RunResult r = stop::run(*alg, pb, stop::RunConfig{}.trace());
   std::printf("%s on %s, %d sources, %.2f ms, %zu trace events\n",
               name.c_str(), pb.machine.name.c_str(), pb.s(),
               r.time_us / 1000.0, r.trace.size());

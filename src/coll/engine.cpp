@@ -21,6 +21,7 @@ sim::Task run_halving(mp::Comm& comm,
                       << " that belongs to rank "
                       << (*seq)[static_cast<std::size_t>(my_pos)]);
 
+  if (opts.phase != nullptr) comm.begin_phase(opts.phase);
   for (int iter = 0; iter < sched->iterations(); ++iter) {
     const auto& actions = sched->actions(iter, my_pos);
     if (!actions.empty()) {
@@ -50,6 +51,7 @@ sim::Task run_halving(mp::Comm& comm,
     }
     if (opts.mark_iterations) comm.mark_iteration();
   }
+  if (opts.phase != nullptr) comm.end_phase();
 }
 
 }  // namespace spb::coll

@@ -24,6 +24,11 @@ struct HalvingOptions {
   /// Charge the message-combining CPU cost on merges (Br_* algorithms do;
   /// the paper's PersAlltoAll-style algorithms do not combine).
   bool combine_cost = true;
+  /// When set, the whole halving run is bracketed in this named phase
+  /// (Comm::begin_phase) so metrics and exported timelines attribute it.
+  /// Null = no annotation.  The string must outlive the task (callers pass
+  /// literals).
+  const char* phase = nullptr;
 };
 
 /// Executes position `my_pos` of `sched` where position i of the schedule

@@ -1,9 +1,60 @@
 #include "machine/config.h"
 
+#include <cstddef>
+
 #include "common/check.h"
 #include "common/math.h"
 
 namespace spb::machine {
+
+namespace {
+
+/// Strict non-negative integer parse; SPB_REQUIREs on junk.
+int parse_int(const std::string& text, const std::string& what) {
+  SPB_REQUIRE(!text.empty(), "missing " << what << " in machine name");
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  SPB_REQUIRE(used == text.size() && v >= 0,
+              "bad " << what << " '" << text << "' in machine name");
+  return v;
+}
+
+}  // namespace
+
+MachineConfig from_name(const std::string& name) {
+  // paragonRxC (e.g. paragon8x8), t3dP[:SEED] (e.g. t3d512, t3d256:0),
+  // hypercubeD (e.g. hypercube6).
+  if (name.rfind("paragon", 0) == 0) {
+    const std::string dims = name.substr(7);
+    const std::size_t x = dims.find('x');
+    SPB_REQUIRE(x != std::string::npos,
+                "machine '" << name << "': want paragonRxC, e.g. paragon8x8");
+    return paragon(parse_int(dims.substr(0, x), "rows"),
+                   parse_int(dims.substr(x + 1), "cols"));
+  }
+  if (name.rfind("t3d", 0) == 0) {
+    std::string rest = name.substr(3);
+    std::uint64_t seed = 1;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      seed = static_cast<std::uint64_t>(
+          parse_int(rest.substr(colon + 1), "scatter seed"));
+      rest = rest.substr(0, colon);
+    }
+    return t3d(parse_int(rest, "processor count"), seed);
+  }
+  if (name.rfind("hypercube", 0) == 0)
+    return hypercube(parse_int(name.substr(9), "dimension count"));
+  SPB_REQUIRE(false, "unknown machine '"
+                         << name
+                         << "' (want paragonRxC, t3dP[:SEED] or hypercubeD)");
+  return {};  // unreachable
+}
 
 mp::Runtime MachineConfig::make_runtime(bool mpi_flavored) const {
   mp::CommParams cp = comm;

@@ -65,6 +65,11 @@ struct MachineConfig {
 /// Intel Paragon submesh of rows x cols processors.
 MachineConfig paragon(int rows, int cols);
 
+/// Parses a CLI machine spec: "paragonRxC" (paragon8x8), "t3dP[:SEED]"
+/// (t3d512, t3d256:0 for the contiguous mapping) or "hypercubeD"
+/// (hypercube6).  Throws CheckError on anything else.
+MachineConfig from_name(const std::string& name);
+
 /// Cray T3D partition of p virtual processors on a 512-node torus.  The
 /// logical mesh view is the most balanced factorization rows*cols == p with
 /// rows <= cols.

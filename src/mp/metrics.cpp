@@ -12,16 +12,28 @@ IterationCounters& RankMetrics::current() {
   return iters_.back();
 }
 
-void RankMetrics::on_send(Bytes message_bytes) {
+PhaseCounters& RankMetrics::phase_at(int phase) {
+  SPB_CHECK(phase >= 0);
+  if (phases_.size() <= static_cast<std::size_t>(phase))
+    phases_.resize(static_cast<std::size_t>(phase) + 1);
+  return phases_[static_cast<std::size_t>(phase)];
+}
+
+void RankMetrics::on_send(Bytes message_bytes, int phase) {
   ++sends_;
   bytes_sent_ += message_bytes;
   auto& it = current();
   ++it.sends;
   it.bytes += message_bytes;
+  if (phase >= 0) {
+    auto& ph = phase_at(phase);
+    ++ph.sends;
+    ph.bytes_sent += message_bytes;
+  }
 }
 
-void RankMetrics::on_recv(Bytes message_bytes, bool blocked,
-                          SimTime wait_us) {
+void RankMetrics::on_recv(Bytes message_bytes, bool blocked, SimTime wait_us,
+                          int phase) {
   ++recvs_;
   bytes_received_ += message_bytes;
   if (blocked) {
@@ -31,6 +43,26 @@ void RankMetrics::on_recv(Bytes message_bytes, bool blocked,
   auto& it = current();
   ++it.recvs;
   it.bytes += message_bytes;
+  if (phase >= 0) {
+    auto& ph = phase_at(phase);
+    ++ph.recvs;
+    ph.bytes_received += message_bytes;
+    if (blocked) {
+      ++ph.waits;
+      ph.wait_us += wait_us;
+    }
+  }
+}
+
+void RankMetrics::on_compute(SimTime us, int phase) {
+  compute_us_ += us;
+  if (phase >= 0) phase_at(phase).compute_us += us;
+}
+
+void RankMetrics::phase_begin(int phase) { ++phase_at(phase).entries; }
+
+void RankMetrics::phase_span(int phase, SimTime span_us) {
+  phase_at(phase).span_us += span_us;
 }
 
 void RankMetrics::mark_iteration() {
@@ -56,6 +88,31 @@ double RankMetrics::avg_message_bytes() const {
   if (n == 0) return 0;
   return static_cast<double>(bytes_sent_ + bytes_received_) /
          static_cast<double>(n);
+}
+
+std::vector<PhaseTotals> PhaseTotals::aggregate(
+    const std::vector<RankMetrics>& ranks,
+    const std::vector<std::string>& names) {
+  std::vector<PhaseTotals> out(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) out[i].name = names[i];
+  for (const auto& r : ranks) {
+    const auto& phases = r.phases();
+    for (std::size_t i = 0; i < phases.size() && i < out.size(); ++i) {
+      const PhaseCounters& c = phases[i];
+      PhaseTotals& t = out[i];
+      t.entries += c.entries;
+      t.sends += c.sends;
+      t.recvs += c.recvs;
+      t.waits += c.waits;
+      t.bytes_sent += c.bytes_sent;
+      t.bytes_received += c.bytes_received;
+      t.wait_us += c.wait_us;
+      t.compute_us += c.compute_us;
+      t.total_span_us += c.span_us;
+      t.max_span_us = std::max(t.max_span_us, c.span_us);
+    }
+  }
+  return out;
 }
 
 RunMetrics RunMetrics::aggregate(const std::vector<RankMetrics>& ranks) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -29,13 +30,35 @@ struct IterationCounters {
   bool active() const { return sends + recvs > 0; }
 };
 
+/// Counters for one annotated algorithm phase of one rank (see
+/// Comm::begin_phase).  Operations are attributed to the innermost open
+/// phase only, so per-phase numbers sum to the rank totals plus whatever
+/// happened outside any phase.
+struct PhaseCounters {
+  std::uint64_t entries = 0;  // begin_phase() calls for this phase name
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t waits = 0;
+  Bytes bytes_sent = 0;
+  Bytes bytes_received = 0;
+  SimTime wait_us = 0;
+  SimTime compute_us = 0;
+  SimTime span_us = 0;  // wall-clock begin..end, summed over entries
+};
+
 /// Counters for one rank over a whole run.
 class RankMetrics {
  public:
-  void on_send(Bytes message_bytes);
-  void on_recv(Bytes message_bytes, bool blocked, SimTime wait_us);
-  void on_compute(SimTime us) { compute_us_ += us; }
+  void on_send(Bytes message_bytes, int phase = -1);
+  void on_recv(Bytes message_bytes, bool blocked, SimTime wait_us,
+               int phase = -1);
+  void on_compute(SimTime us, int phase = -1);
   void mark_iteration();
+
+  // Phase bookkeeping (driven by Comm::begin_phase/end_phase; phase ids are
+  // interned runtime-wide, see Runtime::phase_id).
+  void phase_begin(int phase);
+  void phase_span(int phase, SimTime span_us);
 
   // Fault-injection bookkeeping (sender side for drops/retransmits,
   // receiver side for suppressed duplicates); all stay zero without faults.
@@ -68,11 +91,16 @@ class RankMetrics {
   /// Completed iterations, plus the trailing partial one if non-empty.
   const std::vector<IterationCounters>& iterations() const { return iters_; }
 
+  /// Per-phase counters, indexed by interned phase id (may be shorter than
+  /// the runtime's phase table if this rank never entered later phases).
+  const std::vector<PhaseCounters>& phases() const { return phases_; }
+
   /// Closes the trailing iteration; called by the runtime at the end.
   void finalize();
 
  private:
   IterationCounters& current();
+  PhaseCounters& phase_at(int phase);
 
   std::uint64_t sends_ = 0;
   std::uint64_t recvs_ = 0;
@@ -85,7 +113,31 @@ class RankMetrics {
   SimTime wait_us_ = 0;
   SimTime compute_us_ = 0;
   std::vector<IterationCounters> iters_;
+  std::vector<PhaseCounters> phases_;
   bool finalized_ = false;
+};
+
+/// One row of the per-run phase table: PhaseCounters aggregated over all
+/// ranks, carrying the interned phase name so consumers (spb_report, the
+/// obs exporters) need no access to the runtime.
+struct PhaseTotals {
+  std::string name;
+  std::uint64_t entries = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t waits = 0;
+  Bytes bytes_sent = 0;
+  Bytes bytes_received = 0;
+  SimTime wait_us = 0;
+  SimTime compute_us = 0;
+  /// Sum over ranks of per-rank phase spans (busy-time view).
+  SimTime total_span_us = 0;
+  /// Max over ranks of per-rank phase span (critical-path view).
+  SimTime max_span_us = 0;
+
+  static std::vector<PhaseTotals> aggregate(
+      const std::vector<RankMetrics>& ranks,
+      const std::vector<std::string>& names);
 };
 
 /// Whole-run aggregation over all ranks.

@@ -76,6 +76,38 @@ Comm::MergeAwaiter Comm::merge(Payload& into, Payload add, bool dedup) {
 
 void Comm::mark_iteration() { metrics_.mark_iteration(); }
 
+void Comm::begin_phase(std::string_view name) {
+  const int id = rt_->phase_id(name);
+  metrics_.phase_begin(id);
+  phase_stack_.push_back(OpenPhase{id, rt_->sim_.now()});
+  if (rt_->trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kPhaseBegin;
+    e.rank = rank_;
+    e.begin_us = e.end_us = rt_->sim_.now();
+    e.phase = id;
+    rt_->trace_.record(e);
+  }
+}
+
+void Comm::end_phase() {
+  SPB_REQUIRE(!phase_stack_.empty(),
+              "rank " << rank_ << ": end_phase() without begin_phase()");
+  const OpenPhase open = phase_stack_.back();
+  phase_stack_.pop_back();
+  const SimTime now = rt_->sim_.now();
+  metrics_.phase_span(open.id, now - open.began);
+  if (rt_->trace_enabled_) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kPhaseEnd;
+    e.rank = rank_;
+    e.begin_us = open.began;  // the exporter emits one complete event
+    e.end_us = now;
+    e.phase = open.id;
+    rt_->trace_.record(e);
+  }
+}
+
 void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
   Comm& c = *comm;
   Runtime& rt = *c.rt_;
@@ -95,7 +127,7 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
         msg.payload.total_bytes());
   }
 
-  c.metrics_.on_send(msg.wire_bytes);
+  c.metrics_.on_send(msg.wire_bytes, c.current_phase());
 
   // Message faults need a per-(src, dst) sequence number for duplicate
   // suppression; seq_ is only sized when the plan asks for them.
@@ -126,6 +158,7 @@ void Comm::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
     e.begin_us = rt.sim_.now();
     e.end_us = t.inject_done;
     e.arrive_us = t.arrive;
+    e.phase = c.current_phase();
     rt.trace_.record(e);
   }
 
@@ -180,7 +213,8 @@ Message Comm::RecvAwaiter::await_resume() {
         chunk_sources_of(result.payload), result.payload.total_bytes());
   }
   c.metrics_.on_recv(result.wire_bytes, blocked,
-                     blocked ? result.arrived_at - called_at : 0.0);
+                     blocked ? result.arrived_at - called_at : 0.0,
+                     c.current_phase());
   if (c.rt_->trace_enabled_) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kRecv;
@@ -191,6 +225,7 @@ Message Comm::RecvAwaiter::await_resume() {
     e.begin_us = called_at;
     e.end_us = c.rt_->sim_.now();
     e.blocked = blocked;
+    e.phase = c.current_phase();
     c.rt_->trace_.record(e);
   }
   return std::move(result);
@@ -199,13 +234,14 @@ Message Comm::RecvAwaiter::await_resume() {
 void Comm::ComputeAwaiter::await_suspend(std::coroutine_handle<> h) {
   Runtime& rt = *comm->rt_;
   const double actual = us * rt.slowdown(comm->rank_);
-  comm->metrics_.on_compute(actual);
+  comm->metrics_.on_compute(actual, comm->current_phase());
   if (rt.trace_enabled_) {
     TraceEvent e;
     e.kind = TraceEvent::Kind::kCompute;
     e.rank = comm->rank_;
     e.begin_us = rt.sim_.now();
     e.end_us = rt.sim_.now() + actual;
+    e.phase = comm->current_phase();
     rt.trace_.record(e);
   }
   rt.sim_.after(actual, [h]() { h.resume(); });
@@ -290,6 +326,15 @@ Message Runtime::unstash_inflight(std::uint32_t slot) {
   Message m = std::move(inflight_[slot]);
   inflight_free_.push_back(slot);
   return m;
+}
+
+int Runtime::phase_id(std::string_view name) {
+  SPB_REQUIRE(!name.empty(), "phase names must be non-empty");
+  // Runs annotate a handful of phases; a linear scan beats a map here.
+  for (std::size_t i = 0; i < phase_names_.size(); ++i)
+    if (phase_names_[i] == name) return static_cast<int>(i);
+  phase_names_.emplace_back(name);
+  return static_cast<int>(phase_names_.size() - 1);
 }
 
 void Runtime::after_reserve(std::uint32_t slot, int attempt,
@@ -450,13 +495,34 @@ RunOutcome Runtime::run() {
   for (Rank r = 0; r < p; ++r) {
     out.makespan_us =
         std::max(out.makespan_us, done_at_[static_cast<std::size_t>(r)]);
-    comms_[static_cast<std::size_t>(r)]->metrics_.finalize();
+    // Close phases a program left open, crediting them up to its own
+    // completion time, so the phase table is total even for algorithms
+    // that end mid-phase.
+    Comm& c = *comms_[static_cast<std::size_t>(r)];
+    while (!c.phase_stack_.empty()) {
+      const Comm::OpenPhase open = c.phase_stack_.back();
+      c.phase_stack_.pop_back();
+      const SimTime end = done_at_[static_cast<std::size_t>(r)];
+      c.metrics_.phase_span(open.id, end - open.began);
+      if (trace_enabled_) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kPhaseEnd;
+        e.rank = r;
+        e.begin_us = open.began;
+        e.end_us = end;
+        e.phase = open.id;
+        trace_.record(e);
+      }
+    }
+    c.metrics_.finalize();
   }
   std::vector<RankMetrics> per_rank;
   per_rank.reserve(static_cast<std::size_t>(p));
   for (Rank r = 0; r < p; ++r)
     per_rank.push_back(comms_[static_cast<std::size_t>(r)]->metrics_);
   out.metrics = RunMetrics::aggregate(per_rank);
+  out.phases = PhaseTotals::aggregate(per_rank, phase_names_);
+  if (trace_enabled_) trace_.set_phase_names(phase_names_);
   out.network = net_.stats();
   const int links = net_.topology().link_space();
   out.link_busy_us.reserve(static_cast<std::size_t>(links));

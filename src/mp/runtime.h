@@ -28,6 +28,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -81,6 +82,10 @@ struct RunOutcome {
   std::uint64_t events = 0;
   /// High-water mark of the simulator's pending-event queue.
   std::size_t peak_queue_depth = 0;
+  /// Per-phase table (empty unless the algorithm annotated phases through
+  /// Comm::begin_phase); rows are indexed by interned phase id and carry
+  /// the phase names.
+  std::vector<PhaseTotals> phases;
 };
 
 class Runtime;
@@ -177,6 +182,22 @@ class Comm {
   /// Starts a new metrics iteration (see mp/metrics.h).
   void mark_iteration();
 
+  // --- phase annotation -------------------------------------------------
+  // Algorithms bracket their stages ("gather", "bcast", per-dimension
+  // rounds ...) so metrics and exported timelines break down by stage.
+  // Phases nest; operations are attributed to the innermost open phase.
+  // Names are interned runtime-wide, so every rank calling
+  // begin_phase("gather") lands in the same table row.  Phases left open
+  // when a program finishes are closed automatically at its completion
+  // time.
+
+  void begin_phase(std::string_view name);
+  void end_phase();
+  /// Interned id of the innermost open phase (-1 = outside any phase).
+  int current_phase() const {
+    return phase_stack_.empty() ? -1 : phase_stack_.back().id;
+  }
+
   const RankMetrics& metrics() const { return metrics_; }
 
  private:
@@ -187,6 +208,12 @@ class Comm {
   Rank rank_;
   Mailbox mailbox_;
   RankMetrics metrics_;
+
+  struct OpenPhase {
+    int id;
+    SimTime began;
+  };
+  std::vector<OpenPhase> phase_stack_;
 
   /// The single receive this rank's coroutine may be parked on.
   struct PendingRecv {
@@ -232,6 +259,16 @@ class Runtime {
   void enable_trace() { trace_enabled_ = true; }
   const Trace& trace() const { return trace_; }
 
+  /// Installs a per-link usage accumulator on the network model (before
+  /// run()); see net::LinkUsageProbe.  Null (the default) keeps the
+  /// zero-cost path — mirror of the fault-plan hook.
+  void set_link_probe(net::LinkUsageProbe* probe) {
+    net_.set_usage_probe(probe);
+  }
+
+  /// Phase names interned by Comm::begin_phase, indexed by phase id.
+  const std::vector<std::string>& phase_names() const { return phase_names_; }
+
   /// Enables symbolic schedule recording (before run()); see mp/schedule.h.
   /// The schedule survives a DeadlockError thrown by run(), which is what
   /// the static analyzer inspects for hung programs.
@@ -268,6 +305,9 @@ class Runtime {
   std::uint32_t stash_inflight(Message msg);
   Message unstash_inflight(std::uint32_t slot);
 
+  /// Interns a phase name (runtime-wide, so ids agree across ranks).
+  int phase_id(std::string_view name);
+
   sim::Simulator sim_;
   net::NetworkModel net_;
   CommParams params_;
@@ -283,6 +323,7 @@ class Runtime {
   bool ran_ = false;
   bool trace_enabled_ = false;
   Trace trace_;
+  std::vector<std::string> phase_names_;
   bool schedule_enabled_ = false;
   Schedule schedule_;
 };

@@ -28,14 +28,33 @@ std::string Trace::render_timeline(int ranks, int columns) const {
   std::vector<std::string> rows(static_cast<std::size_t>(ranks),
                                 std::string(static_cast<std::size_t>(columns),
                                             '.'));
+  // Events painting the same bucket must not erase rarer, more informative
+  // marks: a single dropped attempt ('x') spans far less time than the
+  // surrounding sends, so at coarse columns whichever event was recorded
+  // last used to win the bucket.  Rank the marks and only overwrite upward.
+  const auto priority = [](char mark) -> int {
+    switch (mark) {
+      case '.': return 0;
+      case 'c': return 1;
+      case 'r': return 2;
+      case 'w': return 3;
+      case 'S': return 4;
+      case 'R': return 5;
+      case 'x': return 6;
+      default: return 0;
+    }
+  };
   const auto paint = [&](Rank r, SimTime from, SimTime to, char mark) {
     if (r < 0 || r >= ranks || to <= from) return;
     int lo = static_cast<int>(from / per_bucket);
     int hi = static_cast<int>((to - 1e-12) / per_bucket);
     lo = std::clamp(lo, 0, columns - 1);
     hi = std::clamp(hi, 0, columns - 1);
-    for (int c = lo; c <= hi; ++c)
-      rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+    for (int c = lo; c <= hi; ++c) {
+      char& cell =
+          rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      if (priority(mark) >= priority(cell)) cell = mark;
+    }
   };
 
   for (const TraceEvent& e : events_) {
@@ -59,6 +78,9 @@ std::string Trace::render_timeline(int ranks, int columns) const {
       case TraceEvent::Kind::kRetransmit:
         paint(e.rank, e.begin_us, e.end_us, 'R');
         break;
+      case TraceEvent::Kind::kPhaseBegin:
+      case TraceEvent::Kind::kPhaseEnd:
+        break;  // zero-width markers; the Chrome exporter renders them
     }
   }
 

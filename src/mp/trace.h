@@ -1,7 +1,8 @@
 // Optional execution tracing: when enabled on a Runtime, every send,
 // receive and compute burst is recorded with its timing, giving exact
 // communication timelines (see examples/timeline for an ASCII Gantt
-// rendering, and the tests for programmatic use).
+// rendering, src/obs for the Chrome-trace/Perfetto export, and the tests
+// for programmatic use).
 #pragma once
 
 #include <string>
@@ -15,7 +16,17 @@ struct TraceEvent {
   /// kDrop and kRetransmit only appear in fault-injection runs: a drop is a
   /// transmission attempt lost in transit, a retransmit the follow-up
   /// attempt (or the duplicate provoked by a lost acknowledgement).
-  enum class Kind { kSend, kRecv, kCompute, kDrop, kRetransmit };
+  /// kPhaseBegin/kPhaseEnd bracket the algorithm phases annotated through
+  /// Comm::begin_phase(); `phase` indexes Trace::phase_names().
+  enum class Kind {
+    kSend,
+    kRecv,
+    kCompute,
+    kDrop,
+    kRetransmit,
+    kPhaseBegin,
+    kPhaseEnd
+  };
 
   Kind kind = Kind::kSend;
   Rank rank = kNoRank;   // who performed the operation
@@ -24,14 +35,19 @@ struct TraceEvent {
   Bytes wire_bytes = 0;  // 0 for compute
 
   /// kSend: issue time.  kRecv: post time.  kCompute: start time.
+  /// kPhaseBegin/kPhaseEnd: phase begin time.
   SimTime begin_us = 0;
   /// kSend: injection complete (sender released).  kRecv: message handed
-  /// to the program.  kCompute: end of the burst.
+  /// to the program.  kCompute: end of the burst.  kPhaseEnd: phase end.
   SimTime end_us = 0;
   /// kSend only: when the complete message reached the destination.
   SimTime arrive_us = 0;
   /// kRecv only: whether the program had to block for the message.
   bool blocked = false;
+  /// The innermost phase active when the event was recorded (id into
+  /// Trace::phase_names(); -1 = outside any phase).  For kPhaseBegin /
+  /// kPhaseEnd, the phase being opened or closed.
+  int phase = -1;
 };
 
 class Trace {
@@ -42,6 +58,13 @@ class Trace {
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
 
+  /// Phase names interned by the runtime (index = TraceEvent::phase).
+  /// Filled in by Runtime::run() when tracing is enabled.
+  const std::vector<std::string>& phase_names() const { return phases_; }
+  void set_phase_names(std::vector<std::string> names) {
+    phases_ = std::move(names);
+  }
+
   /// Events of one rank, in recording (time) order.
   std::vector<TraceEvent> for_rank(Rank r) const;
 
@@ -51,12 +74,15 @@ class Trace {
   /// ASCII Gantt chart: one row per rank, `columns` time buckets; 'S' =
   /// sending (injection), 'w' = blocked waiting for a message, 'r' =
   /// receive processing, 'c' = computing, 'x' = attempt lost in transit,
-  /// 'R' = retransmitting, '.' = idle.  Later operations overwrite earlier
-  /// marks within a bucket.
+  /// 'R' = retransmitting, '.' = idle.  Marks carry a priority ('x' over
+  /// 'R' over ordinary operations), so rare fault marks stay visible at
+  /// coarse columns instead of being overwritten by whatever painted the
+  /// bucket last.
   std::string render_timeline(int ranks, int columns) const;
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<std::string> phases_;
 };
 
 }  // namespace spb::mp

@@ -93,6 +93,17 @@ void NetworkModel::set_fault_plan(fault::FaultPlanPtr plan) {
   last_window_ = 0;
 }
 
+void NetworkModel::set_usage_probe(LinkUsageProbe* probe) {
+  if (probe != nullptr) {
+    SPB_REQUIRE(params_.model_contention,
+                "link-usage probe needs contention modelling on");
+    SPB_REQUIRE(probe->link_space() == topo_->link_space(),
+                "link-usage probe sized for " << probe->link_space()
+                    << " links, topology has " << topo_->link_space());
+  }
+  probe_ = probe;
+}
+
 void NetworkModel::roll_window(SimTime ready) {
   const std::uint64_t w = plan_->window_index(ready);
   if (w == last_window_) return;
@@ -203,6 +214,14 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   ej.busy_us += serialize;
   for (const LinkId l : path) {
     Channel& c = links_[static_cast<std::size_t>(l)];
+    if (probe_ != nullptr) {
+      const auto i = static_cast<std::size_t>(l);
+      // Queue time must be read off before free_at moves: it is how long
+      // this transfer waited on this particular link.
+      if (c.free_at > ready) probe_->queued_us[i] += c.free_at - ready;
+      probe_->busy_us[i] += serialize;
+      ++probe_->reservations[i];
+    }
     c.free_at = until;
     c.busy_us += serialize;
     stats_.max_link_busy_us = std::max(stats_.max_link_busy_us, c.busy_us);

@@ -76,6 +76,29 @@ struct NetworkStats {
   double degraded_link_us = 0;  // extra serialization paid to degraded links
 };
 
+/// Per-link usage accumulator, filled by NetworkModel::reserve when
+/// installed via set_usage_probe.  Mirrors the fault-plan hook: the model
+/// holds a raw pointer, null by default, so unobserved runs pay nothing.
+/// All vectors are indexed by LinkId over the topology's link space.
+struct LinkUsageProbe {
+  /// Serialization time each link spent occupied by transfers.
+  std::vector<double> busy_us;
+  /// Time transfers spent waiting because a link on their path was still
+  /// held by an earlier reservation (each stalled transfer charges its full
+  /// stall to every link of its path that was busy at its ready time).
+  std::vector<double> queued_us;
+  /// Number of reservations that crossed each link.
+  std::vector<std::uint64_t> reservations;
+
+  explicit LinkUsageProbe(int link_space)
+      : busy_us(static_cast<std::size_t>(link_space), 0.0),
+        queued_us(static_cast<std::size_t>(link_space), 0.0),
+        reservations(static_cast<std::size_t>(link_space), 0) {}
+  LinkUsageProbe() = default;
+
+  int link_space() const { return static_cast<int>(busy_us.size()); }
+};
+
 class NetworkModel {
  public:
   NetworkModel(std::shared_ptr<const Topology> topo, NetParams params);
@@ -89,6 +112,13 @@ class NetworkModel {
   /// plan must have been built for this topology's link space.
   void set_fault_plan(fault::FaultPlanPtr plan);
   const fault::FaultPlanPtr& fault_plan() const { return plan_; }
+
+  /// Installs (or clears, with nullptr) a link-usage accumulator.  The
+  /// probe must outlive the model (or be cleared first) and span this
+  /// topology's link space.  Contention modelling must be on — without
+  /// reservations there is nothing to observe.
+  void set_usage_probe(LinkUsageProbe* probe);
+  const LinkUsageProbe* usage_probe() const { return probe_; }
 
   const Topology& topology() const { return *topo_; }
   const NetParams& params() const { return params_; }
@@ -135,6 +165,7 @@ class NetworkModel {
   std::vector<Channel> eject_;    // node * eject_channels + idx
   NetworkStats stats_;
   fault::FaultPlanPtr plan_;      // null = no faults, zero overhead
+  LinkUsageProbe* probe_ = nullptr;  // null = no accounting, zero overhead
   std::uint64_t last_window_ = 0;
   // Detour memo: packed (src, dst) -> alternate route; an empty vector
   // records "primary is no worse, keep it".

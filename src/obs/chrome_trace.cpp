@@ -1,0 +1,210 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace spb::obs {
+
+namespace {
+
+/// One emitted trace record, pre-sorted before serialization.
+struct Rec {
+  int tid = 0;
+  double ts = 0;
+  double dur = 0;  // slices only
+  char ph = 'X';   // 'X' slice, 's'/'f' flow, 'i' instant
+  int seq = 0;     // recording order, the sort tiebreaker
+  std::string name;
+  const char* cat = "comm";
+  std::uint64_t flow_id = 0;  // 's'/'f' only
+  // Slice/instant args (all optional).
+  bool has_comm_args = false;
+  int tag = 0;
+  Bytes wire_bytes = 0;
+  double arrive_us = 0;  // sends only (0 = omit)
+  bool show_blocked = false;
+  bool blocked = false;
+  std::string phase;  // attributed phase name ("" = none)
+};
+
+std::string rank_label(Rank r) { return "r" + std::to_string(r); }
+
+void write_rec(JsonWriter& w, const Rec& r) {
+  w.begin_object();
+  w.field("name", std::string_view(r.name));
+  w.field("cat", r.cat);
+  char ph[2] = {r.ph, 0};
+  w.field("ph", static_cast<const char*>(ph));
+  w.field("pid", 0);
+  w.field("tid", r.tid);
+  w.field("ts", r.ts, 3);
+  if (r.ph == 'X') w.field("dur", r.dur, 3);
+  if (r.ph == 's' || r.ph == 'f') {
+    w.field("id", r.flow_id);
+    if (r.ph == 'f') w.field("bp", "e");
+  }
+  if (r.ph == 'i') w.field("s", "t");  // thread-scoped instant
+  if (r.has_comm_args || !r.phase.empty()) {
+    w.key("args");
+    w.begin_object();
+    if (r.has_comm_args) {
+      w.field("tag", r.tag);
+      w.field("wire_bytes", static_cast<std::uint64_t>(r.wire_bytes));
+      if (r.arrive_us > 0) w.field("arrive_us", r.arrive_us, 3);
+      if (r.show_blocked) w.field("blocked", r.blocked);
+    }
+    if (!r.phase.empty()) w.field("phase", std::string_view(r.phase));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const mp::Trace& trace,
+                        std::string_view process_name) {
+  using Kind = mp::TraceEvent::Kind;
+  const auto& names = trace.phase_names();
+  const auto phase_name = [&names](int id) -> std::string {
+    if (id < 0 || id >= static_cast<int>(names.size())) return {};
+    return names[static_cast<std::size_t>(id)];
+  };
+
+  // Flow arrows pair FIFO per (src, dst, tag) — the runtime's own matching
+  // order (see header).
+  std::map<std::tuple<Rank, Rank, int>, std::deque<std::uint64_t>> inflight;
+  std::uint64_t next_flow = 1;
+
+  std::vector<Rec> recs;
+  recs.reserve(trace.size() * 2);
+  Rank max_rank = -1;
+  int seq = 0;
+  for (const mp::TraceEvent& e : trace.events()) {
+    max_rank = std::max(max_rank, e.rank);
+    Rec r;
+    r.tid = e.rank;
+    r.ts = e.begin_us;
+    r.dur = e.end_us - e.begin_us;
+    r.seq = seq++;
+    r.phase = phase_name(e.phase);
+    switch (e.kind) {
+      case Kind::kSend: {
+        r.name = "send -> " + rank_label(e.peer);
+        r.has_comm_args = true;
+        r.tag = e.tag;
+        r.wire_bytes = e.wire_bytes;
+        r.arrive_us = e.arrive_us;
+        recs.push_back(r);
+        Rec flow;
+        flow.ph = 's';
+        flow.tid = e.rank;
+        flow.ts = e.begin_us;
+        flow.seq = r.seq;
+        flow.name = "msg";
+        flow.flow_id = next_flow;
+        inflight[{e.rank, e.peer, e.tag}].push_back(next_flow);
+        ++next_flow;
+        recs.push_back(std::move(flow));
+        break;
+      }
+      case Kind::kRecv: {
+        r.name = "recv <- " + rank_label(e.peer);
+        r.has_comm_args = true;
+        r.tag = e.tag;
+        r.wire_bytes = e.wire_bytes;
+        r.show_blocked = true;
+        r.blocked = e.blocked;
+        recs.push_back(r);
+        auto it = inflight.find({e.peer, e.rank, e.tag});
+        if (it != inflight.end() && !it->second.empty()) {
+          Rec flow;
+          flow.ph = 'f';
+          flow.tid = e.rank;
+          flow.ts = e.end_us;
+          flow.seq = r.seq;
+          flow.name = "msg";
+          flow.flow_id = it->second.front();
+          it->second.pop_front();
+          recs.push_back(std::move(flow));
+        }
+        break;
+      }
+      case Kind::kCompute:
+        r.name = "compute";
+        recs.push_back(std::move(r));
+        break;
+      case Kind::kDrop:
+        r.ph = 'i';
+        r.cat = "fault";
+        r.name = "drop -> " + rank_label(e.peer);
+        recs.push_back(std::move(r));
+        break;
+      case Kind::kRetransmit:
+        r.ph = 'i';
+        r.cat = "fault";
+        r.name = "retransmit -> " + rank_label(e.peer);
+        recs.push_back(std::move(r));
+        break;
+      case Kind::kPhaseBegin:
+        break;  // the matching kPhaseEnd carries the full span
+      case Kind::kPhaseEnd:
+        r.cat = "phase";
+        r.name = r.phase.empty() ? "phase" : r.phase;
+        r.phase.clear();  // the name already says it
+        recs.push_back(std::move(r));
+        break;
+    }
+  }
+
+  // Per-track monotone timestamps; equal-ts slices order longest-first so
+  // enclosing phases precede the operations they contain.
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.dur != b.dur) return a.dur > b.dur;
+    return a.seq < b.seq;
+  });
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  {
+    // Process metadata, then one thread_name record per rank track.
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field("name", process_name);
+    w.end_object();
+    w.end_object();
+    for (Rank r = 0; r <= max_rank; ++r) {
+      w.begin_object();
+      w.field("name", "thread_name");
+      w.field("ph", "M");
+      w.field("pid", 0);
+      w.field("tid", r);
+      w.key("args");
+      w.begin_object();
+      w.field("name", std::string_view("rank " + std::to_string(r)));
+      w.end_object();
+      w.end_object();
+    }
+  }
+  for (const Rec& r : recs) write_rec(w, r);
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace spb::obs

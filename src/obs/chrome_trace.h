@@ -1,0 +1,34 @@
+// Chrome-trace / Perfetto export of an mp::Trace.
+//
+// Mapping (Trace Event Format, JSON array form — load the file in
+// https://ui.perfetto.dev or chrome://tracing):
+//
+//   rank r             -> track (pid 0, tid r), named "rank r"
+//   kSend              -> "X" complete event "send -> r<dst>" + a flow
+//                         start ("s") bound inside the slice
+//   kRecv              -> "X" complete event "recv <- r<src>" + the flow
+//                         finish ("f"), drawing the send->recv arrow
+//   kCompute           -> "X" complete event "compute"
+//   kDrop/kRetransmit  -> "i" instant events on the sender's track
+//   phases             -> "X" complete events named after the phase,
+//                         enclosing the operations they attribute
+//
+// Flow arrows pair sends and receives FIFO per (src, dst, tag) — exactly
+// the runtime's matching order (guaranteed delivery, duplicate suppression
+// and per-pair mailbox sequencing make this sound even under fault
+// injection).  Events are emitted sorted by (track, ts), so consumers that
+// expect monotone timestamps per track need no post-sorting.
+#pragma once
+
+#include <ostream>
+
+#include "mp/trace.h"
+
+namespace spb::obs {
+
+/// Writes `trace` as a complete Trace-Event-Format JSON document.
+/// `process_name` labels the single emitted process (e.g. the algorithm).
+void write_chrome_trace(std::ostream& os, const mp::Trace& trace,
+                        std::string_view process_name = "mppsim");
+
+}  // namespace spb::obs

@@ -1,0 +1,92 @@
+#include "obs/heatmap.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str.h"
+
+namespace spb::obs {
+
+namespace {
+
+/// Per-node max over its outgoing links, as digits scaled to global_max.
+std::string grid_digits(const net::Mesh2D& mesh,
+                        const std::vector<double>& per_link,
+                        double global_max) {
+  const int slots = mesh.slots_per_node();
+  std::string out;
+  for (int row = 0; row < mesh.rows(); ++row) {
+    out += "  ";
+    for (int col = 0; col < mesh.cols(); ++col) {
+      const NodeId n = row * mesh.cols() + col;
+      double v = 0;
+      for (int s = 0; s < slots; ++s) {
+        const auto l = static_cast<std::size_t>(n * slots + s);
+        v = std::max(v, per_link[l]);
+      }
+      const int digit =
+          global_max > 0 ? std::min(9, static_cast<int>(v / global_max *
+                                                        9.999))
+                         : 0;
+      out += static_cast<char>('0' + digit);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_link_heatmap(const net::Topology& topo,
+                                const net::LinkUsageProbe& usage,
+                                int top_n) {
+  SPB_REQUIRE(usage.link_space() == topo.link_space(),
+              "usage probe does not match the topology");
+  const auto links = static_cast<std::size_t>(topo.link_space());
+
+  double max_busy = 0;
+  double max_queued = 0;
+  for (std::size_t l = 0; l < links; ++l) {
+    max_busy = std::max(max_busy, usage.busy_us[l]);
+    max_queued = std::max(max_queued, usage.queued_us[l]);
+  }
+
+  std::string out;
+  out += "link utilization on " + topo.name() + " (hottest link " +
+         fixed(max_busy, 0) + " us busy, " + fixed(max_queued, 0) +
+         " us queued)\n";
+
+  if (const auto* mesh = dynamic_cast<const net::Mesh2D*>(&topo)) {
+    out += "per-node hottest outgoing link, busy time 0..9:\n";
+    out += grid_digits(*mesh, usage.busy_us, max_busy);
+    out += "per-node hottest outgoing link, queue time 0..9:\n";
+    out += grid_digits(*mesh, usage.queued_us, max_queued);
+  }
+
+  // Hottest links by busy time, ties by id for determinism.
+  std::vector<std::size_t> order(links);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&usage](std::size_t a,
+                                                 std::size_t b) {
+    if (usage.busy_us[a] != usage.busy_us[b])
+      return usage.busy_us[a] > usage.busy_us[b];
+    return a < b;
+  });
+
+  out += "hottest links:\n";
+  int shown = 0;
+  for (const std::size_t l : order) {
+    if (shown >= top_n || usage.busy_us[l] <= 0) break;
+    ++shown;
+    out += "  " + pad_right(topo.describe_link(static_cast<LinkId>(l)), 28) +
+           pad_left(fixed(usage.busy_us[l], 0), 10) + " us busy" +
+           pad_left(fixed(usage.queued_us[l], 0), 10) + " us queued" +
+           pad_left(std::to_string(usage.reservations[l]), 8) + " xfers\n";
+  }
+  if (shown == 0) out += "  (no link carried traffic)\n";
+  return out;
+}
+
+}  // namespace spb::obs

@@ -1,0 +1,24 @@
+// ASCII rendering of per-link utilization collected by a
+// net::LinkUsageProbe (see stop::RunOptions::link_stats).
+//
+// On a 2-D mesh the renderer draws the physical grid twice — busy time and
+// queue time — one digit 0..9 per node, scaled to the hottest link of the
+// run, so hot spots (2-Step's funnel into P0) read at a glance.  On every
+// topology it appends a "hottest links" table with busy-us, queued-us and
+// reservation counts, using Topology::describe_link for human-readable
+// link names.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace spb::obs {
+
+/// Renders `usage` over `topo`; `top_n` bounds the hottest-links table.
+std::string render_link_heatmap(const net::Topology& topo,
+                                const net::LinkUsageProbe& usage,
+                                int top_n = 8);
+
+}  // namespace spb::obs

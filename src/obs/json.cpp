@@ -1,0 +1,122 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace spb::obs {
+
+void JsonWriter::prepare_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  SPB_CHECK_MSG(stack_.empty() || stack_.back() == Scope::kArray,
+                "JSON object members need a key() first");
+  SPB_CHECK_MSG(!(stack_.empty() && wrote_top_level_),
+                "only one top-level JSON value");
+  if (!stack_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+  if (stack_.empty()) wrote_top_level_ = true;
+}
+
+void JsonWriter::begin_object() {
+  prepare_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  SPB_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                "end_object() without begin_object()");
+  SPB_CHECK_MSG(!pending_key_, "dangling key at end_object()");
+  stack_.pop_back();
+  first_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  prepare_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  SPB_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                "end_array() without begin_array()");
+  stack_.pop_back();
+  first_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  SPB_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                "key() outside an object");
+  SPB_CHECK_MSG(!pending_key_, "two keys in a row");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  write_string(k);
+  os_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::write_string(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::value(std::string_view s) {
+  prepare_value();
+  write_string(s);
+}
+
+void JsonWriter::value(bool b) {
+  prepare_value();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prepare_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prepare_value();
+  os_ << v;
+}
+
+void JsonWriter::value(double v, int decimals) {
+  prepare_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  os_ << buf;
+}
+
+}  // namespace spb::obs

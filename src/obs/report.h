@@ -1,0 +1,36 @@
+// Single-document JSON run report: one stop::run() distilled into the
+// numbers the paper argues with — timing, Figure-2 metrics, fault
+// counters, the per-phase breakdown, and a link-utilization histogram.
+// This is the payload of the spb_report CLI; tests parse it back.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "stop/run.h"
+
+namespace spb::obs {
+
+/// What was run, for the report header (the RunResult does not carry it).
+struct ReportContext {
+  std::string algorithm;
+  std::string machine;
+  std::string distribution;
+  int sources = 0;
+  Bytes message_bytes = 0;
+  int p = 0;
+  std::uint64_t seed = 1;  // distribution seed
+  std::string faults;      // textual fault spec ("" = none)
+};
+
+/// Writes the full report.  `topo` (optional) adds human-readable link
+/// names to the link table; link statistics appear only when the run was
+/// made with RunOptions::link_stats.
+void write_run_report(std::ostream& os, const ReportContext& ctx,
+                      const stop::RunResult& result,
+                      const net::Topology* topo = nullptr);
+
+}  // namespace spb::obs

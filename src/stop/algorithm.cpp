@@ -1,5 +1,7 @@
 #include "stop/algorithm.h"
 
+#include <cctype>
+
 #include "common/check.h"
 #include "stop/adaptive_repos.h"
 #include "stop/allgatherv_rd.h"
@@ -59,9 +61,34 @@ std::vector<AlgorithmPtr> all_algorithms() {
   };
 }
 
+namespace {
+
+/// Lowercase with '-' and '_' stripped: "Br_xy_source" and "br-xy-source"
+/// normalize alike, so CLI spellings need not match the paper's exactly.
+std::string normalize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-' || c == '_') continue;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  // Spelled-out aliases for names that normalization alone cannot reach.
+  if (out == "twostep") return "2step";
+  return out;
+}
+
+}  // namespace
+
 AlgorithmPtr find_algorithm(const std::string& name) {
-  for (auto& a : all_algorithms())
+  std::vector<AlgorithmPtr> all = all_algorithms();
+  for (auto& a : all)
     if (a->name() == name) return a;
+  // Fall back to normalized matching ("two_step" -> "2-Step"); exact names
+  // always win so future names cannot be shadowed by an alias.
+  const std::string want = normalize_name(name);
+  for (auto& a : all)
+    if (normalize_name(a->name()) == want) return a;
   SPB_REQUIRE(false, "unknown algorithm '" << name << "'");
   return nullptr;  // unreachable
 }

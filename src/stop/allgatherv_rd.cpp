@@ -15,7 +15,8 @@ ProgramFactory AllgathervRd::prepare(const Frame& frame) const {
     return coll::run_halving(comm, seq, frame.position_of(comm.rank()),
                              sched, data,
                              coll::HalvingOptions{.mark_iterations = true,
-                                                  .combine_cost = false});
+                                                  .combine_cost = false,
+                                                  .phase = "allgather"});
   };
 }
 

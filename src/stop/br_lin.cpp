@@ -13,7 +13,8 @@ ProgramFactory BrLin::prepare(const Frame& frame) const {
   auto seq = frame.ranks();
   return [frame, seq, sched](mp::Comm& comm, mp::Payload& data) {
     return coll::run_halving(comm, seq, frame.position_of(comm.rank()),
-                             sched, data);
+                             sched, data,
+                             coll::HalvingOptions{.phase = "halving"});
   };
 }
 
@@ -48,7 +49,8 @@ ProgramFactory BrLinSnake::prepare(const Frame& frame) const {
                                               mp::Payload& data) {
     const int my_pos = (*positions)[static_cast<std::size_t>(
         frame.position_of(comm.rank()))];
-    return coll::run_halving(comm, const_seq, my_pos, sched, data);
+    return coll::run_halving(comm, const_seq, my_pos, sched, data,
+                             coll::HalvingOptions{.phase = "halving"});
   };
 }
 

@@ -30,16 +30,16 @@ sim::Task xy_program(mp::Comm& comm, mp::Payload& data,
   const int pos_a = plan->rows_first ? col : row;
   const int line_b = plan->rows_first ? col : row;
   const int pos_b = plan->rows_first ? row : col;
-  co_await coll::run_halving(comm,
-                             plan->seq_a[static_cast<std::size_t>(line_a)],
-                             pos_a,
-                             plan->sched_a[static_cast<std::size_t>(line_a)],
-                             data);
-  co_await coll::run_halving(comm,
-                             plan->seq_b[static_cast<std::size_t>(line_b)],
-                             pos_b,
-                             plan->sched_b[static_cast<std::size_t>(line_b)],
-                             data);
+  // Phase names follow the actual dimension halved, not the plan order, so
+  // "rows" always means within-row exchanges in the exported breakdown.
+  co_await coll::run_halving(
+      comm, plan->seq_a[static_cast<std::size_t>(line_a)], pos_a,
+      plan->sched_a[static_cast<std::size_t>(line_a)], data,
+      coll::HalvingOptions{.phase = plan->rows_first ? "rows" : "cols"});
+  co_await coll::run_halving(
+      comm, plan->seq_b[static_cast<std::size_t>(line_b)], pos_b,
+      plan->sched_b[static_cast<std::size_t>(line_b)], data,
+      coll::HalvingOptions{.phase = plan->rows_first ? "cols" : "rows"});
 }
 
 }  // namespace

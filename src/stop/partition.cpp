@@ -83,6 +83,7 @@ sim::Task part_program(mp::Comm& comm, mp::Payload& data,
   const Rank me = comm.rank();
 
   // Phase 1: repositioning permutation.
+  comm.begin_phase("reposition");
   const Rank to = plan->permutation.send_target(me);
   if (to != kNoRank) {
     co_await comm.send(to, data, mp::tags::kPermute);
@@ -96,6 +97,7 @@ sim::Task part_program(mp::Comm& comm, mp::Payload& data,
     data = std::move(m.payload);
   }
   comm.mark_iteration();
+  comm.end_phase();
 
   // Phase 2: broadcast inside my group.
   const int idx = plan->index_of(me);
@@ -105,6 +107,7 @@ sim::Task part_program(mp::Comm& comm, mp::Payload& data,
   co_await base(comm, data);
 
   // Phase 3: inter-group exchange.  Sends first (eager), then receives.
+  comm.begin_phase("exchange");
   for (const Rank peer : plan->send_peers[static_cast<std::size_t>(idx)])
     co_await comm.send(peer, data, mp::tags::kExchange);
   for (const Rank peer : plan->recv_peers[static_cast<std::size_t>(idx)]) {
@@ -112,6 +115,7 @@ sim::Task part_program(mp::Comm& comm, mp::Payload& data,
     co_await comm.merge(data, std::move(m.payload));
   }
   comm.mark_iteration();
+  comm.end_phase();
 }
 
 }  // namespace

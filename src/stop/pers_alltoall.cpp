@@ -7,13 +7,26 @@
 
 namespace spb::stop {
 
+namespace {
+
+sim::Task pers_program(mp::Comm& comm, mp::Payload& data,
+                       std::shared_ptr<const std::vector<Rank>> seq,
+                       int my_pos,
+                       std::shared_ptr<const std::vector<char>> is_source) {
+  comm.begin_phase("exchange");
+  co_await coll::personalized_exchange(comm, seq, my_pos, is_source, data);
+  comm.end_phase();
+}
+
+}  // namespace
+
 ProgramFactory PersAlltoAll::prepare(const Frame& frame) const {
   auto seq = frame.ranks();
   auto is_source =
       std::make_shared<const std::vector<char>>(frame.active_flags());
   return [frame, seq, is_source](mp::Comm& comm, mp::Payload& data) {
-    return coll::personalized_exchange(
-        comm, seq, frame.position_of(comm.rank()), is_source, data);
+    return pers_program(comm, data, seq, frame.position_of(comm.rank()),
+                        is_source);
   };
 }
 

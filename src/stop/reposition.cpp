@@ -87,6 +87,7 @@ sim::Task repos_program(mp::Comm& comm, mp::Payload& data,
                         std::shared_ptr<const PermutationPlan> plan,
                         std::shared_ptr<const ProgramFactory> base) {
   const Rank me = comm.rank();
+  comm.begin_phase("reposition");
   const Rank to = plan->send_target(me);
   if (to != kNoRank) {
     co_await comm.send(to, data, mp::tags::kPermute);
@@ -101,6 +102,7 @@ sim::Task repos_program(mp::Comm& comm, mp::Payload& data,
     data = std::move(m.payload);
   }
   comm.mark_iteration();
+  comm.end_phase();
   co_await (*base)(comm, data);
 }
 

@@ -17,13 +17,18 @@ RunResult run(const Algorithm& algorithm, const Problem& problem,
   SPB_CHECK(rt.size() == problem.p());
   if (options.trace) rt.enable_trace();
   if (options.record_schedule) rt.enable_schedule_recording();
+  RunResult result;
+  if (options.link_stats) {
+    result.link_usage =
+        net::LinkUsageProbe(problem.machine.topology->link_space());
+    rt.set_link_probe(&result.link_usage);
+  }
   if (options.faults.any()) {
     rt.set_fault_plan(std::make_shared<const fault::FaultPlan>(
         options.faults, options.fault_seed,
         problem.machine.topology->link_space(), problem.p()));
   }
 
-  RunResult result;
   result.final_payloads.assign(static_cast<std::size_t>(problem.p()),
                                mp::Payload{});
   for (std::size_t i = 0; i < problem.sources.size(); ++i) {

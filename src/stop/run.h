@@ -9,6 +9,7 @@
 #include "fault/fault.h"
 #include "mp/payload.h"
 #include "mp/runtime.h"
+#include "net/network.h"
 #include "stop/algorithm.h"
 #include "stop/problem.h"
 
@@ -25,6 +26,9 @@ struct RunResult {
   mp::Trace trace;
   /// Filled when RunOptions::record_schedule is set (see mp/schedule.h).
   mp::Schedule schedule;
+  /// Filled when RunOptions::link_stats is set: per-link busy/queued time
+  /// over the machine's link space (see net::LinkUsageProbe).
+  net::LinkUsageProbe link_usage;
 };
 
 struct RunOptions {
@@ -45,6 +49,57 @@ struct RunOptions {
   /// hooks cost nothing in timed runs.
   fault::FaultSpec faults{};
   std::uint64_t fault_seed = 1;
+  /// Accumulate per-link busy/queued time into RunResult::link_usage.
+  /// Off by default — the network hot path must stay probe-free in timed
+  /// benches (bench/util statically asserts this).
+  bool link_stats = false;
+};
+
+/// Fluent alternative to aggregate-initializing RunOptions — reads better
+/// when several observers are switched on:
+///
+///   stop::run(alg, pb, stop::RunConfig{}.trace().link_stats());
+///   stop::run(alg, pb, stop::RunConfig{}.no_verify().faults(spec, 7));
+///
+/// Every method returns *this by value semantics-friendly reference, and
+/// the implicit conversion lowers to the RunOptions aggregate, so both
+/// styles feed the same run().  Constexpr throughout: bench/util statically
+/// asserts RunConfig{} stays bit-identical to RunOptions{} (zero-cost
+/// defaults).
+class RunConfig {
+ public:
+  constexpr RunConfig() = default;
+
+  constexpr RunConfig& verify(bool on = true) {
+    opts_.verify = on;
+    return *this;
+  }
+  constexpr RunConfig& no_verify() { return verify(false); }
+  constexpr RunConfig& trace(bool on = true) {
+    opts_.trace = on;
+    return *this;
+  }
+  constexpr RunConfig& record_schedule(bool on = true) {
+    opts_.record_schedule = on;
+    return *this;
+  }
+  constexpr RunConfig& link_stats(bool on = true) {
+    opts_.link_stats = on;
+    return *this;
+  }
+  constexpr RunConfig& faults(const fault::FaultSpec& spec,
+                              std::uint64_t seed = 1) {
+    opts_.faults = spec;
+    opts_.fault_seed = seed;
+    return *this;
+  }
+
+  constexpr const RunOptions& options() const { return opts_; }
+  // NOLINTNEXTLINE(google-explicit-constructor): lowering is the point
+  constexpr operator RunOptions() const { return opts_; }
+
+ private:
+  RunOptions opts_{};
 };
 
 RunResult run(const Algorithm& algorithm, const Problem& problem,

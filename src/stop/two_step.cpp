@@ -21,10 +21,13 @@ sim::Task two_step_program(
     std::shared_ptr<const std::vector<Rank>> senders,
     std::shared_ptr<const std::vector<Rank>> seq, int my_pos,
     std::shared_ptr<const coll::HalvingSchedule> bcast) {
+  comm.begin_phase("gather");
   co_await coll::gather_to_root(comm, root, senders, data);
+  comm.end_phase();
   co_await coll::run_halving(comm, seq, my_pos, bcast, data,
                              coll::HalvingOptions{.mark_iterations = true,
-                                                  .combine_cost = false});
+                                                  .combine_cost = false,
+                                                  .phase = "bcast"});
 }
 
 // Pipelined variant (vendor collective): same gather, segmented broadcast.
@@ -34,10 +37,14 @@ sim::Task two_step_pipelined_program(
     std::shared_ptr<const std::vector<Rank>> seq, int my_pos,
     std::shared_ptr<const coll::BcastTree> tree, Bytes payload_bytes,
     std::size_t chunks, Bytes segment_bytes) {
+  comm.begin_phase("gather");
   co_await coll::gather_to_root(comm, root, senders, data);
+  comm.end_phase();
   const Bytes total_wire = comm.wire_bytes_for(payload_bytes, chunks);
+  comm.begin_phase("bcast");
   co_await coll::pipelined_bcast(comm, seq, my_pos, tree, data, total_wire,
                                  segment_bytes);
+  comm.end_phase();
 }
 
 }  // namespace

@@ -27,6 +27,7 @@ sim::Task uncoord_program(mp::Comm& comm, mp::Payload& data,
                           std::shared_ptr<const UncoordPlan> plan,
                           int my_pos) {
   const int s = static_cast<int>(plan->trees.size());
+  comm.begin_phase("flood");
 
   // Kick off my own tree, if I am a source (my payload is my original).
   int expected = s;
@@ -60,6 +61,7 @@ sim::Task uncoord_program(mp::Comm& comm, mp::Payload& data,
     data.merge(m.payload);
     comm.mark_iteration();
   }
+  comm.end_phase();
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// Phase annotation API: Comm::begin_phase/end_phase attribute traffic to
+// named phases, phases nest, and the aggregated phase table partitions the
+// run totals exactly when every operation happens inside a phase.
+#include "mp/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "mp/metrics.h"
+#include "net/topology.h"
+
+// Rank programs are free coroutine functions, never capturing lambdas (the
+// closure would die before the coroutine; see runtime_test.cpp).
+
+namespace spb::mp {
+namespace {
+
+net::NetParams fast_net() {
+  net::NetParams p;
+  p.alpha_us = 1.0;
+  p.per_hop_us = 0.1;
+  p.bytes_per_us = 1000.0;
+  return p;
+}
+
+CommParams plain_comm() {
+  CommParams c;
+  c.send_overhead_us = 2.0;
+  c.recv_overhead_us = 3.0;
+  c.header_bytes = 16;
+  c.chunk_header_bytes = 4;
+  return c;
+}
+
+Runtime make_runtime(int p) {
+  return Runtime(std::make_shared<net::LinearArray>(p), fast_net(),
+                 plain_comm(), net::RankMapping::identity(p));
+}
+
+sim::Task phased_sender(Comm& comm) {
+  comm.begin_phase("gather");
+  co_await comm.send(1, Payload::original(comm.rank(), 100), tags::kData);
+  comm.end_phase();
+  comm.begin_phase("bcast");
+  co_await comm.send(1, Payload::original(comm.rank(), 200), tags::kData);
+  comm.end_phase();
+}
+
+sim::Task phased_receiver(Comm& comm) {
+  comm.begin_phase("gather");
+  co_await comm.recv(0);
+  comm.end_phase();
+  comm.begin_phase("bcast");
+  co_await comm.recv(0);
+  comm.end_phase();
+}
+
+TEST(PhaseMetrics, PhaseTotalsPartitionRunTotals) {
+  Runtime rt = make_runtime(2);
+  rt.spawn(0, phased_sender(rt.comm(0)));
+  rt.spawn(1, phased_receiver(rt.comm(1)));
+  const RunOutcome out = rt.run();
+
+  ASSERT_EQ(out.phases.size(), 2u);
+  EXPECT_EQ(out.phases[0].name, "gather");
+  EXPECT_EQ(out.phases[1].name, "bcast");
+
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  Bytes sent = 0;
+  for (const auto& ph : out.phases) {
+    // Both ranks entered both phases.
+    EXPECT_EQ(ph.entries, 2u) << ph.name;
+    EXPECT_EQ(ph.sends, 1u) << ph.name;
+    EXPECT_EQ(ph.recvs, 1u) << ph.name;
+    EXPECT_GT(ph.max_span_us, 0.0) << ph.name;
+    EXPECT_GE(ph.total_span_us, ph.max_span_us) << ph.name;
+    sends += ph.sends;
+    recvs += ph.recvs;
+    sent += ph.bytes_sent;
+  }
+  // Everything happened inside a phase, so the table partitions the run.
+  EXPECT_EQ(sends, out.metrics.total_sends);
+  EXPECT_EQ(recvs, out.metrics.total_recvs);
+  EXPECT_EQ(sent, out.metrics.total_bytes_sent);
+}
+
+sim::Task nested_phases(Comm& comm) {
+  comm.begin_phase("outer");
+  co_await comm.compute(5.0);
+  comm.begin_phase("inner");
+  co_await comm.compute(7.0);
+  comm.end_phase();
+  co_await comm.compute(2.0);
+  comm.end_phase();
+}
+
+TEST(PhaseMetrics, NestedPhasesAttributeToInnermost) {
+  Runtime rt = make_runtime(1);
+  rt.spawn(0, nested_phases(rt.comm(0)));
+  const RunOutcome out = rt.run();
+
+  ASSERT_EQ(out.phases.size(), 2u);
+  const auto& outer = out.phases[0];
+  const auto& inner = out.phases[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  // Compute while "inner" is open belongs to inner only; the outer phase
+  // keeps the rest.
+  EXPECT_DOUBLE_EQ(inner.compute_us, 7.0);
+  EXPECT_DOUBLE_EQ(outer.compute_us, 7.0);  // 5 + 2
+  // The outer span covers the inner one.
+  EXPECT_GE(outer.max_span_us, inner.max_span_us);
+}
+
+sim::Task reentered_phase(Comm& comm) {
+  comm.begin_phase("loop");
+  co_await comm.compute(1.0);
+  comm.end_phase();
+  comm.begin_phase("loop");
+  co_await comm.compute(1.0);
+  comm.end_phase();
+}
+
+TEST(PhaseMetrics, ReenteringAPhaseLandsInTheSameRow) {
+  Runtime rt = make_runtime(1);
+  rt.spawn(0, reentered_phase(rt.comm(0)));
+  const RunOutcome out = rt.run();
+  ASSERT_EQ(out.phases.size(), 1u);
+  EXPECT_EQ(out.phases[0].name, "loop");
+  EXPECT_EQ(out.phases[0].entries, 2u);
+  EXPECT_DOUBLE_EQ(out.phases[0].compute_us, 2.0);
+}
+
+sim::Task unannotated(Comm& comm) { co_await comm.compute(1.0); }
+
+TEST(PhaseMetrics, NoAnnotationsNoTable) {
+  Runtime rt = make_runtime(1);
+  rt.spawn(0, unannotated(rt.comm(0)));
+  const RunOutcome out = rt.run();
+  EXPECT_TRUE(out.phases.empty());
+}
+
+}  // namespace
+}  // namespace spb::mp

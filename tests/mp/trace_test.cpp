@@ -93,6 +93,44 @@ TEST(Trace, TimelineMarksPhases) {
   EXPECT_NE(chart.find('r'), std::string::npos) << chart;
 }
 
+TEST(Trace, TimelineFaultMarksWinTheirBucket) {
+  // A drop ('x') or retransmit ('R') spans far less time than the send
+  // around it; at coarse columns both land in a send's bucket and must
+  // survive regardless of recording order.
+  Trace t;
+  TraceEvent drop;
+  drop.kind = TraceEvent::Kind::kDrop;
+  drop.rank = 0;
+  drop.begin_us = 40.0;
+  drop.end_us = 42.0;
+  t.record(drop);
+  TraceEvent send;
+  send.kind = TraceEvent::Kind::kSend;
+  send.rank = 0;
+  send.begin_us = 0.0;
+  send.end_us = 100.0;
+  t.record(send);  // recorded after the drop — used to repaint its bucket
+  TraceEvent re;
+  re.kind = TraceEvent::Kind::kRetransmit;
+  re.rank = 0;
+  re.begin_us = 80.0;
+  re.end_us = 81.0;
+  t.record(re);
+
+  const std::string chart = t.render_timeline(1, 10);
+  EXPECT_NE(chart.find('x'), std::string::npos) << chart;
+  EXPECT_NE(chart.find('R'), std::string::npos) << chart;
+  EXPECT_NE(chart.find('S'), std::string::npos) << chart;
+  // When both fault marks share one bucket the rarer drop wins: with a
+  // single column the whole run collapses into one cell and 'x' outranks
+  // 'R' whichever lands first.
+  Trace t2;
+  t2.record(re);
+  t2.record(drop);
+  const std::string chart2 = t2.render_timeline(1, 1);
+  EXPECT_NE(chart2.find('x'), std::string::npos) << chart2;
+}
+
 TEST(Trace, RenderRejectsBadGrid) {
   Trace t;
   EXPECT_THROW(t.render_timeline(0, 10), CheckError);

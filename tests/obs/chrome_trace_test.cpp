@@ -1,0 +1,157 @@
+// Chrome-trace exporter: golden file for a 4-rank 2-Step run, plus the
+// structural guarantees Perfetto relies on — a well-formed JSON document
+// and monotone slice timestamps within each rank track.
+//
+// Regenerate the golden after an intentional format change:
+//   SPB_UPDATE_GOLDEN=1 ./test_obs --gtest_filter=ChromeTrace.GoldenTwoStep4Ranks
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mini_json.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "stop/run.h"
+
+namespace spb::obs {
+namespace {
+
+stop::RunResult traced_two_step_4ranks() {
+  const auto machine = machine::paragon(2, 2);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, 2, 256);
+  return stop::run(*stop::make_two_step(false), pb,
+                   stop::RunConfig{}.verify().trace());
+}
+
+std::string golden_path() {
+  return std::string(SPB_TEST_DATA_DIR) + "/golden/two_step_4rank_trace.json";
+}
+
+TEST(ChromeTrace, GoldenTwoStep4Ranks) {
+  const stop::RunResult r = traced_two_step_4ranks();
+  std::ostringstream os;
+  write_chrome_trace(os, r.trace, "2-Step");
+  const std::string got = os.str();
+
+  if (std::getenv("SPB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << got;
+    GTEST_SKIP() << "golden updated: " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path()
+                         << " (run with SPB_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "trace format changed; regenerate with SPB_UPDATE_GOLDEN=1 if "
+         "intentional";
+}
+
+TEST(ChromeTrace, EmitsWellFormedJson) {
+  const stop::RunResult r = traced_two_step_4ranks();
+  std::ostringstream os;
+  write_chrome_trace(os, r.trace, "2-Step");
+  EXPECT_EQ(test::MiniJson::validate(os.str()), std::string::npos);
+}
+
+// Pulls every `"key":<number>` occurrence out of the serialized trace in
+// document order — enough structure to check per-track monotonicity
+// without a full JSON parser.
+std::vector<double> numbers_after(const std::string& text,
+                                  const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = 0;
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    at += needle.size();
+    out.push_back(std::stod(text.substr(at)));
+  }
+  return out;
+}
+
+TEST(ChromeTrace, TimestampsMonotonePerTrack) {
+  const stop::RunResult r = traced_two_step_4ranks();
+  std::ostringstream os;
+  write_chrome_trace(os, r.trace, "2-Step");
+  const std::string text = os.str();
+
+  // Walk record by record: records serialize as {...} entries that each
+  // carry one tid and (for slices/instants/flows) one ts.
+  std::size_t at = 0;
+  double last_ts[64];
+  for (double& t : last_ts) t = -1;
+  int slices = 0;
+  while ((at = text.find("\"tid\":", at)) != std::string::npos) {
+    at += 6;
+    const int tid = std::stoi(text.substr(at));
+    const std::size_t ts_at = text.find("\"ts\":", at);
+    const std::size_t next_tid = text.find("\"tid\":", at);
+    if (ts_at == std::string::npos ||
+        (next_tid != std::string::npos && ts_at > next_tid))
+      continue;  // metadata record without a timestamp
+    const double ts = std::stod(text.substr(ts_at + 5));
+    ASSERT_LT(tid, 64);
+    ASSERT_GE(tid, 0);
+    EXPECT_GE(ts, last_ts[tid]) << "track " << tid << " went backwards";
+    last_ts[tid] = ts;
+    ++slices;
+  }
+  EXPECT_GT(slices, 0);
+
+  // Four rank tracks named in the metadata.
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_NE(text.find("\"name\":\"rank " + std::to_string(rank) + "\""),
+              std::string::npos);
+  }
+  // Durations never negative.
+  for (const double d : numbers_after(text, "dur")) EXPECT_GE(d, 0.0);
+}
+
+TEST(ChromeTrace, FlowArrowsPairSendsWithReceives) {
+  const stop::RunResult r = traced_two_step_4ranks();
+  std::ostringstream os;
+  write_chrome_trace(os, r.trace, "2-Step");
+  const std::string text = os.str();
+
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::size_t at = 0;
+  while ((at = text.find("\"ph\":\"s\"", at)) != std::string::npos) {
+    ++starts;
+    at += 8;
+  }
+  at = 0;
+  while ((at = text.find("\"ph\":\"f\"", at)) != std::string::npos) {
+    ++finishes;
+    at += 8;
+  }
+  EXPECT_EQ(starts, r.outcome.metrics.total_sends);
+  // Every delivered message closes its arrow (no faults injected here).
+  EXPECT_EQ(finishes, r.outcome.metrics.total_recvs);
+}
+
+TEST(ChromeTrace, PhaseSlicesCarryPhaseCategory) {
+  const stop::RunResult r = traced_two_step_4ranks();
+  std::ostringstream os;
+  write_chrome_trace(os, r.trace, "2-Step");
+  const std::string text = os.str();
+  // 2-Step annotates "gather" and "bcast"; both must appear as phase
+  // slices.
+  EXPECT_NE(text.find("\"name\":\"gather\",\"cat\":\"phase\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"bcast\",\"cat\":\"phase\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace spb::obs

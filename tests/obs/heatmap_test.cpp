@@ -1,0 +1,61 @@
+// ASCII link-utilization heatmap: renders the 2-D mesh digit grids and the
+// hottest-links table from a probed run.
+#include "obs/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "stop/run.h"
+
+namespace spb::obs {
+namespace {
+
+TEST(Heatmap, RendersMeshGridsAndHottestLinks) {
+  const auto machine = machine::paragon(4, 4);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kEqual, 4, 1024);
+  const stop::RunResult r = stop::run(*stop::make_two_step(false), pb,
+                                      stop::RunConfig{}.link_stats());
+  ASSERT_GT(r.link_usage.link_space(), 0);
+
+  const std::string art =
+      render_link_heatmap(*machine.topology, r.link_usage);
+  EXPECT_NE(art.find("link utilization on"), std::string::npos) << art;
+  EXPECT_NE(art.find("per-node hottest outgoing link, busy time 0..9:"),
+            std::string::npos);
+  EXPECT_NE(art.find("hottest links:"), std::string::npos);
+  EXPECT_NE(art.find("us busy"), std::string::npos);
+  EXPECT_EQ(art.find("(no link carried traffic)"), std::string::npos);
+}
+
+TEST(Heatmap, EmptyProbeSaysNoTraffic) {
+  const auto machine = machine::paragon(2, 2);
+  net::LinkUsageProbe probe(machine.topology->link_space());
+  const std::string art = render_link_heatmap(*machine.topology, probe);
+  EXPECT_NE(art.find("(no link carried traffic)"), std::string::npos);
+}
+
+TEST(Heatmap, TopNBoundsTheTable) {
+  const auto machine = machine::paragon(4, 4);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kRow, 8, 2048);
+  const stop::RunResult r = stop::run(*stop::make_two_step(false), pb,
+                                      stop::RunConfig{}.link_stats());
+  const std::string art =
+      render_link_heatmap(*machine.topology, r.link_usage, 3);
+  // Three table rows at most: count " xfers" terminators.
+  int rows = 0;
+  std::size_t at = 0;
+  while ((at = art.find(" xfers\n", at)) != std::string::npos) {
+    ++rows;
+    at += 7;
+  }
+  EXPECT_LE(rows, 3);
+  EXPECT_GT(rows, 0);
+}
+
+}  // namespace
+}  // namespace spb::obs

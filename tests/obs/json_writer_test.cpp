@@ -1,0 +1,84 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "mini_json.h"
+
+namespace spb::obs {
+namespace {
+
+TEST(JsonWriter, NestedContainersAndCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("name", "spb");
+  w.key("series");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.field("deep", true);
+  w.end_object();
+  w.end_array();
+  w.field("n", std::uint64_t{7});
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            R"({"name":"spb","series":[1,2,{"deep":true}],"n":7})");
+  EXPECT_EQ(test::MiniJson::validate(os.str()), std::string::npos);
+}
+
+TEST(JsonWriter, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("s", std::string_view("a\"b\\c\n\t\x01"));
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+  EXPECT_EQ(test::MiniJson::validate(os.str()), std::string::npos);
+}
+
+TEST(JsonWriter, NumberFormattingIsFixedPoint) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(1234567.25, 3);
+  w.value(0.5, 1);
+  w.value(-3);
+  w.value(std::numeric_limits<double>::infinity(), 3);
+  w.value(std::nan(""), 3);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[1234567.250,0.5,-3,null,null]");
+  EXPECT_EQ(test::MiniJson::validate(os.str()), std::string::npos);
+}
+
+TEST(JsonWriter, ValueInsideObjectWithoutKeyTrips) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), CheckError);
+}
+
+TEST(JsonWriter, MismatchedEndTrips) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_THROW(w.end_array(), CheckError);
+}
+
+TEST(MiniJson, RejectsMalformedDocuments) {
+  EXPECT_NE(test::MiniJson::validate("{"), std::string::npos);
+  EXPECT_NE(test::MiniJson::validate("{\"a\":}"), std::string::npos);
+  EXPECT_NE(test::MiniJson::validate("[1,]"), std::string::npos);
+  EXPECT_NE(test::MiniJson::validate("{\"a\":1} x"), std::string::npos);
+  EXPECT_EQ(test::MiniJson::validate("{\"a\":[1,2,null]}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace spb::obs

@@ -1,0 +1,162 @@
+// Minimal JSON well-formedness checker for the exporter tests: validates
+// the full grammar the writers emit (objects, arrays, strings with
+// escapes, numbers, booleans, null) and nothing more.  Returns the error
+// position, or npos when the document parses.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace spb::test {
+
+class MiniJson {
+ public:
+  /// npos = valid document; otherwise the offset where parsing failed.
+  static std::size_t validate(const std::string& text) {
+    MiniJson p(text);
+    p.skip_ws();
+    if (!p.value()) return p.pos_;
+    p.skip_ws();
+    return p.pos_ == text.size() ? std::string::npos : p.pos_;
+  }
+
+ private:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_ - 1])) != 0;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c != 0; ++c, ++pos_)
+      if (pos_ >= text_.size() || text_[pos_] != *c) return false;
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spb::test

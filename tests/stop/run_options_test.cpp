@@ -1,4 +1,5 @@
-// RunOptions behaviour: tracing through the harness, verification toggles.
+// RunOptions behaviour: tracing through the harness, verification toggles,
+// and the fluent RunConfig builder lowering onto the same aggregate.
 #include <gtest/gtest.h>
 
 #include "stop/algorithm.h"
@@ -6,6 +7,43 @@
 
 namespace spb::stop {
 namespace {
+
+TEST(RunConfig, DefaultLowersToDefaultRunOptions) {
+  constexpr RunOptions lowered = RunConfig{};
+  static_assert(lowered.verify && !lowered.trace && !lowered.record_schedule &&
+                !lowered.link_stats);
+  EXPECT_FALSE(lowered.faults.any());
+  EXPECT_EQ(lowered.fault_seed, RunOptions{}.fault_seed);
+}
+
+TEST(RunConfig, FluentChainsSetEveryKnob) {
+  fault::FaultSpec spec;
+  spec.drop_rate = 0.25;
+  const RunOptions o = RunConfig{}
+                           .no_verify()
+                           .trace()
+                           .record_schedule()
+                           .link_stats()
+                           .faults(spec, 9);
+  EXPECT_FALSE(o.verify);
+  EXPECT_TRUE(o.trace);
+  EXPECT_TRUE(o.record_schedule);
+  EXPECT_TRUE(o.link_stats);
+  EXPECT_TRUE(o.faults.any());
+  EXPECT_EQ(o.fault_seed, 9u);
+  // Toggles take an explicit off too.
+  EXPECT_FALSE(RunConfig{}.trace().trace(false).options().trace);
+}
+
+TEST(RunConfig, FeedsRunLikeTheAggregate) {
+  const auto machine = machine::paragon(2, 3);
+  const Problem pb = make_problem(machine, dist::Kind::kEqual, 2, 256);
+  const auto alg = make_br_lin();
+  const RunResult via_config = run(*alg, pb, RunConfig{}.trace());
+  const RunResult via_aggregate = run(*alg, pb, {.verify = true, .trace = true});
+  EXPECT_DOUBLE_EQ(via_config.time_us, via_aggregate.time_us);
+  EXPECT_EQ(via_config.trace.size(), via_aggregate.trace.size());
+}
 
 TEST(RunOptions, TraceIsOffByDefaultAndOnOnRequest) {
   const auto machine = machine::paragon(2, 3);
@@ -29,8 +67,7 @@ TEST(RunOptions, TraceIsOffByDefaultAndOnOnRequest) {
 TEST(RunOptions, TraceHorizonMatchesMakespan) {
   const auto machine = machine::paragon(3, 3);
   const Problem pb = make_problem(machine, dist::Kind::kRandom, 4, 512, 8);
-  const RunResult r =
-      run(*make_br_xy_source(), pb, {.verify = true, .trace = true});
+  const RunResult r = run(*make_br_xy_source(), pb, RunConfig{}.trace());
   // The last handed-over receive is what completes the slowest rank.
   EXPECT_NEAR(r.trace.horizon_us(), r.time_us, 1e-9);
 }
