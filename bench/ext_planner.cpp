@@ -1,0 +1,187 @@
+// Extension: the cost-model planner against the measured oracle.
+//
+// For every (distribution x sources x length) combo on the paper's 16x16
+// repositioning setup, the oracle measures ALL registered algorithms in
+// the simulator and the planner picks one from the cost model alone.  The
+// planner is useful when its pick's measured time stays within a small
+// factor of the measured best — a ranking bet, not a timing bet.  On top,
+// the plan cache must (a) produce byte-identical ranked tables for any
+// --jobs fan-out and (b) absorb a seeded mixed-request replay with a high
+// hit rate (plan once, execute many).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/cache.h"
+#include "plan/planner.h"
+#include "sweep_runner.h"
+#include "util.h"
+
+// The planner must never touch the simulator: pricing a plan is pure
+// combinatorics, statically guaranteed off the timed hot path (the same
+// contract bench/util.h pins for RunOptions::record_schedule).
+static_assert(spb::plan::CostModel::kSimulatorFree,
+              "plan::CostModel must price plans without running the "
+              "simulator");
+
+namespace {
+
+using namespace spb;  // NOLINT(google-build-using-namespace): bench main
+
+struct Combo {
+  dist::Kind kind;
+  int sources;
+  Bytes len;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(
+      argc, argv,
+      {.description = "Extension: cost-model planner vs measured oracle "
+                      "(16x16 Paragon), plan-cache determinism and replay"});
+  bench::Checker check("Extension — broadcast planner, 16x16 Paragon");
+
+  const auto machine = opt.machine_or(machine::paragon(16, 16));
+  const plan::Planner planner(machine);
+  const auto algorithms = stop::all_algorithms();
+
+  // All distributions x two source densities x three length buckets.
+  const std::vector<int> s_values = {std::max(2, (3 * machine.p) / 16),
+                                     std::max(2, (3 * machine.p) / 8)};
+  const std::vector<Bytes> l_values = {1024, 6144, 32768};
+  std::vector<Combo> combos;
+  for (const dist::Kind kind : dist::all_kinds())
+    for (const int s : s_values)
+      for (const Bytes len : l_values) combos.push_back({kind, s, len});
+
+  // Oracle: measure every algorithm on every combo (one deterministic
+  // simulation each), fanned out over --jobs workers.
+  std::vector<stop::Problem> problems;
+  problems.reserve(combos.size());
+  std::vector<bench::SweepCase> cases;
+  cases.reserve(combos.size() * algorithms.size());
+  for (const Combo& c : combos) {
+    problems.push_back(
+        stop::make_problem(machine, c.kind, c.sources, c.len, opt.seed_or(1)));
+    for (const auto& alg : algorithms)
+      cases.push_back({alg, problems.back()});
+  }
+  const std::vector<double> ms = bench::time_ms_sweep(cases, opt.jobs);
+
+  TextTable t;
+  t.row()
+      .cell("dist")
+      .cell("s")
+      .cell("L")
+      .cell("oracle best")
+      .cell("[ms]")
+      .cell("planner pick")
+      .cell("[ms]")
+      .cell("regret");
+  int within_bound = 0;
+  double worst_regret = 0;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const Combo& c = combos[i];
+    const std::size_t base = i * algorithms.size();
+
+    std::size_t best_idx = 0;
+    for (std::size_t a = 1; a < algorithms.size(); ++a)
+      if (ms[base + a] < ms[base + best_idx]) best_idx = a;
+    const double oracle_ms = ms[base + best_idx];
+
+    const plan::Plan plan =
+        planner.plan(problems[i].sources, c.len,
+                     std::string(dist::kind_name(c.kind)));
+    const auto pick_it =
+        std::find_if(algorithms.begin(), algorithms.end(),
+                     [&plan](const stop::AlgorithmPtr& alg) {
+                       return alg->name() == plan.best();
+                     });
+    const std::size_t pick_idx =
+        static_cast<std::size_t>(pick_it - algorithms.begin());
+    const double pick_ms = ms[base + pick_idx];
+
+    const double regret = pick_ms / oracle_ms;
+    worst_regret = std::max(worst_regret, regret);
+    if (regret <= 1.15) ++within_bound;
+    t.row()
+        .cell(dist::kind_name(c.kind))
+        .num(static_cast<std::int64_t>(c.sources))
+        .num(static_cast<std::int64_t>(c.len))
+        .cell(algorithms[best_idx]->name())
+        .num(oracle_ms, 2)
+        .cell(plan.best())
+        .num(pick_ms, 2)
+        .num(regret, 3);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const int total = static_cast<int>(combos.size());
+  check.expect(within_bound * 10 >= total * 9,
+               "planner regret <= 1.15x the measured best on >= 90% of "
+               "combos (" + std::to_string(within_bound) + "/" +
+                   std::to_string(total) + ", worst " +
+                   fixed(worst_regret, 3) + ")");
+
+  // Determinism across --jobs: plan every combo through a shared PlanCache
+  // from 1 and from N worker threads; the concatenated ranked tables must
+  // be byte-identical (plans land in index-addressed slots, so order of
+  // arrival cannot leak into the output).
+  const auto planned_tables = [&](int jobs) {
+    plan::PlanCache cache(plan::PlanCache::kDefaultCapacity);
+    std::vector<std::string> texts(combos.size());
+    bench::SweepRunner(jobs).run(
+        combos.size(), [&](std::size_t i) {
+          const plan::Plan p = cache.plan(
+              planner, problems[i].sources, combos[i].len,
+              std::string(dist::kind_name(combos[i].kind)));
+          texts[i] = p.table_text();
+        });
+    std::string all;
+    for (const std::string& text : texts) all += text;
+    return all;
+  };
+  const std::string serial = planned_tables(1);
+  const std::string parallel =
+      planned_tables(std::max(4, bench::SweepRunner::hardware_jobs()));
+  check.expect(serial == parallel && !serial.empty(),
+               "ranked tables are byte-identical across --jobs fan-outs");
+
+  // Seeded mixed-request replay: 250 requests drawn from a 32-template
+  // pool, with in-bucket length jitter (exact L varies, signatures
+  // don't) — the plan-once-execute-many regime the cache exists for.
+  {
+    plan::PlanCache cache(plan::PlanCache::kDefaultCapacity);
+    constexpr int kRequests = 250;
+    constexpr int kPool = 32;
+    Rng pool_rng(opt.seed_or(1) ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<Combo> pool;
+    pool.reserve(kPool);
+    const auto& kinds = dist::all_kinds();
+    for (int i = 0; i < kPool; ++i)
+      pool.push_back(
+          {kinds[pool_rng.next_below(kinds.size())],
+           s_values[pool_rng.next_below(s_values.size())],
+           l_values[pool_rng.next_below(l_values.size())]});
+    Rng stream_rng(opt.seed_or(1));
+    for (int i = 0; i < kRequests; ++i) {
+      const Combo& c = pool[stream_rng.next_below(pool.size())];
+      const Bytes jitter = static_cast<Bytes>(stream_rng.next_below(
+          static_cast<std::uint64_t>(c.len / 8 + 1)));
+      const stop::Problem pb = stop::make_problem(
+          machine, c.kind, c.sources, c.len + jitter, opt.seed_or(1));
+      cache.plan(planner, pb.sources, c.len + jitter,
+                 std::string(dist::kind_name(c.kind)));
+    }
+    const plan::CacheStats stats = cache.stats();
+    check.expect(stats.hit_rate() >= 0.8,
+                 "plan-cache hit rate >= 80% on the seeded mixed-request "
+                 "replay (" + fixed(stats.hit_rate() * 100, 1) + "%, " +
+                     std::to_string(stats.misses) + " distinct problems)");
+  }
+
+  return check.exit_code();
+}

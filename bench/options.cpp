@@ -5,34 +5,11 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "sweep_runner.h"
 #include "util.h"
 
 namespace spb::bench {
-
-namespace {
-
-/// Strict unsigned parse for flag values; returns false on junk
-/// (std::stoull would happily wrap "-1" around).
-bool parse_u64(const std::string& text, std::uint64_t& out) {
-  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
-  try {
-    std::size_t used = 0;
-    out = std::stoull(text, &used);
-    return used == text.size();
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
-bool parse_int_flag(const std::string& text, int& out) {
-  std::uint64_t v = 0;
-  if (!parse_u64(text, v) || v > 1'000'000'000) return false;
-  out = static_cast<int>(v);
-  return true;
-}
-
-}  // namespace
 
 machine::MachineConfig Options::machine_or(
     const machine::MachineConfig& fallback) const {
@@ -94,28 +71,33 @@ std::string parse_options_into(int argc, const char* const* argv,
     } else if (a == "--sources") {
       int n = 0;
       if (!(err = next(i, a, v)).empty()) return err;
-      if (!parse_int_flag(v, n)) return "bad --sources value '" + v + "'";
+      if (!try_parse_int(v, n, err))
+        return "bad --sources value '" + v + "': " + err;
       out.sources = n;
     } else if (a == "--len") {
       std::uint64_t n = 0;
       if (!(err = next(i, a, v)).empty()) return err;
-      if (!parse_u64(v, n)) return "bad --len value '" + v + "'";
+      if (!try_parse_u64(v, n, err))
+        return "bad --len value '" + v + "': " + err;
       out.len = static_cast<Bytes>(n);
     } else if (a == "--seed") {
       std::uint64_t n = 0;
       if (!(err = next(i, a, v)).empty()) return err;
-      if (!parse_u64(v, n)) return "bad --seed value '" + v + "'";
+      if (!try_parse_u64(v, n, err))
+        return "bad --seed value '" + v + "': " + err;
       out.seed = n;
     } else if (a == "--reps") {
       int n = 0;
       if (!(err = next(i, a, v)).empty()) return err;
-      if (!parse_int_flag(v, n) || n < 1)
-        return "bad --reps value '" + v + "'";
+      if (!try_parse_int(v, n, err) || n < 1)
+        return "bad --reps value '" + v + "'" +
+               (err.empty() ? ": must be >= 1" : ": " + err);
       out.reps = n;
     } else if (a == "--jobs") {
       int n = 0;
       if (!(err = next(i, a, v)).empty()) return err;
-      if (!parse_int_flag(v, n)) return "bad --jobs value '" + v + "'";
+      if (!try_parse_int(v, n, err))
+        return "bad --jobs value '" + v + "': " + err;
       out.jobs = n == 0 ? SweepRunner::hardware_jobs() : n;
       out.jobs_set = true;
     } else if (a == "--out") {

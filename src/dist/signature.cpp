@@ -1,0 +1,24 @@
+#include "dist/signature.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace spb::dist {
+
+std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t state = seed ^ (value * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+std::uint64_t source_multiset_hash(std::vector<Rank> sources) {
+  std::sort(sources.begin(), sources.end());
+  // Non-zero start so the empty multiset does not collide with {0}.
+  std::uint64_t h = 0x5b7c6a4d3e2f1908ULL;
+  h = hash_mix(h, static_cast<std::uint64_t>(sources.size()));
+  for (const Rank r : sources)
+    h = hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)));
+  return h;
+}
+
+}  // namespace spb::dist

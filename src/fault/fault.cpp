@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "common/rng.h"
 
 namespace spb::fault {
@@ -45,19 +46,14 @@ constexpr std::uint64_t kDropStream = 1;
 constexpr std::uint64_t kAckStream = 2;
 
 double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double d = std::stod(value, &used);
-    SPB_REQUIRE(used == value.size(), "trailing junk in fault spec value '"
-                                          << value << "' for " << key);
-    return d;
-  } catch (const CheckError&) {
-    throw;
-  } catch (const std::exception&) {
-    SPB_REQUIRE(false, "bad numeric value '" << value << "' for fault key "
-                                             << key);
-  }
-  return 0;  // unreachable
+  // Strict: "timeout=5x" (trailing junk) and "lat=1e999" (out of range)
+  // fail here with the reason; "drop=-1" parses and is rejected by
+  // FaultSpec::validate with the allowed range.
+  double d = 0;
+  std::string error;
+  SPB_REQUIRE(try_parse_double(value, d, error),
+              "fault spec " << key << "=" << value << ": " << error);
+  return d;
 }
 
 }  // namespace
@@ -246,17 +242,8 @@ FaultPlanPtr parse_plan(const std::string& text, int link_space, int ranks,
   std::string spec_text = text;
   const std::size_t colon = text.find(':');
   if (colon != std::string::npos) {
-    const std::string seed_text = text.substr(0, colon);
-    try {
-      std::size_t used = 0;
-      seed = std::stoull(seed_text, &used);
-      SPB_REQUIRE(used == seed_text.size(),
-                  "bad fault seed '" << seed_text << "'");
-    } catch (const CheckError&) {
-      throw;
-    } catch (const std::exception&) {
-      SPB_REQUIRE(false, "bad fault seed '" << seed_text << "'");
-    }
+    // Strict: std::stoull would wrap a "-1" seed to 2^64-1 silently.
+    seed = parse_u64_or_throw("fault seed", text.substr(0, colon));
     spec_text = text.substr(colon + 1);
   }
   const FaultSpec spec = FaultSpec::parse(spec_text);

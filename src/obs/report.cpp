@@ -140,11 +140,42 @@ void write_links(JsonWriter& w, const net::LinkUsageProbe& usage,
   w.end_object();
 }
 
+void write_planner(JsonWriter& w, const PlannerSection& ps) {
+  w.key("planner");
+  w.begin_object();
+  w.field("signature", std::string_view(ps.signature));
+  w.field("planned_bytes", static_cast<std::uint64_t>(ps.planned_bytes));
+  w.field("cache_hit", ps.cache_hit);
+  w.key("cache");
+  w.begin_object();
+  w.field("hits", ps.cache_hits);
+  w.field("misses", ps.cache_misses);
+  w.field("evictions", ps.cache_evictions);
+  const std::uint64_t lookups = ps.cache_hits + ps.cache_misses;
+  w.field("hit_rate",
+          lookups == 0 ? 0.0
+                       : static_cast<double>(ps.cache_hits) /
+                             static_cast<double>(lookups),
+          4);
+  w.end_object();
+  w.key("ranked");
+  w.begin_array();
+  for (const PlannerSection::Entry& e : ps.ranked) {
+    w.begin_object();
+    w.field("algorithm", std::string_view(e.algorithm));
+    w.field("predicted_us", e.predicted_us, 3);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 void write_run_report(std::ostream& os, const ReportContext& ctx,
                       const stop::RunResult& result,
-                      const net::Topology* topo) {
+                      const net::Topology* topo,
+                      const PlannerSection* planner) {
   JsonWriter w(os);
   w.begin_object();
   w.field("algorithm", std::string_view(ctx.algorithm));
@@ -168,6 +199,7 @@ void write_run_report(std::ostream& os, const ReportContext& ctx,
   write_phases(w, result.outcome.phases);
   if (result.link_usage.link_space() > 0)
     write_links(w, result.link_usage, topo);
+  if (planner != nullptr) write_planner(w, *planner);
   w.end_object();
   os << "\n";
 }

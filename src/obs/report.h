@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "net/topology.h"
@@ -26,11 +27,36 @@ struct ReportContext {
   std::string faults;      // textual fault spec ("" = none)
 };
 
+/// Planner provenance for a run that was planned before it was executed.
+/// Plain data on purpose: obs sits beside plan in the layering and must not
+/// depend on it — callers (tools/spb_plan) copy the fields over from
+/// plan::Plan / plan::CacheStats.
+struct PlannerSection {
+  /// Canonical problem signature key, "%016x" hex.
+  std::string signature;
+  /// The length bucket representative the table was priced at, bytes.
+  Bytes planned_bytes = 0;
+  struct Entry {
+    std::string algorithm;
+    double predicted_us = 0;
+  };
+  /// Ranked table, ascending predicted time (ranked.front() = chosen).
+  std::vector<Entry> ranked;
+  /// True when the plan came out of the cache without repricing.
+  bool cache_hit = false;
+  /// Cache totals at report time.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
 /// Writes the full report.  `topo` (optional) adds human-readable link
 /// names to the link table; link statistics appear only when the run was
-/// made with RunOptions::link_stats.
+/// made with RunOptions::link_stats.  `planner` (optional) adds a
+/// "planner" section recording how the executed algorithm was chosen.
 void write_run_report(std::ostream& os, const ReportContext& ctx,
                       const stop::RunResult& result,
-                      const net::Topology* topo = nullptr);
+                      const net::Topology* topo = nullptr,
+                      const PlannerSection* planner = nullptr);
 
 }  // namespace spb::obs

@@ -1,0 +1,74 @@
+#include "plan/cache.h"
+
+#include "common/check.h"
+
+namespace spb::plan {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  SPB_REQUIRE(capacity_ >= 1, "plan cache needs capacity >= 1");
+}
+
+Plan PlanCache::plan(const Planner& planner, const std::vector<Rank>& sources,
+                     Bytes message_bytes, const std::string& dist_kind,
+                     const std::string& context) {
+  const Signature sig =
+      make_signature(planner.machine(), sources, message_bytes, dist_kind,
+                     context);
+  const std::uint64_t key = sig.key();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return it->second->second;
+    }
+  }
+  // Plan outside the lock: planning is pure, so two threads racing on the
+  // same signature compute identical tables and either insert wins.
+  Plan fresh = planner.plan(sources, message_bytes, dist_kind, context);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost the race: count our miss, keep the winner's entry.
+    ++stats_.misses;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++stats_.misses;
+  lru_.emplace_front(key, std::move(fresh));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return lru_.front().second;
+}
+
+bool PlanCache::peek(const Signature& sig, Plan& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(sig.key());
+  if (it == index_.end()) return false;
+  out = it->second->second;
+  return true;
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = CacheStats{};
+}
+
+}  // namespace spb::plan

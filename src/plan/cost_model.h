@@ -1,0 +1,122 @@
+// The shared broadcast cost model (the tentpole of the planning layer).
+//
+// The paper's central observation is that no single s-to-p algorithm wins:
+// the best choice depends on the source distribution, the machine
+// dimensions, s, and L.  stop::AdaptiveRepositioning already proved a tiny
+// abstract model can make that call for one algorithm pair; CostModel
+// generalizes it to every algorithm the benchmarks exercise, so a planner
+// can rank all of them on a problem without ever running the simulator.
+//
+// The model prices communication structure, not wire physics: an
+// iteration (one send/recv round) costs a fixed software overhead plus the
+// largest message moved in it, and concurrent lines charge the slowest
+// line.  All per-algorithm predictions reduce to runs of the recursive
+// halving structure (coll::HalvingSchedule) over per-position byte loads,
+// plus closed-form terms for gathers, exchanges and pipelines.  The
+// constants are ratios calibrated per machine (Calibration::from_machine);
+// only comparisons between algorithms matter, and bench/ext_planner
+// validates the ranking end to end against the measured oracle.
+//
+// Everything here is pure combinatorics on (rows, cols, sources, L) — no
+// simulator types, no stop:: types — so the model sits below stop in the
+// layering and stop::AdaptiveRepositioning can delegate to it (one cost
+// model, not two).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/config.h"
+
+namespace spb::plan {
+
+/// The priced problem, in logical-grid position space: sources are
+/// positions on the row-major rows x cols grid (for whole-machine problems
+/// positions and ranks coincide; frame callers pass frame positions).
+struct ProblemShape {
+  int rows = 1;
+  int cols = 1;
+  /// Sorted distinct source positions in [0, rows*cols).
+  std::vector<Rank> sources;
+  /// Message length L at every source, bytes.
+  Bytes message_bytes = 0;
+
+  int p() const { return rows * cols; }
+  int s() const { return static_cast<int>(sources.size()); }
+};
+
+/// Machine-derived pricing constants.  The defaults are the abstract
+/// ratios stop::AdaptiveRepositioning has always used (uncalibrated, only
+/// comparisons meaningful); from_machine() scales them to a concrete
+/// machine's software overheads and link bandwidth.
+struct Calibration {
+  /// One send/recv round of software overhead + latency, us.
+  double iter_overhead_us = 45.0;
+  /// Effective cost per payload byte moved in one iteration, us.
+  double per_byte_us = 1.0 / 160.0;
+  /// Extra per-message software cost on the portable MPI layer, us.
+  double mpi_extra_us = 0.0;
+  /// Per-byte cost of merging received data into the local buffer, us.
+  double combine_per_byte_us = 0.0;
+  /// 2-Step broadcast pipelining hint (0 = store-and-forward halving).
+  Bytes bcast_segment_bytes = 0;
+
+  static Calibration from_machine(const machine::MachineConfig& machine);
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(Calibration cal) : cal_(cal) {}
+
+  /// The model never runs the simulator: pricing is pure combinatorics,
+  /// structurally off the timed hot path (benches statically assert this,
+  /// like RunOptions::record_schedule).
+  static constexpr bool kSimulatorFree = true;
+
+  const Calibration& calibration() const { return cal_; }
+
+  /// Every algorithm name the model can price — exactly the names of
+  /// stop::all_algorithms(), in the same presentation order.
+  static const std::vector<std::string>& algorithms();
+
+  bool can_price(const std::string& algorithm) const;
+
+  /// Predicted broadcast time, microseconds.  Throws CheckError for
+  /// unknown algorithm names or a malformed shape.
+  double predict_us(const std::string& algorithm,
+                    const ProblemShape& shape) const;
+
+  /// One full permutation round (the repositioning cost): exposed so the
+  /// adaptive decision rule prices "move first" exactly like the model
+  /// prices Repos_*.
+  double permute_round_us(Bytes message_bytes) const;
+
+  /// The Br_xy_source dimension rule on a shape (max-row-count vs
+  /// max-column-count), shared with the ideal-target construction.
+  static bool rows_first_by_sources(const ProblemShape& shape);
+
+  /// Ideal target positions the model assumes Repos_*/Part_* move to —
+  /// matches stop::ideal_targets_for (tests hold the two together).
+  /// `base` is the wrapped algorithm name ("Br_Lin", "Br_xy_source",
+  /// "Br_xy_dim").
+  static std::vector<Rank> ideal_targets(const std::string& base, int rows,
+                                         int cols, int s);
+
+ private:
+  double br_lin_us(const ProblemShape& shape, bool snake) const;
+  double br_xy_us(const ProblemShape& shape, bool rows_first) const;
+  double repos_us(const std::string& base, const ProblemShape& shape) const;
+  double part_us(const std::string& base, const ProblemShape& shape) const;
+  double two_step_us(const ProblemShape& shape, bool mpi) const;
+  double pers_alltoall_us(const ProblemShape& shape, bool mpi) const;
+  double allgatherv_us(const ProblemShape& shape) const;
+  double adaptive_us(const ProblemShape& shape) const;
+  double uncoordinated_us(const ProblemShape& shape) const;
+  double base_us(const std::string& base, const ProblemShape& shape) const;
+
+  Calibration cal_;
+};
+
+}  // namespace spb::plan

@@ -1,0 +1,70 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::plan {
+
+const std::string& Plan::best() const {
+  SPB_REQUIRE(!ranked.empty(), "plan holds no ranked algorithms");
+  return ranked.front().algorithm;
+}
+
+std::string Plan::table_text() const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "signature %016" PRIx64 " L=%lld\n",
+                signature.key(), static_cast<long long>(planned_bytes));
+  out += line;
+  for (const Entry& e : ranked) {
+    // Fixed-point, never scientific: stable bytes across platforms.
+    std::snprintf(line, sizeof(line), "%-24s %14.3f\n", e.algorithm.c_str(),
+                  e.predicted_us);
+    out += line;
+  }
+  return out;
+}
+
+Planner::Planner(const machine::MachineConfig& machine,
+                 std::vector<std::string> algorithms)
+    : machine_(machine),
+      algorithms_(algorithms.empty() ? CostModel::algorithms()
+                                     : std::move(algorithms)),
+      model_(Calibration::from_machine(machine)) {
+  for (const std::string& name : algorithms_)
+    SPB_REQUIRE(model_.can_price(name),
+                "planner registered unpriceable algorithm '" << name << "'");
+}
+
+Plan Planner::plan(const std::vector<Rank>& sources, Bytes message_bytes,
+                   const std::string& dist_kind,
+                   const std::string& context) const {
+  Plan out;
+  out.signature =
+      make_signature(machine_, sources, message_bytes, dist_kind, context);
+  out.planned_bytes = representative_bytes(out.signature.l_bucket);
+
+  ProblemShape shape;
+  shape.rows = machine_.rows;
+  shape.cols = machine_.cols;
+  shape.sources = sources;
+  std::sort(shape.sources.begin(), shape.sources.end());
+  shape.message_bytes = out.planned_bytes;
+
+  out.ranked.reserve(algorithms_.size());
+  for (const std::string& name : algorithms_)
+    out.ranked.push_back({name, model_.predict_us(name, shape)});
+  // Stable: equal predictions keep registry order, making the table a
+  // pure function of the signature.
+  std::stable_sort(out.ranked.begin(), out.ranked.end(),
+                   [](const Plan::Entry& a, const Plan::Entry& b) {
+                     return a.predicted_us < b.predicted_us;
+                   });
+  return out;
+}
+
+}  // namespace spb::plan

@@ -1,0 +1,62 @@
+// The broadcast planner: prices every registered algorithm on a problem
+// through the shared CostModel and returns the predicted-best algorithm
+// plus the full ranked table.  Planning is deterministic — same machine,
+// sources and length bucket give a byte-identical table on any thread —
+// and never touches the simulator, so callers can plan once and execute
+// many (tools/spb_plan, bench/ext_planner).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/config.h"
+#include "plan/cost_model.h"
+#include "plan/signature.h"
+
+namespace spb::plan {
+
+struct Plan {
+  Signature signature;
+  /// The length the table was priced at (the bucket representative, not
+  /// the requesting problem's exact L).
+  Bytes planned_bytes = 0;
+  struct Entry {
+    std::string algorithm;
+    double predicted_us = 0;
+  };
+  /// Ascending predicted time; ties broken by registry order, so the
+  /// table is a pure function of the signature.
+  std::vector<Entry> ranked;
+
+  const std::string& best() const;
+
+  /// Deterministic fixed-point rendering of the ranked table — the
+  /// byte-identity unit for the --jobs determinism checks.
+  std::string table_text() const;
+};
+
+class Planner {
+ public:
+  /// Plans for one machine; `algorithms` defaults to every name the cost
+  /// model prices (the full stop::all_algorithms() registry).
+  explicit Planner(const machine::MachineConfig& machine,
+                   std::vector<std::string> algorithms = {});
+
+  const machine::MachineConfig& machine() const { return machine_; }
+  const std::vector<std::string>& algorithms() const { return algorithms_; }
+  const CostModel& model() const { return model_; }
+
+  /// Ranks all registered algorithms on (sources, L).  `dist_kind` and
+  /// `context` only refine the signature (see plan/signature.h).
+  Plan plan(const std::vector<Rank>& sources, Bytes message_bytes,
+            const std::string& dist_kind = "",
+            const std::string& context = "") const;
+
+ private:
+  machine::MachineConfig machine_;
+  std::vector<std::string> algorithms_;
+  CostModel model_;
+};
+
+}  // namespace spb::plan

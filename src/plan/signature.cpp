@@ -1,0 +1,58 @@
+#include "plan/signature.h"
+
+#include "common/check.h"
+#include "common/math.h"
+#include "dist/signature.h"
+
+namespace spb::plan {
+
+namespace {
+
+std::uint64_t hash_text(const std::string& text) {
+  std::uint64_t h = 0xa076'1d64'78bd'642fULL;
+  h = dist::hash_mix(h, text.size());
+  for (const char c : text)
+    h = dist::hash_mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+int length_bucket(Bytes message_bytes) {
+  SPB_REQUIRE(message_bytes >= 1, "message length must be >= 1 byte");
+  return ilog2_floor(static_cast<std::int64_t>(message_bytes));
+}
+
+Bytes representative_bytes(int bucket) {
+  SPB_REQUIRE(bucket >= 0, "negative length bucket");
+  if (bucket == 0) return 1;
+  return static_cast<Bytes>(3) << (bucket - 1);
+}
+
+std::uint64_t Signature::key() const {
+  std::uint64_t h = machine_hash;
+  h = dist::hash_mix(h, context_hash);
+  h = dist::hash_mix(h, source_hash);
+  h = dist::hash_mix(h, dist_hash);
+  h = dist::hash_mix(h, static_cast<std::uint64_t>(l_bucket));
+  return h;
+}
+
+Signature make_signature(const machine::MachineConfig& machine,
+                         const std::vector<Rank>& sources,
+                         Bytes message_bytes, const std::string& dist_kind,
+                         const std::string& context) {
+  Signature sig;
+  std::uint64_t mh = hash_text(machine.name);
+  mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.rows));
+  mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.cols));
+  mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.p));
+  sig.machine_hash = mh;
+  sig.context_hash = hash_text(context);
+  sig.source_hash = dist::source_multiset_hash(sources);
+  sig.dist_hash = hash_text(dist_kind);
+  sig.l_bucket = length_bucket(message_bytes);
+  return sig;
+}
+
+}  // namespace spb::plan

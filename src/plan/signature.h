@@ -1,0 +1,56 @@
+// Canonical problem signatures — the plan-cache key space.
+//
+// Two requests that must share a plan hash to the same signature:
+//   * the source list is canonicalized as a multiset (order-independent,
+//     dist::source_multiset_hash),
+//   * the message length is bucketed by power of two, so jittered lengths
+//     around a nominal L reuse one plan (pricing happens at the bucket's
+//     representative length, keeping cached plans independent of which
+//     request arrived first),
+//   * the machine contributes its name and logical dimensions, and the
+//     execution context (e.g. an active fault spec) contributes its text —
+//     changing either invalidates every cached plan by changing the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/config.h"
+
+namespace spb::plan {
+
+struct Signature {
+  std::uint64_t machine_hash = 0;  // name + rows x cols + p
+  std::uint64_t context_hash = 0;  // fault spec or other run context text
+  std::uint64_t source_hash = 0;   // dist::source_multiset_hash
+  std::uint64_t dist_hash = 0;     // distribution kind name ("" accepted)
+  int l_bucket = 0;                // floor(log2 L)
+
+  /// The combined cache key; collisions are hash-quality rare and only
+  /// cost a mispredicted plan, never a wrong broadcast.
+  std::uint64_t key() const;
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Bucket index of a message length (floor(log2 L), L >= 1).
+int length_bucket(Bytes message_bytes);
+
+/// The length every problem in a bucket is priced at: the bucket's
+/// geometric midpoint (3 * 2^(b-1)), so a cached plan never depends on
+/// which request's exact L happened to arrive first.
+Bytes representative_bytes(int bucket);
+
+/// Builds the canonical signature.  `sources` may arrive in any order;
+/// `dist_kind` is the paper's family abbreviation when known ("" is fine —
+/// the source multiset already pins the problem); `context` carries
+/// run-environment text such as a fault spec ("" = clean machine).
+Signature make_signature(const machine::MachineConfig& machine,
+                         const std::vector<Rank>& sources,
+                         Bytes message_bytes,
+                         const std::string& dist_kind = "",
+                         const std::string& context = "");
+
+}  // namespace spb::plan

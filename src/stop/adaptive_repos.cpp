@@ -2,107 +2,37 @@
 
 #include <algorithm>
 #include <iterator>
-#include <set>
 #include <utility>
 #include <vector>
 
-#include "coll/halving.h"
-#include "common/check.h"
-#include "stop/br_xy.h"
+#include "plan/cost_model.h"
 #include "stop/reposition.h"
 
 namespace spb::stop {
 
 namespace {
 
-// Abstract cost model for the decision: iterations are priced as a fixed
-// per-iteration overhead plus the largest message moved in that iteration
-// (the paper's two objectives, inverted into costs).  The constants are
-// ratios, not calibrated times — only the comparison ideal-vs-input
+// The decision delegates to the shared planning cost model (plan::CostModel
+// generalizes the model that used to live here).  The default Calibration
+// keeps the original abstract ratios — only the ideal-vs-input comparison
 // matters, and bench/ext_adaptive validates the decisions end to end.
-constexpr double kIterOverhead = 45.0;   // ~send+recv software, us
-constexpr double kPerByte = 1.0 / 160.;  // ~wire byte cost, us
-
-/// Runs one halving structure over per-position byte loads and returns the
-/// modelled time.  `bytes` is indexed by position (0 = holds nothing) and
-/// is updated to the post-broadcast loads.
-double halving_cost(const std::vector<char>& active,
-                    std::vector<double>& bytes) {
-  const coll::HalvingSchedule sched = coll::HalvingSchedule::compute(active);
-  double total = 0;
-  for (int iter = 0; iter < sched.iterations(); ++iter) {
-    const std::vector<double> snapshot = bytes;
-    double worst = 0;
-    bool any = false;
-    for (int pos = 0; pos < sched.size(); ++pos) {
-      for (const coll::Action& a : sched.actions(iter, pos)) {
-        if (a.type != coll::Action::Type::kRecv) continue;
-        any = true;
-        worst = std::max(worst,
-                         snapshot[static_cast<std::size_t>(a.peer)]);
-        bytes[static_cast<std::size_t>(pos)] +=
-            snapshot[static_cast<std::size_t>(a.peer)];
-      }
-    }
-    if (any) total += kIterOverhead + worst * kPerByte;
-  }
-  return total;
+const plan::CostModel& decision_model() {
+  static const plan::CostModel model{plan::Calibration{}};
+  return model;
 }
 
-/// Modelled broadcast time of `base` on this frame with sources `srcs`.
-double predict_cost(const Algorithm& base, const Frame& frame,
-                    const std::vector<Rank>& srcs) {
-  const double L = static_cast<double>(frame.message_bytes());
-  const std::string base_name = base.name();
-
-  if (base_name == "Br_Lin") {
-    std::vector<char> active(static_cast<std::size_t>(frame.size()), 0);
-    std::vector<double> bytes(static_cast<std::size_t>(frame.size()), 0);
-    for (const Rank r : srcs) {
-      const int pos = frame.position_of(r);
-      active[static_cast<std::size_t>(pos)] = 1;
-      bytes[static_cast<std::size_t>(pos)] = L;
-    }
-    return halving_cost(active, bytes);
-  }
-
-  // Br_xy_*: phase A within every line of the first dimension (lines run
-  // concurrently: the iteration costs take a max across lines because the
-  // model charges the slowest), then phase B across lines.
-  const Frame sub = Frame::sub(*frame.ranks(), frame.rows(), frame.cols(),
-                               srcs, frame.message_bytes(), frame.hints());
-  const auto& xy = dynamic_cast<const BrXy&>(base);
-  const bool rows_first = xy.rows_first(sub);
-  const int lines_a = rows_first ? frame.rows() : frame.cols();
-  const int len_a = rows_first ? frame.cols() : frame.rows();
-
-  // Phase A: per-line halving; track each line's final per-member load.
-  double phase_a = 0;
-  std::vector<double> line_bytes(static_cast<std::size_t>(lines_a), 0);
-  for (int line = 0; line < lines_a; ++line) {
-    std::vector<char> active(static_cast<std::size_t>(len_a), 0);
-    std::vector<double> bytes(static_cast<std::size_t>(len_a), 0);
-    for (const Rank r : srcs) {
-      const int pos = frame.position_of(r);
-      const int r_line = rows_first ? pos / frame.cols() : pos % frame.cols();
-      const int r_pos = rows_first ? pos % frame.cols() : pos / frame.cols();
-      if (r_line != line) continue;
-      active[static_cast<std::size_t>(r_pos)] = 1;
-      bytes[static_cast<std::size_t>(r_pos)] = L;
-    }
-    const double c = halving_cost(active, bytes);
-    phase_a = std::max(phase_a, c);
-    line_bytes[static_cast<std::size_t>(line)] =
-        *std::max_element(bytes.begin(), bytes.end());
-  }
-
-  // Phase B: every phase-A line with data is one active position.
-  std::vector<char> active_b(static_cast<std::size_t>(lines_a), 0);
-  for (int line = 0; line < lines_a; ++line)
-    active_b[static_cast<std::size_t>(line)] =
-        line_bytes[static_cast<std::size_t>(line)] > 0 ? 1 : 0;
-  const double phase_b = halving_cost(active_b, line_bytes);
-  return phase_a + phase_b;
+/// The frame's broadcast problem in position space, with `srcs` (ranks of
+/// the frame) as the sources.
+plan::ProblemShape shape_for(const Frame& frame,
+                             const std::vector<Rank>& srcs) {
+  plan::ProblemShape shape;
+  shape.rows = frame.rows();
+  shape.cols = frame.cols();
+  shape.message_bytes = frame.message_bytes();
+  shape.sources.reserve(srcs.size());
+  for (const Rank r : srcs) shape.sources.push_back(frame.position_of(r));
+  std::sort(shape.sources.begin(), shape.sources.end());
+  return shape;
 }
 
 }  // namespace
@@ -123,11 +53,14 @@ bool AdaptiveRepositioning::should_reposition(const Frame& frame) const {
                       std::back_inserter(movers));
   if (movers.empty()) return false;  // already on the ideal positions
 
-  const double input_cost = predict_cost(*base_, frame, frame.sources());
-  const double ideal_cost = predict_cost(*base_, frame, targets);
+  const plan::CostModel& model = decision_model();
+  const std::string base_name = base_->name();
+  const double input_cost =
+      model.predict_us(base_name, shape_for(frame, frame.sources()));
+  const double ideal_cost =
+      model.predict_us(base_name, shape_for(frame, targets));
   // The permutation is one parallel round of original-sized messages.
-  const double permute_cost =
-      kIterOverhead + static_cast<double>(frame.message_bytes()) * kPerByte;
+  const double permute_cost = model.permute_round_us(frame.message_bytes());
   return ideal_cost + permute_cost < input_cost;
 }
 

@@ -1,0 +1,89 @@
+// Regression sweep for the source-count math on degenerate and extreme
+// rectangular grids.  The band / cross / diagonal constructions size their
+// geometric features with ceil_div and float-free integer casts; on 1xp,
+// px1 and 2x64-style meshes those features collapse (a diagonal is a
+// point, a cross loses an arm, a band is the whole line), which is exactly
+// where an off-by-one over- or under-shoots s.  The contract here is the
+// universal one: every family returns exactly s distinct in-range ranks
+// for EVERY s on EVERY shape — exhaustively, no strides.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace spb::dist {
+namespace {
+
+void expect_exactly_s(const Grid& g, Kind kind, int s, std::uint64_t seed) {
+  const std::vector<Rank> sources = generate(kind, g, s, seed);
+  ASSERT_EQ(static_cast<int>(sources.size()), s)
+      << kind_name(kind) << " on " << g.rows << "x" << g.cols << " s=" << s
+      << " seed=" << seed;
+  ASSERT_TRUE(std::is_sorted(sources.begin(), sources.end()))
+      << kind_name(kind) << " on " << g.rows << "x" << g.cols << " s=" << s;
+  ASSERT_EQ(std::adjacent_find(sources.begin(), sources.end()),
+            sources.end())
+      << "duplicate rank from " << kind_name(kind) << " on " << g.rows
+      << "x" << g.cols << " s=" << s;
+  ASSERT_GE(sources.front(), 0);
+  ASSERT_LT(sources.back(), g.p()) << kind_name(kind) << " on " << g.rows
+                                   << "x" << g.cols << " s=" << s;
+}
+
+TEST(DegenerateGrids, LineMeshesEverySEveryFamily) {
+  // 1xp and px1: rows or columns degenerate to single cells.
+  for (const Grid& g : {Grid{1, 128}, Grid{128, 1}, Grid{1, 7}, Grid{7, 1}}) {
+    for (const Kind kind : all_kinds())
+      for (int s = 1; s <= g.p(); ++s) expect_exactly_s(g, kind, s, 42);
+  }
+}
+
+TEST(DegenerateGrids, TwoByWideMeshesEverySEveryFamily) {
+  // 2x64 / 64x2: the issue's flagged shape — diagonals wrap 32 times,
+  // bands round to one-row stripes, crosses have a 2-cell arm.
+  for (const Grid& g : {Grid{2, 64}, Grid{64, 2}, Grid{2, 5}, Grid{5, 2}}) {
+    for (const Kind kind : all_kinds())
+      for (int s = 1; s <= g.p(); ++s) expect_exactly_s(g, kind, s, 42);
+  }
+}
+
+TEST(DegenerateGrids, ExtremeAspectRatiosEverySEveryFamily) {
+  for (const Grid& g : {Grid{3, 64}, Grid{64, 3}, Grid{4, 32}, Grid{32, 4}}) {
+    for (const Kind kind : all_kinds())
+      for (int s = 1; s <= g.p(); ++s) expect_exactly_s(g, kind, s, 42);
+  }
+}
+
+TEST(DegenerateGrids, SingleCellMesh) {
+  for (const Kind kind : all_kinds()) expect_exactly_s({1, 1}, kind, 1, 42);
+}
+
+TEST(DegenerateGrids, SeedSweepOnRandomizedFamilies) {
+  // The seeded families must hold the contract for any seed, not just the
+  // one the figures use.
+  for (const Grid& g : {Grid{1, 64}, Grid{2, 64}, Grid{64, 2}}) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 99ULL, 0xfeedULL}) {
+      for (const Kind kind : all_kinds())
+        for (const int s : {1, 2, 3, g.p() / 2, g.p() - 1, g.p()})
+          expect_exactly_s(g, kind, s, seed);
+    }
+  }
+}
+
+TEST(DegenerateGrids, BoundarySAtFeatureCollapse) {
+  // s values around the geometric feature sizes, where ceil_div rounding
+  // decides how many rows/arms/wraps participate.
+  for (const Grid& g : {Grid{2, 64}, Grid{64, 2}, Grid{1, 128}}) {
+    const std::vector<int> boundary = {
+        1,         2,          g.rows,     g.cols,        g.p() / 2 - 1,
+        g.p() / 2, g.p() / 2 + 1, g.p() - 1, g.p()};
+    for (const Kind kind : all_kinds())
+      for (const int s : boundary)
+        if (s >= 1 && s <= g.p()) expect_exactly_s(g, kind, s, 7);
+  }
+}
+
+}  // namespace
+}  // namespace spb::dist

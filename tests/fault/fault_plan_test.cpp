@@ -54,6 +54,42 @@ TEST(FaultSpec, ParseRejectsUnknownAndMalformed) {
   EXPECT_NO_THROW(FaultSpec::parse(""));
 }
 
+// The strict parser (common/parse.h) must turn the classic std::stod /
+// std::stoull traps into actionable errors instead of silent surprises.
+TEST(FaultSpec, ParseErrorsSayWhatWentWrong) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      FaultSpec::parse(text);
+    } catch (const CheckError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // drop=-1 is numerically fine but out of the allowed range.
+  EXPECT_NE(message_of("drop=-1").find("must be in [0, 1)"),
+            std::string::npos);
+  // lat=1e999 overflows a double; stod's bare out_of_range had no text.
+  EXPECT_NE(message_of("lat=1e999").find("out of range"), std::string::npos);
+  // timeout=5x is a partial parse; the leftover must be named.
+  EXPECT_NE(message_of("timeout=5x").find("trailing junk 'x'"),
+            std::string::npos);
+  // Non-finite spellings are not usable fault parameters.
+  EXPECT_NE(message_of("lat=inf").find("finite"), std::string::npos);
+}
+
+TEST(FaultPlan, ParsePlanRejectsNegativeSeed) {
+  // std::stoull would wrap "-1" to 2^64-1 and silently change every
+  // seeded decision in the plan.
+  try {
+    parse_plan("-1:drop=0.1", /*link_space=*/10, /*ranks=*/4, 1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos);
+  }
+  // A valid seed still parses.
+  EXPECT_NO_THROW(parse_plan("7:drop=0.1", 10, 4, 1));
+}
+
 TEST(FaultPlan, SameSeedSameDecisions) {
   const FaultSpec spec =
       FaultSpec::parse("drop=0.3,dup=0.1,links=0.25x4,straggle=2x3");

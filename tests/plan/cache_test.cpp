@@ -1,0 +1,171 @@
+// Plan cache behavior: hit/miss/eviction accounting, LRU order, and
+// byte-identical plans under concurrent planning from many threads.
+#include "plan/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "machine/config.h"
+#include "stop/problem.h"
+
+namespace spb::plan {
+namespace {
+
+std::vector<Rank> sources_for(const machine::MachineConfig& m,
+                              dist::Kind kind, int s,
+                              std::uint64_t seed = 1) {
+  return stop::make_problem(m, kind, s, 1024, seed).sources;
+}
+
+TEST(PlanCache, HitsMissesAndBucketReuse) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  PlanCache cache;
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+
+  const Plan first = cache.plan(planner, srcs, 6144, "R");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Same bucket (4096..8191), different exact length: a hit, and the plan
+  // is byte-identical because pricing used the bucket representative.
+  const Plan second = cache.plan(planner, srcs, 5000, "R");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(first.table_text(), second.table_text());
+  EXPECT_EQ(first.planned_bytes, second.planned_bytes);
+
+  // Next bucket: a miss.
+  cache.plan(planner, srcs, 8192, "R");
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 1.0 / 3.0);
+}
+
+TEST(PlanCache, ContextAndMachineInvalidate) {
+  // A fault-spec change or machine change must not serve the old plan.
+  const machine::MachineConfig m8 = machine::paragon(8, 8);
+  const machine::MachineConfig m16 = machine::paragon(16, 16);
+  const Planner p8(m8);
+  const Planner p16(m16);
+  PlanCache cache;
+  const std::vector<Rank> srcs = sources_for(m8, dist::Kind::kRow, 8);
+
+  cache.plan(p8, srcs, 6144, "R", "");
+  cache.plan(p8, srcs, 6144, "R", "drop=0.1");   // fault context differs
+  cache.plan(p16, srcs, 6144, "R", "");          // machine differs
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Each variant is individually cached now.
+  cache.plan(p8, srcs, 6144, "R", "");
+  cache.plan(p8, srcs, 6144, "R", "drop=0.1");
+  cache.plan(p16, srcs, 6144, "R", "");
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST(PlanCache, LruEvictionAndStats) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  PlanCache cache(/*capacity=*/2);
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+
+  cache.plan(planner, srcs, 1024, "R");   // bucket 10
+  cache.plan(planner, srcs, 4096, "R");   // bucket 12
+  cache.plan(planner, srcs, 1024, "R");   // hit, refreshes bucket 10
+  cache.plan(planner, srcs, 16384, "R");  // bucket 14: evicts bucket 12 (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.plan(planner, srcs, 1024, "R");  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.plan(planner, srcs, 4096, "R");  // evicted above: a miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(PlanCache, PeekDoesNotTouchStats) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  PlanCache cache;
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+  const Plan planned = cache.plan(planner, srcs, 6144, "R");
+
+  Plan out;
+  EXPECT_TRUE(cache.peek(planned.signature, out));
+  EXPECT_EQ(out.table_text(), planned.table_text());
+  const Signature other = make_signature(m, srcs, 8192, "R", "");
+  EXPECT_FALSE(cache.peek(other, out));
+  EXPECT_EQ(cache.stats().lookups(), 1u);  // only the original plan()
+}
+
+TEST(PlanCache, RejectsZeroCapacity) {
+  EXPECT_THROW(PlanCache(0), CheckError);
+}
+
+TEST(PlanCache, ConcurrentPlanningIsDeterministic) {
+  // Many threads racing on overlapping problems: every thread must read
+  // byte-identical tables, and the miss count must equal the distinct
+  // signature count (capacity is ample, so order cannot matter).
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  PlanCache cache;
+
+  const std::vector<dist::Kind> kinds = {dist::Kind::kRow, dist::Kind::kBand,
+                                         dist::Kind::kRandom};
+  const std::vector<Bytes> lens = {1024, 6144, 32768};
+  struct Job {
+    std::vector<Rank> sources;
+    Bytes len;
+    std::string label;
+  };
+  std::vector<Job> jobs;
+  for (const dist::Kind k : kinds)
+    for (const Bytes len : lens)
+      jobs.push_back({sources_for(m, k, 16), len,
+                      std::string(dist::kind_name(k))});
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::vector<std::vector<std::string>> seen(
+      kThreads, std::vector<std::string>(jobs.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int round = 0; round < kRounds; ++round)
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          const Plan p = cache.plan(planner, jobs[j].sources, jobs[j].len,
+                                    jobs[j].label);
+          const std::string text = p.table_text();
+          if (round == 0)
+            seen[static_cast<std::size_t>(th)][j] = text;
+          else
+            ASSERT_EQ(seen[static_cast<std::size_t>(th)][j], text);
+        }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int th = 1; th < kThreads; ++th)
+    EXPECT_EQ(seen[static_cast<std::size_t>(th)], seen[0]);
+  // Every signature priced at most once per racing group: stats add up and
+  // misses never exceed the distinct problem count by more than the races
+  // that planned in parallel (each still counted once as a miss).
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups(),
+            static_cast<std::uint64_t>(kThreads) * kRounds * jobs.size());
+  EXPECT_EQ(stats.misses + stats.hits, stats.lookups());
+  EXPECT_GE(stats.misses, jobs.size());
+  EXPECT_LE(stats.misses, static_cast<std::uint64_t>(kThreads) * jobs.size());
+  EXPECT_EQ(cache.size(), jobs.size());
+}
+
+}  // namespace
+}  // namespace spb::plan

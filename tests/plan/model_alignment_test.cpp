@@ -1,0 +1,125 @@
+// The one-cost-model contract: plan::CostModel must stay aligned with the
+// stop layer it prices — same algorithm registry, same ideal-target rule —
+// without ever linking stop:: types itself.  These tests hold the two
+// layers together so a drift in either shows up as a test failure, not a
+// silently wrong plan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "machine/config.h"
+#include "plan/cost_model.h"
+#include "stop/algorithm.h"
+#include "stop/frame.h"
+#include "stop/problem.h"
+#include "stop/reposition.h"
+
+namespace spb::plan {
+namespace {
+
+TEST(ModelAlignment, AlgorithmsMatchStopRegistryInOrder) {
+  const std::vector<std::string>& priced = CostModel::algorithms();
+  const auto registry = stop::all_algorithms();
+  ASSERT_EQ(priced.size(), registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i)
+    EXPECT_EQ(priced[i], registry[i]->name()) << "registry slot " << i;
+
+  const CostModel model;
+  for (const std::string& name : priced)
+    EXPECT_TRUE(model.can_price(name)) << name;
+  EXPECT_FALSE(model.can_price("NoSuchAlgorithm"));
+}
+
+TEST(ModelAlignment, IdealTargetsMatchRepositionRule) {
+  // For whole-machine frames positions and ranks coincide, so the model's
+  // position-space targets must equal stop::ideal_targets_for verbatim.
+  struct GridCase {
+    int rows;
+    int cols;
+  };
+  const std::vector<GridCase> grids = {{4, 4}, {8, 8}, {8, 4}, {2, 16}};
+  const std::vector<std::string> bases = {"Br_Lin", "Br_xy_source",
+                                          "Br_xy_dim"};
+  for (const GridCase& g : grids) {
+    const machine::MachineConfig m = machine::paragon(g.rows, g.cols);
+    for (const std::string& base_name : bases) {
+      const stop::AlgorithmPtr base = stop::find_algorithm(base_name);
+      ASSERT_TRUE(base) << base_name;
+      for (const int s : {1, 2, 3, g.rows, m.p / 4, m.p / 2}) {
+        if (s < 1 || s > m.p) continue;
+        const stop::Problem pb =
+            stop::make_problem(m, dist::Kind::kBand, s, 1024);
+        const std::vector<Rank> expected =
+            stop::ideal_targets_for(*base, stop::Frame::whole(pb), s);
+        const std::vector<Rank> got =
+            CostModel::ideal_targets(base_name, g.rows, g.cols, s);
+        EXPECT_EQ(got, expected)
+            << base_name << " on " << g.rows << "x" << g.cols << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ModelAlignment, PredictRejectsUnknownNamesAndMalformedShapes) {
+  const CostModel model;
+  ProblemShape shape;
+  shape.rows = 4;
+  shape.cols = 4;
+  shape.sources = {0, 5, 10};
+  shape.message_bytes = 1024;
+  EXPECT_GT(model.predict_us("Br_Lin", shape), 0.0);
+  EXPECT_THROW(model.predict_us("NoSuchAlgorithm", shape), CheckError);
+
+  ProblemShape out_of_range = shape;
+  out_of_range.sources = {0, 99};  // beyond rows * cols
+  EXPECT_THROW(model.predict_us("Br_Lin", out_of_range), CheckError);
+
+  ProblemShape unsorted = shape;
+  unsorted.sources = {10, 0, 5};
+  EXPECT_THROW(model.predict_us("Br_Lin", unsorted), CheckError);
+}
+
+TEST(ModelAlignment, PermuteRoundScalesWithLength) {
+  const CostModel model;  // default = the adaptive decision constants
+  const double short_msg = model.permute_round_us(512);
+  const double long_msg = model.permute_round_us(65536);
+  EXPECT_GT(short_msg, 0.0);
+  EXPECT_GT(long_msg, short_msg);
+  // One round of overhead plus the paper's abstract per-byte ratio.
+  EXPECT_DOUBLE_EQ(short_msg, 45.0 + 512.0 / 160.0);
+}
+
+TEST(ModelAlignment, CalibrationFromMachineIsPositive) {
+  for (const machine::MachineConfig& m :
+       {machine::paragon(8, 8), machine::t3d(64), machine::hypercube(6)}) {
+    const Calibration cal = Calibration::from_machine(m);
+    EXPECT_GT(cal.iter_overhead_us, 0.0) << m.name;
+    EXPECT_GT(cal.per_byte_us, 0.0) << m.name;
+    EXPECT_GE(cal.mpi_extra_us, 0.0) << m.name;
+    EXPECT_GE(cal.combine_per_byte_us, 0.0) << m.name;
+  }
+}
+
+TEST(ModelAlignment, LongerMessagesNeverPriceCheaper) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const CostModel model(Calibration::from_machine(m));
+  const stop::Problem pb = stop::make_problem(m, dist::Kind::kBand, 16, 64);
+  ProblemShape shape;
+  shape.rows = m.rows;
+  shape.cols = m.cols;
+  shape.sources = pb.sources;
+  for (const std::string& name : CostModel::algorithms()) {
+    double prev = 0.0;
+    for (const Bytes len : {Bytes{64}, Bytes{1024}, Bytes{16384}}) {
+      shape.message_bytes = len;
+      const double us = model.predict_us(name, shape);
+      EXPECT_GE(us, prev) << name << " L=" << len;
+      prev = us;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spb::plan

@@ -1,0 +1,112 @@
+// Planner behavior: full-registry ranked tables, deterministic rendering
+// under the --jobs fan-out machinery, and loud rejection of algorithms the
+// model cannot price.
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "sweep_runner.h"
+
+namespace spb::plan {
+namespace {
+
+TEST(Planner, RankedTableCoversTheWholeRegistry) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  const stop::Problem pb =
+      stop::make_problem(m, dist::Kind::kRow, 8, 6144);
+  const Plan plan = planner.plan(pb.sources, pb.message_bytes, "R");
+
+  const auto registry = stop::all_algorithms();
+  ASSERT_EQ(plan.ranked.size(), registry.size());
+
+  std::set<std::string> registry_names;
+  for (const auto& alg : registry) registry_names.insert(alg->name());
+  std::set<std::string> ranked_names;
+  for (const Plan::Entry& e : plan.ranked) ranked_names.insert(e.algorithm);
+  EXPECT_EQ(ranked_names, registry_names);
+
+  // Ascending predicted time, finite and positive throughout.
+  for (std::size_t i = 0; i < plan.ranked.size(); ++i) {
+    EXPECT_GT(plan.ranked[i].predicted_us, 0.0) << plan.ranked[i].algorithm;
+    if (i > 0) {
+      EXPECT_GE(plan.ranked[i].predicted_us, plan.ranked[i - 1].predicted_us);
+    }
+  }
+  EXPECT_EQ(plan.best(), plan.ranked.front().algorithm);
+}
+
+TEST(Planner, PricesAtTheBucketRepresentative) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  const stop::Problem pb =
+      stop::make_problem(m, dist::Kind::kRow, 8, 6144);
+
+  // 4096 and 8000 share bucket 12: identical tables, priced at 3 * 2^11.
+  const Plan a = planner.plan(pb.sources, 4096, "R");
+  const Plan b = planner.plan(pb.sources, 8000, "R");
+  EXPECT_EQ(a.planned_bytes, static_cast<Bytes>(6144));
+  EXPECT_EQ(a.table_text(), b.table_text());
+}
+
+TEST(Planner, TablesAreByteIdenticalAcrossJobsFanOut) {
+  // The same problems planned through the SweepRunner with 1 worker and
+  // with many workers must render byte-identical tables in every slot —
+  // the determinism contract ext_planner checks at acceptance scale.
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+
+  struct Case {
+    dist::Kind kind;
+    int s;
+    Bytes len;
+  };
+  std::vector<Case> cases;
+  for (const dist::Kind kind :
+       {dist::Kind::kRow, dist::Kind::kEqual, dist::Kind::kRandom})
+    for (const Bytes len : {Bytes{1024}, Bytes{6144}, Bytes{32768}})
+      cases.push_back({kind, 12, len});
+
+  const auto tables_with_jobs = [&](int jobs) {
+    std::vector<std::string> texts(cases.size());
+    bench::SweepRunner(jobs).run(cases.size(), [&](std::size_t i) {
+      const stop::Problem pb = stop::make_problem(
+          m, cases[i].kind, cases[i].s, cases[i].len);
+      const Plan p = planner.plan(pb.sources, pb.message_bytes,
+                                  std::string(dist::kind_name(cases[i].kind)));
+      texts[i] = p.table_text();
+    });
+    return texts;
+  };
+  const std::vector<std::string> serial = tables_with_jobs(1);
+  const std::vector<std::string> parallel = tables_with_jobs(
+      std::max(4, bench::SweepRunner::hardware_jobs()));
+  EXPECT_EQ(serial, parallel);
+  for (const std::string& text : serial) EXPECT_FALSE(text.empty());
+}
+
+TEST(Planner, RejectsUnpriceableAlgorithmAtConstruction) {
+  const machine::MachineConfig m = machine::paragon(4, 4);
+  EXPECT_THROW(Planner(m, {"Br_Lin", "NoSuchAlgorithm"}), CheckError);
+}
+
+TEST(Planner, RestrictedRegistryRanksOnlyThoseNames) {
+  const machine::MachineConfig m = machine::paragon(4, 4);
+  const Planner planner(m, {"Br_Lin", "2-Step"});
+  const stop::Problem pb = stop::make_problem(m, dist::Kind::kRow, 4, 1024);
+  const Plan plan = planner.plan(pb.sources, pb.message_bytes);
+  ASSERT_EQ(plan.ranked.size(), 2u);
+  EXPECT_TRUE(plan.best() == "Br_Lin" || plan.best() == "2-Step");
+}
+
+}  // namespace
+}  // namespace spb::plan

@@ -1,0 +1,108 @@
+// Canonical problem signatures: the cache key must identify a problem by
+// what the planner prices (machine, source multiset, distribution label,
+// length bucket, fault context) and by nothing else — not source order,
+// not the exact byte length inside a bucket.
+#include "plan/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "dist/signature.h"
+#include "machine/config.h"
+
+namespace spb::plan {
+namespace {
+
+TEST(LengthBucket, PowersOfTwoAndRepresentatives) {
+  EXPECT_EQ(length_bucket(1), 0);
+  EXPECT_EQ(length_bucket(2), 1);
+  EXPECT_EQ(length_bucket(3), 1);
+  EXPECT_EQ(length_bucket(4), 2);
+  EXPECT_EQ(length_bucket(1023), 9);
+  EXPECT_EQ(length_bucket(1024), 10);
+  EXPECT_THROW(length_bucket(0), CheckError);
+
+  // The representative is the bucket's geometric midpoint 3 * 2^(b-1),
+  // inside [2^b, 2^(b+1)) for every b >= 1.
+  EXPECT_EQ(representative_bytes(0), 1);
+  for (int b = 1; b <= 20; ++b) {
+    const Bytes rep = representative_bytes(b);
+    EXPECT_EQ(length_bucket(rep), b) << "bucket " << b;
+    EXPECT_EQ(rep, static_cast<Bytes>(3) << (b - 1));
+  }
+}
+
+TEST(SourceMultisetHash, OrderIndependent) {
+  const std::vector<Rank> sorted = {1, 5, 9, 22, 63};
+  std::vector<Rank> shuffled = {63, 9, 1, 22, 5};
+  EXPECT_EQ(dist::source_multiset_hash(sorted),
+            dist::source_multiset_hash(shuffled));
+  // Different multiset, different hash.
+  EXPECT_NE(dist::source_multiset_hash({1, 5, 9, 22, 62}),
+            dist::source_multiset_hash(sorted));
+  EXPECT_NE(dist::source_multiset_hash({1, 5, 9, 22}),
+            dist::source_multiset_hash(sorted));
+}
+
+TEST(Signature, SameMultisetSameKey) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  std::vector<Rank> sources = {3, 17, 40, 41, 63};
+  const Signature a = make_signature(m, sources, 6144, "B", "");
+
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(sources.begin(), sources.end(), rng);
+    const Signature b = make_signature(m, sources, 6144, "B", "");
+    EXPECT_EQ(a.key(), b.key()) << "trial " << trial;
+    EXPECT_TRUE(a == b);
+  }
+}
+
+TEST(Signature, SameBucketSameKeyAcrossExactLengths) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  // 4096..8191 all land in bucket 12.
+  const Signature lo = make_signature(m, sources, 4096, "R", "");
+  const Signature mid = make_signature(m, sources, 6144, "R", "");
+  const Signature hi = make_signature(m, sources, 8191, "R", "");
+  EXPECT_EQ(lo.key(), mid.key());
+  EXPECT_EQ(mid.key(), hi.key());
+  // 8192 crosses into bucket 13.
+  EXPECT_NE(mid.key(), make_signature(m, sources, 8192, "R", "").key());
+}
+
+TEST(Signature, MachineChangeChangesKey) {
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  const Signature a =
+      make_signature(machine::paragon(8, 8), sources, 6144, "R", "");
+  const Signature b =
+      make_signature(machine::paragon(16, 16), sources, 6144, "R", "");
+  const Signature c =
+      make_signature(machine::t3d(64), sources, 6144, "R", "");
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(b.key(), c.key());
+}
+
+TEST(Signature, FaultContextChangesKey) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  const Signature clean = make_signature(m, sources, 6144, "R", "");
+  const Signature faulty =
+      make_signature(m, sources, 6144, "R", "drop=0.1");
+  EXPECT_NE(clean.key(), faulty.key());
+}
+
+TEST(Signature, DistributionLabelChangesKey) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  EXPECT_NE(make_signature(m, sources, 6144, "R", "").key(),
+            make_signature(m, sources, 6144, "C", "").key());
+}
+
+}  // namespace
+}  // namespace spb::plan

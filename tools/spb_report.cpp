@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "dist/distribution.h"
 #include "fault/fault.h"
 #include "machine/config.h"
@@ -81,26 +82,19 @@ Options parse(int argc, char** argv) {
     } else if (a == "--algo") {
       o.algo = next(i);
     } else if (a == "--sources") {
-      o.sources = std::stoi(next(i));
+      o.sources = static_cast<int>(parse_u64_or_throw("--sources", next(i)));
     } else if (a == "--len") {
-      o.len = static_cast<Bytes>(std::stoull(next(i)));
+      o.len = static_cast<Bytes>(parse_u64_or_throw("--len", next(i)));
     } else if (a == "--seed") {
-      o.seed = std::stoull(next(i));
+      o.seed = parse_u64_or_throw("--seed", next(i));
     } else if (a == "--faults") {
       std::string text = next(i);
       o.faults_text = text;
       const std::size_t colon = text.find(':');
       if (colon != std::string::npos) {
-        const std::string seed_text = text.substr(0, colon);
-        try {
-          std::size_t used = 0;
-          o.fault_seed = std::stoull(seed_text, &used);
-          SPB_REQUIRE(used == seed_text.size(), "trailing junk");
-        } catch (const std::exception&) {
-          SPB_REQUIRE(false, "bad fault seed '"
-                                 << seed_text
-                                 << "' in --faults (want [SEED:]SPEC)");
-        }
+        o.fault_seed =
+            parse_u64_or_throw("fault seed in --faults ([SEED:]SPEC)",
+                               text.substr(0, colon));
         text = text.substr(colon + 1);
       }
       o.faults = fault::FaultSpec::parse(text);
