@@ -23,6 +23,8 @@ std::vector<double> time_ms_sweep(const std::vector<SweepCase>& cases,
 }
 
 int default_jobs() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, before
+  // the SweepRunner spawns any worker thread.
   const char* env = std::getenv("SPB_BENCH_JOBS");
   if (env == nullptr || *env == '\0') return 1;
   const int jobs = std::atoi(env);

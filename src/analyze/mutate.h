@@ -24,6 +24,10 @@ enum class Mutation {
   /// Duplicates one chunk inside a send's chunk set: the payload-algebra
   /// integrity check fires.
   kDuplicateChunk,
+  /// Reorders a matched exchange pair so both ranks post their receive
+  /// before the send the peer is waiting for: the wait-for graph gains a
+  /// cycle (the classic send/recv ordering deadlock).
+  kCyclicWait,
 };
 
 std::string mutation_name(Mutation m);

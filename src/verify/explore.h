@@ -1,0 +1,77 @@
+// Layer 4 of the schedule model-checker: DPOR-lite exploration of
+// alternative delivery orders.
+//
+// The structural layer (structure.h) reduces a schedule's nondeterminism
+// to one question per pool: in which order do the pool's message classes
+// arrive?  This layer answers it mechanically, by exhausting every
+// arrival order of every pool under the real issuance constraints — a
+// segment's sends are issued only once its class is delivered, so one
+// pool's order can gate the supply of another pool on another rank.
+//
+// The state space is *lumped*: a state is, per rank, the current item
+// index plus a bitmask of consumed pool segments.  Which segments were
+// consumed matters; in which order they were consumed does not (held
+// payloads are unions, segment sends are fixed by the class bijection),
+// so n! arrival orders of one pool collapse to 2^n lumped states — and
+// memoized DFS shares them across ranks' interleavings.
+//
+// Three partial-order reductions keep ≤16-rank shapes tractable:
+//
+//   eager-send advance   sends never block (the runtime's sends are
+//                        eager) and pinned receives consume a unique
+//                        FIFO-determined message, so both are advanced
+//                        deterministically; a pool with exactly one
+//                        pending compatible class has no choice either;
+//   persistent sets      pool moves on different ranks are independent
+//                        (classes are per-destination, issuance only
+//                        grows), so branching explores one rank's
+//                        choices at a time without losing reachable
+//                        states or deadlocks;
+//   send-free collapse   a rank whose remaining program issues no sends
+//                        (a pure drain: gather root, alltoall drain
+//                        phase) cannot influence any other rank, so it
+//                        is frozen during exploration and resolved by a
+//                        direct starvation check at the end.
+//
+// A stuck state — no rank can move, some rank unfinished — is a deadlock
+// witness and is reported with every parked receive.  If every explored
+// path reaches the unique all-consumed terminal state, the schedule is
+// deadlock-free under all delivery orders, and (with the structural
+// conditions) delivery-order-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mp/schedule.h"
+#include "verify/structure.h"
+
+namespace spb::verify {
+
+struct ExploreOptions {
+  /// Lumped-state budget; exploration stops (exhaustive=false) beyond it.
+  std::uint64_t max_states = 250'000;
+};
+
+struct ExploreResult {
+  /// Every reachable lumped state was visited within the budget.
+  bool exhaustive = false;
+  /// Some delivery order reaches a stuck state.
+  bool deadlock_found = false;
+  /// Multi-line description of the first stuck state found.
+  std::string deadlock_witness;
+  /// All explored paths reach the unique all-consumed terminal state.
+  bool deterministic = false;
+
+  std::uint64_t states = 0;         // distinct lumped states visited
+  std::uint64_t branch_points = 0;  // states with >= 2 delivery choices
+  std::uint64_t terminals = 0;      // distinct terminal states (expect 1)
+  int passive_ranks = 0;            // ranks collapsed by the drain rule
+  /// Diagnostic notes (budget exhaustion, oversized pools, anomalies).
+  std::string note;
+};
+
+ExploreResult explore(const mp::Schedule& schedule, const Structure& structure,
+                      const ExploreOptions& options = {});
+
+}  // namespace spb::verify

@@ -1,0 +1,282 @@
+#include "verify/match.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "mp/mailbox.h"
+#include "mp/message.h"
+
+namespace spb::verify {
+
+namespace {
+
+std::string op_brief(const mp::ScheduleOp& op) {
+  std::ostringstream os;
+  os << "rank " << op.rank << " step " << op.step << " "
+     << (op.is_send() ? "send" : "recv") << " (peer=" << op.peer
+     << ", tag=" << op.tag << ")";
+  return os.str();
+}
+
+bool filter_admits(const mp::ScheduleOp& recv, const mp::ScheduleOp& send) {
+  if (recv.peer != mp::kAnySource && recv.peer != send.rank) return false;
+  if (recv.tag != mp::kAnyTag && recv.tag != send.tag) return false;
+  return send.peer == recv.rank;
+}
+
+}  // namespace
+
+std::string match_issue_kind_name(MatchIssue::Kind kind) {
+  switch (kind) {
+    case MatchIssue::Kind::kUnconsumedSend:
+      return "unconsumed-send";
+    case MatchIssue::Kind::kUnmatchedRecv:
+      return "unmatched-recv";
+    case MatchIssue::Kind::kDanglingEdge:
+      return "dangling-edge";
+    case MatchIssue::Kind::kBrokenBijection:
+      return "broken-bijection";
+    case MatchIssue::Kind::kFilterViolation:
+      return "filter-violation";
+    case MatchIssue::Kind::kSizeDisagreement:
+      return "size-disagreement";
+    case MatchIssue::Kind::kFifoViolation:
+      return "fifo-violation";
+  }
+  return "unknown";
+}
+
+std::string MatchCheck::to_string(int max_report) const {
+  std::ostringstream os;
+  os << (ok() ? "MATCH OK" : "MATCH BROKEN") << ": " << sends << " sends, "
+     << recvs << " recvs (" << wildcard_recvs << " wildcard), "
+     << matched_pairs << " matched pairs, " << issues.size() << " issue(s)\n";
+  int shown = 0;
+  for (const auto& issue : issues) {
+    if (shown++ >= max_report) {
+      os << "  ... " << (issues.size() - static_cast<std::size_t>(max_report))
+         << " more\n";
+      break;
+    }
+    os << "  [" << match_issue_kind_name(issue.kind) << "] " << issue.message
+       << "\n";
+  }
+  return os.str();
+}
+
+MatchCheck check_match_graph(const mp::Schedule& schedule) {
+  MatchCheck out;
+  const auto& ops = schedule.ops();
+  const int n = static_cast<int>(ops.size());
+
+  auto add = [&out](MatchIssue::Kind kind, std::string msg, int op) {
+    out.issues.push_back({kind, std::move(msg), op});
+  };
+
+  auto valid_id = [n](int id) { return id >= 0 && id < n; };
+
+  for (const auto& op : ops) {
+    if (op.is_send()) {
+      ++out.sends;
+      if (op.match < 0) {
+        add(MatchIssue::Kind::kUnconsumedSend,
+            op_brief(op) + ": message never consumed by any receive", op.id);
+        continue;
+      }
+      if (!valid_id(op.match) || !ops[static_cast<std::size_t>(op.match)].is_recv()) {
+        add(MatchIssue::Kind::kDanglingEdge,
+            op_brief(op) + ": match edge points at op " +
+                std::to_string(op.match) + " which is not a receive",
+            op.id);
+        continue;
+      }
+      const auto& recv = ops[static_cast<std::size_t>(op.match)];
+      if (recv.match != op.id) {
+        add(MatchIssue::Kind::kBrokenBijection,
+            op_brief(op) + ": claims recv op " + std::to_string(op.match) +
+                " but that receive matched send op " +
+                std::to_string(recv.match),
+            op.id);
+        continue;
+      }
+      ++out.matched_pairs;
+      if (!filter_admits(recv, op)) {
+        add(MatchIssue::Kind::kFilterViolation,
+            op_brief(recv) + " consumed " + op_brief(op) +
+                " which its (src, tag) filter does not admit",
+            recv.id);
+      }
+      if (recv.wire_bytes != op.wire_bytes) {
+        add(MatchIssue::Kind::kSizeDisagreement,
+            op_brief(op) + ": sent " + std::to_string(op.wire_bytes) +
+                "B but the receive recorded " +
+                std::to_string(recv.wire_bytes) + "B",
+            op.id);
+      }
+    } else {
+      ++out.recvs;
+      if (op.peer == mp::kAnySource || op.tag == mp::kAnyTag) {
+        ++out.wildcard_recvs;
+      }
+      if (!op.completed || op.match < 0) {
+        add(MatchIssue::Kind::kUnmatchedRecv,
+            op_brief(op) + (op.completed
+                                ? ": receive has no matched send on record"
+                                : ": receive never completed"),
+            op.id);
+        continue;
+      }
+      if (!valid_id(op.match) || !ops[static_cast<std::size_t>(op.match)].is_send()) {
+        add(MatchIssue::Kind::kDanglingEdge,
+            op_brief(op) + ": match edge points at op " +
+                std::to_string(op.match) + " which is not a send",
+            op.id);
+        continue;
+      }
+      const auto& send = ops[static_cast<std::size_t>(op.match)];
+      if (send.match != op.id) {
+        add(MatchIssue::Kind::kBrokenBijection,
+            op_brief(op) + ": claims send op " + std::to_string(op.match) +
+                " but that send was consumed by recv op " +
+                std::to_string(send.match),
+            op.id);
+      }
+    }
+  }
+
+  // FIFO safety.  The mailbox delivers one (src, dst, tag) channel in send
+  // order, so the k-th send of a channel must be consumed by the k-th
+  // receive (in the destination's program order) that took a message from
+  // that channel — regardless of which filters those receives used.
+  std::map<std::tuple<Rank, Rank, int>, std::vector<int>> channel_sends;
+  for (const auto& op : ops) {
+    if (op.is_send()) {
+      channel_sends[{op.rank, op.peer, op.tag}].push_back(op.id);
+    }
+  }
+  std::map<std::tuple<Rank, Rank, int>, std::vector<int>> channel_recvs;
+  for (Rank r = 0; r < schedule.rank_count(); ++r) {
+    for (int id : schedule.ops_of_rank(r)) {
+      const auto& op = ops[static_cast<std::size_t>(id)];
+      if (!op.is_recv() || op.match < 0 || !valid_id(op.match)) continue;
+      const auto& send = ops[static_cast<std::size_t>(op.match)];
+      if (!send.is_send()) continue;
+      channel_recvs[{send.rank, send.peer, send.tag}].push_back(id);
+    }
+  }
+  for (const auto& [channel, send_ids] : channel_sends) {
+    const auto it = channel_recvs.find(channel);
+    if (it == channel_recvs.end()) continue;
+    const auto& recv_ids = it->second;
+    const std::size_t k = std::min(send_ids.size(), recv_ids.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& recv = ops[static_cast<std::size_t>(recv_ids[i])];
+      if (recv.match != send_ids[i]) {
+        add(MatchIssue::Kind::kFifoViolation,
+            op_brief(recv) + ": consumed send op " +
+                std::to_string(recv.match) + " but FIFO order on channel (" +
+                std::to_string(std::get<0>(channel)) + " -> " +
+                std::to_string(std::get<1>(channel)) + ", tag " +
+                std::to_string(std::get<2>(channel)) +
+                ") requires send op " + std::to_string(send_ids[i]),
+            recv.id);
+      }
+    }
+  }
+
+  return out;
+}
+
+DeadlockCheck check_deadlock_free(const mp::Schedule& schedule) {
+  DeadlockCheck out;
+  const auto& ops = schedule.ops();
+  const int n = static_cast<int>(ops.size());
+
+  // Edges point from an op to what must happen before it: the previous op
+  // on the same rank, and — for a receive — the send it consumed.  A cycle
+  // in this graph is a circular wait.
+  std::vector<std::vector<int>> deps(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < schedule.rank_count(); ++r) {
+    const auto& rank_ops = schedule.ops_of_rank(r);
+    for (std::size_t i = 1; i < rank_ops.size(); ++i) {
+      deps[static_cast<std::size_t>(rank_ops[i])].push_back(rank_ops[i - 1]);
+    }
+  }
+  for (const auto& op : ops) {
+    if (op.is_recv() && op.match >= 0 && op.match < n &&
+        ops[static_cast<std::size_t>(op.match)].is_send()) {
+      deps[static_cast<std::size_t>(op.id)].push_back(op.match);
+    }
+  }
+
+  // Iterative DFS with colors; on hitting a gray node, walk the parent
+  // chain back to it to extract the cycle.
+  enum : unsigned char { kWhite, kGray, kBlack };
+  std::vector<unsigned char> color(static_cast<std::size_t>(n), kWhite);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n && out.cycle.empty(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != kWhite) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = kGray;
+    while (!stack.empty() && out.cycle.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& adj = deps[static_cast<std::size_t>(u)];
+      if (next < adj.size()) {
+        const int v = adj[next++];
+        if (color[static_cast<std::size_t>(v)] == kWhite) {
+          color[static_cast<std::size_t>(v)] = kGray;
+          parent[static_cast<std::size_t>(v)] = u;
+          stack.push_back({v, 0});
+        } else if (color[static_cast<std::size_t>(v)] == kGray) {
+          out.cycle.push_back(v);
+          for (int w = u; w != v; w = parent[static_cast<std::size_t>(w)]) {
+            out.cycle.push_back(w);
+          }
+          std::reverse(out.cycle.begin(), out.cycle.end());
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  if (!out.cycle.empty()) {
+    std::ostringstream os;
+    os << "wait-for cycle of " << out.cycle.size() << " ops:";
+    for (int id : out.cycle) {
+      os << "\n  " << ops[static_cast<std::size_t>(id)].to_string();
+    }
+    out.message = os.str();
+    return out;
+  }
+
+  // Acyclic: longest chain via DP over a reverse-postorder (colors are all
+  // black now, so a second pass computing depth memoized works directly).
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n; ++root) {
+    if (depth[static_cast<std::size_t>(root)] >= 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& adj = deps[static_cast<std::size_t>(u)];
+      if (next < adj.size()) {
+        const int v = adj[next++];
+        if (depth[static_cast<std::size_t>(v)] < 0) stack.push_back({v, 0});
+      } else {
+        int d = 1;
+        for (int v : adj) {
+          d = std::max(d, depth[static_cast<std::size_t>(v)] + 1);
+        }
+        depth[static_cast<std::size_t>(u)] = d;
+        stack.pop_back();
+      }
+    }
+  }
+  for (int d : depth) out.critical_depth = std::max(out.critical_depth, d);
+  return out;
+}
+
+}  // namespace spb::verify

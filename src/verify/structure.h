@@ -1,0 +1,128 @@
+// Layer 3 of the schedule model-checker: the pool/segment structure of
+// every rank's program and the confluence conditions that make delivery
+// order irrelevant.
+//
+// The runtime's only delivery-order freedom lives in wildcard receives:
+// each rank is one sequential coroutine with at most one parked receive,
+// the mailbox delivers every (src, dst, tag) channel in FIFO order, so a
+// receive with a fully pinned filter always consumes one specific message.
+// A *wildcard* receive (kAnySource and/or kAnyTag) instead consumes
+// whichever compatible message the event order delivers first — that
+// choice is the entire nondeterminism budget of a schedule.
+//
+// This layer decomposes each rank's program into
+//
+//   item     a send, a pinned receive, or a pool;
+//   segment  one wildcard receive plus the sends issued before the next
+//            receive — the program text executed per delivery;
+//   pool     a maximal run of consecutive segments whose receives share
+//            one wildcard filter (a drain loop: gather's root, the
+//            alltoall drain, Uncoordinated's forwarding loop).
+//
+// and proves, per pool, the structural conditions under which all segment
+// permutations commute to the same final state:
+//
+//   class bijection    each segment consumed a distinct message class
+//                      (src, tag) — so "which message" determines "which
+//                      segment" and delivery order only permutes them;
+//   self-containment   a segment's sends carry only chunks the rank held
+//                      before the pool plus chunks its own delivery
+//                      brought — no segment depends on a sibling's
+//                      delivery, so permuting segments never changes what
+//                      any segment can send;
+//   steal safety       no send in the whole schedule is compatible with
+//                      the pool's filter unless it belongs to one of the
+//                      pool's classes or is provably consumed before the
+//                      pool posts (earlier in the rank's program) — the
+//                      machine-checked form of the tag discipline
+//                      documented in mp/message.h.
+//
+// Pools whose segments issue sends additionally rely on the
+// *message-driven dispatch* assumption: the program reacts to the class
+// of the delivered message (as Uncoordinated dispatches on m.tag), not to
+// the arrival position.  The certificate records this assumption, and
+// bench/ext_verify cross-checks it dynamically by re-running under a
+// fault plan that perturbs real arrival order.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mp/schedule.h"
+
+namespace spb::verify {
+
+/// A message class: every message is identified up to delivery order by
+/// (source rank, tag) at a fixed destination.
+struct MsgClass {
+  Rank src = kNoRank;
+  int tag = 0;
+  bool operator==(const MsgClass&) const = default;
+  auto operator<=>(const MsgClass&) const = default;
+};
+
+/// One wildcard receive and the sends issued before the next receive.
+struct Segment {
+  int recv_id = -1;
+  std::vector<int> send_ids;
+  /// Class of the message the recorded run delivered to this segment.
+  MsgClass cls;
+};
+
+/// A maximal run of same-filter wildcard segments on one rank.
+struct Pool {
+  Rank rank = kNoRank;
+  Rank src_filter = kNoRank;
+  int tag_filter = 0;
+  std::vector<Segment> segments;
+  /// Any segment issues sends — the pool needs the message-driven
+  /// dispatch assumption (see file comment).
+  bool has_sends = false;
+};
+
+struct Item {
+  enum class Kind { kSend, kPinnedRecv, kPool };
+  Kind kind = Kind::kSend;
+  /// kSend / kPinnedRecv: the op id.  kPool: first recv op id (reports).
+  int op = -1;
+  /// kPool: index into Structure::pools.
+  int pool = -1;
+};
+
+struct StructureIssue {
+  enum class Kind {
+    kUnboundSegment,     // wildcard recv without a recorded match: the
+                         // class that drove the segment is unknown
+    kClassCollision,     // two segments of one pool consumed equal classes
+    kSegmentDependency,  // a segment sends chunks a sibling delivered
+    kStealHazard,        // a foreign compatible class can reach the pool
+  };
+  Kind kind;
+  std::string message;
+  int op = -1;
+};
+
+std::string structure_issue_kind_name(StructureIssue::Kind kind);
+
+struct Structure {
+  /// Per-rank item lists, program order.
+  std::vector<std::vector<Item>> programs;
+  std::vector<Pool> pools;
+  std::vector<StructureIssue> issues;
+  /// Some pool has sends: the message-driven dispatch assumption is load-
+  /// bearing for this schedule's certificate.
+  bool rebinding_assumed = false;
+
+  bool ok() const { return issues.empty(); }
+  std::string to_string(int max_report = 16) const;
+};
+
+/// Decomposes the schedule and checks the confluence conditions.
+/// `sources` are the problem's source ranks — a rank's pre-run chunk
+/// holdings, needed for segment self-containment.
+Structure extract_structure(const mp::Schedule& schedule,
+                            std::span<const Rank> sources);
+
+}  // namespace spb::verify

@@ -1,0 +1,87 @@
+// Faults live below the logical schedule: retransmits, duplicate
+// deliveries, detours and stragglers are runtime artifacts that the
+// mailbox's sequencing hides from the program.  The recorded symbolic
+// schedule must therefore be byte-for-byte as analyzable under the full
+// adverse load as a clean run — same op counts, same matching shape, and
+// the static analyzer accepts it without a single violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analyze/checks.h"
+#include "analyze/record.h"
+#include "fault/fault.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+
+namespace spb::analyze {
+namespace {
+
+std::shared_ptr<const fault::FaultPlan> adverse_plan(
+    const machine::MachineConfig& machine, std::uint64_t seed) {
+  const fault::FaultSpec spec = fault::FaultSpec::parse(
+      "drop=0.1,dup=0.05,links=0.25x4,lat=2,straggle=1x3");
+  return std::make_shared<const fault::FaultPlan>(
+      spec, seed, machine.topology->link_space(), machine.p);
+}
+
+class FaultedSchedule : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultedSchedule, AnalyzerAcceptsEveryAlgorithmUnderAdverseLoad) {
+  const machine::MachineConfig machine = machine::from_name(GetParam());
+  const stop::Problem pb = stop::make_problem(
+      machine, dist::Kind::kDiagRight, machine.p >= 64 ? 16 : 8, 512);
+  const auto plan = adverse_plan(machine, 42);
+  for (const stop::AlgorithmPtr& alg : stop::all_algorithms()) {
+    const RecordedRun clean = record_run(*alg, pb);
+    const RecordedRun faulted = record_run(*alg, pb, plan);
+    ASSERT_TRUE(faulted.completed) << alg->name() << ": " << faulted.failure;
+    // Retransmit/dup/reorder machinery never leaks into the program: the
+    // faulted recording has exactly the clean recording's op count.
+    EXPECT_EQ(faulted.schedule.size(), clean.schedule.size()) << alg->name();
+    const AnalysisReport report = analyze_schedule(faulted.schedule, pb);
+    EXPECT_TRUE(report.ok()) << alg->name() << "\n" << report.to_string();
+    // And the payloads land where the clean run put them.
+    EXPECT_EQ(faulted.final_payloads, clean.final_payloads) << alg->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, FaultedSchedule,
+                         ::testing::Values("paragon4x4", "paragon8x8"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FaultedSchedule, TwoSeedsRecordTheSameOperationMultiset) {
+  // Different fault seeds reshuffle arrival order, which permutes the
+  // segments of wildcard pools in the recording (the nondeterminism the
+  // src/verify explorer proves harmless).  What must not move is the
+  // *multiset* of operations each rank performs — and where the payloads
+  // land.
+  const machine::MachineConfig machine = machine::paragon(4, 4);
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kRow, 4, 2048);
+  const stop::AlgorithmPtr alg = stop::find_algorithm("2-Step");
+  const RecordedRun a = record_run(*alg, pb, adverse_plan(machine, 7));
+  const RecordedRun b = record_run(*alg, pb, adverse_plan(machine, 1234));
+  ASSERT_TRUE(a.completed && b.completed);
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  const auto signature = [](const mp::Schedule& s) {
+    std::vector<std::tuple<Rank, int, Rank, int, Bytes>> sig;
+    for (const mp::ScheduleOp& op : s.ops())
+      sig.emplace_back(op.rank, static_cast<int>(op.kind), op.peer, op.tag,
+                       op.wire_bytes);
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  EXPECT_EQ(signature(a.schedule), signature(b.schedule));
+  EXPECT_EQ(a.final_payloads, b.final_payloads);
+}
+
+}  // namespace
+}  // namespace spb::analyze

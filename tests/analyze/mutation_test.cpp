@@ -83,6 +83,45 @@ TEST(Mutation, DuplicateChunkTripsIntegrity) {
       << report.to_string();
 }
 
+TEST(Mutation, CyclicWaitClosesAWaitForCycle) {
+  const Recorded& rec = recorded_two_step();
+  const MutationResult mut =
+      apply_mutation(rec.schedule, Mutation::kCyclicWait, /*seed=*/3);
+  // Same ops, reordered: nothing is added or removed, and the recorded
+  // matching survives the reorder (from_ops remaps edges by id).
+  EXPECT_EQ(mut.schedule.size(), rec.schedule.size());
+  const AnalysisReport report = analyze_schedule(mut.schedule, rec.pb);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, Violation::Kind::kDeadlockCycle))
+      << report.to_string();
+  EXPECT_NE(mut.description.find("circular wait"), std::string::npos)
+      << mut.description;
+}
+
+TEST(Mutation, CyclicWaitNeedsAnExchangePair) {
+  // One send, one receive, no reciprocal traffic: nothing to reorder.
+  mp::ScheduleOp send;
+  send.kind = mp::ScheduleOp::Kind::kSend;
+  send.id = 0;
+  send.rank = 0;
+  send.peer = 1;
+  send.tag = 0;
+  send.wire_bytes = 1020;
+  send.chunk_sources = {0};
+  send.payload_bytes = 1000;
+  send.match = 1;
+  mp::ScheduleOp recv;
+  recv.kind = mp::ScheduleOp::Kind::kRecv;
+  recv.id = 1;
+  recv.rank = 1;
+  recv.peer = 0;
+  recv.tag = 0;
+  recv.completed = true;
+  recv.match = 0;
+  const mp::Schedule sched = mp::Schedule::from_ops(2, {send, recv});
+  EXPECT_THROW(apply_mutation(sched, Mutation::kCyclicWait, 1), CheckError);
+}
+
 TEST(Mutation, SameSeedPicksSameTarget) {
   const Recorded& rec = recorded_two_step();
   const MutationResult a =

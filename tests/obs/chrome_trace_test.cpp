@@ -40,6 +40,7 @@ TEST(ChromeTrace, GoldenTwoStep4Ranks) {
   write_chrome_trace(os, r.trace, "2-Step");
   const std::string got = os.str();
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test binary.
   if (std::getenv("SPB_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(golden_path());
     ASSERT_TRUE(out.good()) << "cannot write " << golden_path();

@@ -27,6 +27,8 @@ namespace spb::stop {
 namespace {
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): gtest runs tests single-threaded
+  // and the seed is read once before any simulation starts.
   const char* text = std::getenv(name);
   if (text == nullptr || *text == '\0') return fallback;
   char* end = nullptr;

@@ -1,0 +1,34 @@
+"""spb_lint — determinism lint for the S-to-P broadcasting codebase.
+
+Source-level invariants that keep simulated runs bit-reproducible and the
+road to intra-run parallelism safe (see DESIGN.md §11).  Four rules:
+
+U1 unordered-iteration   Range-for over a std::unordered_map/unordered_set
+                         variable.  Iteration order is unspecified and
+                         varies across libstdc++ versions and ASLR seeds;
+                         anything it feeds (output, hashes, schedules)
+                         stops being deterministic.  Iterate a sorted
+                         container, or sort the keys first.
+U2 banned-randomness     rand()/srand()/time()/std::random_device inside
+                         src/sim, src/mp or src/plan.  The simulator, the
+                         message-passing runtime and the planner must
+                         derive every choice from the seeded common/rng.h
+                         stream, or replays and the plan cache break.
+U3 guard-across-suspend  A std::lock_guard/unique_lock/scoped_lock whose
+                         scope contains a later co_await/co_yield.  The
+                         coroutine suspends with the mutex held; whichever
+                         thread resumes the frame unlocks a mutex it never
+                         locked (UB) — and every other thread deadlocks
+                         first.  Release the guard before suspending.
+U4 flag-static-asserts   Every zero-cost feature flag (RunOptions{}.trace,
+                         .record_schedule, .link_stats, .faults) must be
+                         covered by a static_assert proving it defaults to
+                         off, so a stray default never taxes the hot path.
+
+Suppress a finding by putting NOLINT (with a rationale) on the line.
+
+Usage: python3 tools/spb_lint DIR [DIR ...]
+Exits 1 when any finding is reported, 2 on usage error.
+"""
+
+from .rules import main  # noqa: F401

@@ -1,0 +1,14 @@
+"""Entry point: `python3 tools/spb_lint DIR [DIR ...]`.
+
+Works both as a package (`python3 -m tools.spb_lint`) and run by path,
+where Python executes this file without package context.
+"""
+
+import sys
+
+if __package__:
+    from .rules import main
+else:  # run by path: tools/spb_lint is sys.path[0]
+    from rules import main
+
+sys.exit(main(sys.argv))

@@ -1,0 +1,208 @@
+"""Rule implementations for spb_lint (see package docstring)."""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Directories whose code must draw randomness only from common/rng.h.
+DETERMINISTIC_DIRS = ("src/sim/", "src/mp/", "src/plan/")
+
+# Zero-cost feature flags that must be proven default-off somewhere in the
+# scanned tree (they live in bench/util.h; .faults uses .any()).
+REQUIRED_FLAG_ASSERTS = ("trace", "record_schedule", "link_stats", "faults")
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*(?:\w+\s*\.\s*)?(\w+)\s*\)")
+BANNED_RANDOM = re.compile(
+    r"\b(?:rand|srand|time)\s*\(|\brandom_device\b")
+GUARD_DECL = re.compile(
+    r"\b(?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock)\s*[<\s]")
+CO_SUSPEND = re.compile(r"\bco_(?:await|yield)\b")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            quote = text[i]
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+def _suppressed(raw: str, text: str, idx: int) -> bool:
+    """True when the raw source line carrying `idx` opts out via NOLINT."""
+    start = text.rfind("\n", 0, idx) + 1
+    end = text.find("\n", idx)
+    end = len(text) if end < 0 else end
+    return "NOLINT" in raw[start:end]
+
+
+def _matching_angle(text: str, open_idx: int) -> int:
+    """Index just past the `>` closing the `<` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def unordered_variables(text: str) -> set[str]:
+    """Names of variables/members declared with an unordered container."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(text):
+        close = _matching_angle(text, m.end() - 1)
+        decl = re.match(r"\s*&?\s*(\w+)\s*[;={(]", text[close:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def check_unordered_iteration(path: Path, raw: str, text: str) -> list[str]:
+    """U1: range-for over an unordered container variable."""
+    names = unordered_variables(text)
+    findings = []
+    for m in RANGE_FOR.finditer(text):
+        if m.group(1) not in names or _suppressed(raw, text, m.start()):
+            continue
+        findings.append(
+            f"{path}:{line_of(text, m.start())}: [unordered-iteration] "
+            f"range-for over unordered container '{m.group(1)}' — iteration "
+            f"order is unspecified and poisons deterministic output; sort "
+            f"the keys or use an ordered container")
+    return findings
+
+
+def check_banned_randomness(path: Path, raw: str, text: str) -> list[str]:
+    """U2: wall-clock / libc randomness inside the deterministic core."""
+    posix = path.as_posix()
+    if not any(d in posix for d in DETERMINISTIC_DIRS):
+        return []
+    findings = []
+    for m in BANNED_RANDOM.finditer(text):
+        if _suppressed(raw, text, m.start()):
+            continue
+        what = m.group(0).rstrip("(").strip()
+        findings.append(
+            f"{path}:{line_of(text, m.start())}: [banned-randomness] "
+            f"'{what}' in the deterministic core — every choice in "
+            f"src/sim, src/mp and src/plan must come from the seeded "
+            f"common/rng.h stream")
+    return findings
+
+
+def check_guard_across_suspend(path: Path, raw: str, text: str) -> list[str]:
+    """U3: mutex guard scope containing a coroutine suspension point."""
+    findings = []
+    for m in GUARD_DECL.finditer(text):
+        if _suppressed(raw, text, m.start()):
+            continue
+        # End of the guard's lifetime: the `}` that closes the scope the
+        # declaration lives in (brace depth going negative).
+        stmt_end = text.find(";", m.end())
+        if stmt_end < 0:
+            continue
+        depth = 0
+        scope_end = len(text)
+        for i in range(stmt_end, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    scope_end = i
+                    break
+        suspend = CO_SUSPEND.search(text, stmt_end, scope_end)
+        if suspend:
+            findings.append(
+                f"{path}:{line_of(text, m.start())}: [guard-across-suspend] "
+                f"{m.group(1)} still held at the co_await/co_yield on line "
+                f"{line_of(text, suspend.start())} — the frame suspends "
+                f"with the mutex locked; release the guard before "
+                f"suspending")
+    return findings
+
+
+def check_flag_static_asserts(files_text: dict[Path, str]) -> list[str]:
+    """U4: each zero-cost feature flag has a default-off static_assert."""
+    corpus = "\n".join(files_text.values())
+    findings = []
+    for flag in REQUIRED_FLAG_ASSERTS:
+        pattern = re.compile(
+            r"static_assert\s*\([^;]*RunOptions\s*\{\s*\}\s*\.\s*" + flag,
+            re.S)
+        if not pattern.search(corpus):
+            findings.append(
+                f"(tree): [flag-static-asserts] no static_assert proves "
+                f"RunOptions{{}}.{flag} defaults to off — a stray default "
+                f"would tax every simulated send; add one (see "
+                f"bench/util.h)")
+    return findings
+
+
+def collect_files(roots: list[str]) -> list[Path]:
+    files = []
+    for d in roots:
+        p = Path(d)
+        if p.is_file():
+            files.append(p)
+        else:
+            files.extend(sorted(p.rglob("*.cpp")))
+            files.extend(sorted(p.rglob("*.h")))
+    return files
+
+
+def run(roots: list[str]) -> tuple[list[str], int]:
+    """Returns (findings, files scanned)."""
+    files = collect_files(roots)
+    raws = {f: f.read_text(encoding="utf-8", errors="replace") for f in files}
+    texts = {f: strip_comments(raws[f]) for f in files}
+    findings = []
+    for f in files:
+        findings.extend(check_unordered_iteration(f, raws[f], texts[f]))
+        findings.extend(check_banned_randomness(f, raws[f], texts[f]))
+        findings.extend(check_guard_across_suspend(f, raws[f], texts[f]))
+    findings.extend(check_flag_static_asserts(texts))
+    return findings, len(files)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        doc = sys.modules[__package__].__doc__ if __package__ else __doc__
+        print(doc)
+        return 2
+    findings, n = run(argv[1:])
+    for finding in findings:
+        print(finding)
+    print(f"spb_lint: {n} files, {len(findings)} finding(s)")
+    return 1 if findings else 0

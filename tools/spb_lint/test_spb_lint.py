@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Positive/negative fixtures for every spb_lint rule (plain unittest so
+CI runs it without pytest)."""
+
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import rules  # noqa: E402
+
+
+def lint_snippet(body: str, rel: str = "src/coll/x.cpp") -> list[str]:
+    """Writes `body` at `rel` inside a scratch tree and lints that file."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body, encoding="utf-8")
+        raw = body
+        text = rules.strip_comments(raw)
+        return (rules.check_unordered_iteration(path, raw, text)
+                + rules.check_banned_randomness(path, raw, text)
+                + rules.check_guard_across_suspend(path, raw, text))
+
+
+class UnorderedIteration(unittest.TestCase):
+    def test_range_for_over_unordered_map_is_flagged(self):
+        findings = lint_snippet(
+            "std::unordered_map<int, std::vector<int>> table;\n"
+            "void f() { for (const auto& [k, v] : table) use(k); }\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("unordered-iteration", findings[0])
+        self.assertIn("'table'", findings[0])
+
+    def test_ordered_map_is_fine(self):
+        findings = lint_snippet(
+            "std::map<int, int> table;\n"
+            "void f() { for (const auto& [k, v] : table) use(k); }\n")
+        self.assertEqual(findings, [])
+
+    def test_lookup_without_iteration_is_fine(self):
+        findings = lint_snippet(
+            "std::unordered_map<int, int> table;\n"
+            "int f(int k) { return table.at(k); }\n")
+        self.assertEqual(findings, [])
+
+    def test_nolint_suppresses(self):
+        findings = lint_snippet(
+            "std::unordered_set<int> seen;\n"
+            "void f() {\n"
+            "  for (int k : seen)  // NOLINT: order-insensitive sum\n"
+            "    total += k;\n"
+            "}\n")
+        self.assertEqual(findings, [])
+
+
+class BannedRandomness(unittest.TestCase):
+    def test_rand_in_sim_is_flagged(self):
+        findings = lint_snippet("int f() { return rand() % 4; }\n",
+                                rel="src/sim/x.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("banned-randomness", findings[0])
+
+    def test_random_device_in_plan_is_flagged(self):
+        findings = lint_snippet("std::random_device rd;\n",
+                                rel="src/plan/x.cpp")
+        self.assertEqual(len(findings), 1)
+
+    def test_same_code_outside_the_core_is_fine(self):
+        findings = lint_snippet("int f() { return rand() % 4; }\n",
+                                rel="bench/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_identifier_suffix_time_is_not_a_call(self):
+        # `Runtime(...)` must not trip the \btime\( pattern.
+        findings = lint_snippet("Runtime(topo, params);\n",
+                                rel="src/mp/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_comments_do_not_count(self):
+        findings = lint_snippet("// never call rand() here\n",
+                                rel="src/mp/x.cpp")
+        self.assertEqual(findings, [])
+
+
+class GuardAcrossSuspend(unittest.TestCase):
+    def test_guard_held_across_co_await_is_flagged(self):
+        findings = lint_snippet(
+            "sim::Task f() {\n"
+            "  std::lock_guard<std::mutex> g(mu_);\n"
+            "  co_await mailbox.recv();\n"
+            "}\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("guard-across-suspend", findings[0])
+        self.assertIn("lock_guard", findings[0])
+
+    def test_guard_released_before_suspend_is_fine(self):
+        findings = lint_snippet(
+            "sim::Task f() {\n"
+            "  { std::scoped_lock g(mu_); table[k] = v; }\n"
+            "  co_await mailbox.recv();\n"
+            "}\n")
+        self.assertEqual(findings, [])
+
+    def test_guard_in_plain_function_is_fine(self):
+        findings = lint_snippet(
+            "void f() { std::unique_lock<std::mutex> g(mu_); table[k] = v; }\n"
+            "sim::Task g() { co_await mailbox.recv(); }\n")
+        self.assertEqual(findings, [])
+
+
+class FlagStaticAsserts(unittest.TestCase):
+    COVERED = (
+        "static_assert(!stop::RunOptions{}.trace, \"\");\n"
+        "static_assert(!stop::RunOptions{}.record_schedule, \"\");\n"
+        "static_assert(!stop::RunOptions{}.faults.any(), \"\");\n"
+        "static_assert(!stop::RunOptions{}.link_stats, \"\");\n")
+
+    def test_full_coverage_passes(self):
+        text = rules.strip_comments(self.COVERED)
+        self.assertEqual(
+            rules.check_flag_static_asserts({Path("u.h"): text}), [])
+
+    def test_missing_flag_is_named(self):
+        partial = "\n".join(line for line in self.COVERED.splitlines()
+                            if "link_stats" not in line)
+        text = rules.strip_comments(partial)
+        findings = rules.check_flag_static_asserts({Path("u.h"): text})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("link_stats", findings[0])
+
+
+class MainEntry(unittest.TestCase):
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "a.cpp").write_text(FlagStaticAsserts.COVERED)
+            self.assertEqual(rules.main(["spb_lint", tmp]), 0)
+
+    def test_findings_exit_one(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            sim = Path(tmp) / "src" / "sim"
+            sim.mkdir(parents=True)
+            (sim / "a.cpp").write_text(
+                FlagStaticAsserts.COVERED + "int f() { return rand(); }\n")
+            self.assertEqual(rules.main(["spb_lint", tmp]), 1)
+
+    def test_no_arguments_is_a_usage_error(self):
+        self.assertEqual(rules.main(["spb_lint"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

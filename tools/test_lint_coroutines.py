@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Positive/negative fixtures for tools/lint_coroutines.py (plain unittest
+so CI runs it without pytest)."""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_coroutines",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "lint_coroutines.py"))
+lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint)
+
+
+def lint_snippet(body: str) -> list[str]:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "x.cpp"
+        path.write_text(body, encoding="utf-8")
+        text = lint.strip_comments(body)
+        tasks = {m.group(1) for m in lint.TASK_DECL.finditer(text)}
+        tasks -= {"Task", "get_return_object"}
+        return lint.check_file(path, tasks)
+
+
+class CapturingCoroutineLambda(unittest.TestCase):
+    def test_capturing_coroutine_lambda_is_flagged(self):
+        findings = lint_snippet(
+            "auto make = [this, rank]() -> sim::Task {\n"
+            "  co_await mailbox.recv();\n"
+            "};\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("capturing coroutine lambda", findings[0])
+
+    def test_non_coroutine_capturing_lambda_is_fine(self):
+        findings = lint_snippet(
+            "auto make = [this, rank]() { return run(rank); };\n")
+        self.assertEqual(findings, [])
+
+    def test_captureless_coroutine_lambda_is_fine(self):
+        findings = lint_snippet(
+            "auto make = []() -> sim::Task { co_return; };\n")
+        self.assertEqual(findings, [])
+
+    def test_co_keyword_in_comment_does_not_count(self):
+        findings = lint_snippet(
+            "auto make = [this]() { /* co_await later */ return 1; };\n")
+        self.assertEqual(findings, [])
+
+
+class DiscardedTask(unittest.TestCase):
+    def test_bare_statement_call_is_flagged(self):
+        findings = lint_snippet(
+            "sim::Task worker(int rank);\n"
+            "void f() { worker(3); }\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("discarded", findings[0])
+        self.assertIn("worker", findings[0])
+
+    def test_awaited_call_is_fine(self):
+        findings = lint_snippet(
+            "sim::Task worker(int rank);\n"
+            "sim::Task f() { co_await worker(3); }\n")
+        self.assertEqual(findings, [])
+
+    def test_stored_call_is_fine(self):
+        findings = lint_snippet(
+            "sim::Task worker(int rank);\n"
+            "void f() { auto t = worker(3); rt.spawn(std::move(t)); }\n")
+        self.assertEqual(findings, [])
+
+    def test_call_as_argument_is_fine(self):
+        findings = lint_snippet(
+            "sim::Task worker(int rank);\n"
+            "void f() { rt.spawn(worker(3)); }\n")
+        self.assertEqual(findings, [])
+
+
+class EndToEnd(unittest.TestCase):
+    def test_clean_directory_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "a.cpp").write_text(
+                "sim::Task worker();\n"
+                "sim::Task f() { co_await worker(); }\n")
+            self.assertEqual(lint.main(["lint_coroutines", tmp]), 0)
+
+    def test_findings_exit_one(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "a.cpp").write_text(
+                "sim::Task worker();\n"
+                "void f() { worker(); }\n")
+            self.assertEqual(lint.main(["lint_coroutines", tmp]), 1)
+
+    def test_no_arguments_is_a_usage_error(self):
+        self.assertEqual(lint.main(["lint_coroutines"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
