@@ -130,6 +130,11 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event without popping it (queue
+  /// must be non-empty).  The sharded engine uses this to find each
+  /// window's start and to stop a shard's drain at the window end.
+  SimTime top_time() const { return std::bit_cast<SimTime>(heap_[0].tkey); }
+
   /// Total number of events ever pushed.
   std::uint64_t pushed() const { return next_seq_; }
 

@@ -1,0 +1,216 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spb::sim {
+
+namespace {
+
+/// Which engine/shard this thread is currently draining.  Thread-local by
+/// design: each drain worker needs its own cursor, and the serial Simulator
+/// path never touches it.
+struct RunningShard {
+  const ShardedEngine* engine = nullptr;
+  SimTime now = 0;
+  int index = -1;
+};
+// Each worker owns its own copy, so there is no shared mutable state here.
+// NOLINTNEXTLINE(spb-mutable-global): per-thread drain cursor by design
+thread_local RunningShard tls_running;
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::infinity();
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(int shards, double window_us, int threads)
+    : shards_(static_cast<std::size_t>(std::max(shards, 1))),
+      window_(window_us),
+      threads_(std::clamp(threads, 1, std::max(shards, 1))) {
+  SPB_REQUIRE(shards >= 1, "ShardedEngine needs at least one shard");
+  SPB_REQUIRE(window_us > 0,
+              "ShardedEngine needs a positive lookahead window (got "
+                  << window_us << " us); zero lookahead means serial");
+}
+
+ShardedEngine::~ShardedEngine() { stop_pool(); }
+
+SimTime ShardedEngine::now() const {
+  SPB_CHECK_MSG(tls_running.engine == this && tls_running.index >= 0,
+                "ShardedEngine::now() outside an event callback");
+  return tls_running.now;
+}
+
+int ShardedEngine::current_shard() const {
+  return tls_running.engine == this ? tls_running.index : -1;
+}
+
+void ShardedEngine::at(SimTime t, int shard, EventFn fn) {
+  SPB_REQUIRE(shard >= 0 && shard < shard_count(),
+              "shard " << shard << " out of range");
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  if (tls_running.engine == this && tls_running.index >= 0) {
+    // Drain context: a shard may only extend its own timeline.
+    SPB_REQUIRE(tls_running.index == shard,
+                "cross-shard push (from shard "
+                    << tls_running.index << " to " << shard
+                    << ") inside a window — cross-shard events must be "
+                       "staged and applied at the barrier");
+    SPB_REQUIRE(t >= tls_running.now, "cannot schedule an event in the past "
+                                          << "(t=" << t << ", now="
+                                          << tls_running.now << ")");
+  } else {
+    // Barrier (or pre-run) context: any shard, but never inside the window
+    // that just ran — that is exactly the conservative-lookahead contract.
+    SPB_REQUIRE(t >= horizon_,
+                "barrier push at t=" << t << " violates the lookahead "
+                                     << "horizon " << horizon_);
+  }
+  s.queue.push(t, std::move(fn));
+}
+
+void ShardedEngine::drain(int index, SimTime end) {
+  Shard& s = shards_[static_cast<std::size_t>(index)];
+  tls_running = RunningShard{this, s.now, index};
+  std::uint64_t n = 0;
+  try {
+    while (!s.queue.empty() && s.queue.top_time() < end) {
+      Event e = s.queue.pop();
+      s.now = e.time;
+      tls_running.now = e.time;
+      ++n;
+      e.fn();
+    }
+  } catch (...) {
+    if (s.error == nullptr) s.error = std::current_exception();
+  }
+  tls_running = RunningShard{};
+  s.executed += n;
+  if (n > 0) ++s.busy_windows;
+}
+
+void ShardedEngine::claim_and_drain(SimTime end) {
+  for (;;) {
+    const int idx = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= shard_count()) return;
+    drain(idx, end);
+  }
+}
+
+void ShardedEngine::run_window(SimTime end) {
+  if (pool_.empty()) {
+    // Inline mode: drain shards in index order on this thread.  Same
+    // results by construction — shard drains are mutually independent.
+    for (int i = 0; i < shard_count(); ++i) drain(i, end);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    cur_end_ = end;
+    next_shard_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  claim_and_drain(end);
+  // Every shard has been claimed (the counter passed shard_count()), and a
+  // claimant only leaves its loop after finishing the drains it claimed —
+  // so active_ == 0 here means the window is fully drained.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return active_ == 0; });
+}
+
+void ShardedEngine::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime end = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      end = cur_end_;
+      ++active_;
+    }
+    claim_and_drain(end);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (active_ > 0) continue;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ShardedEngine::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  pool_.clear();
+}
+
+SimTime ShardedEngine::run(const BarrierFn& barrier) {
+  SPB_REQUIRE(!ran_, "ShardedEngine::run() is one-shot");
+  ran_ = true;
+  if (threads_ > 1) {
+    pool_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i)
+      pool_.emplace_back([this] { worker_loop(); });
+  }
+  for (;;) {
+    SimTime t = kNoEvent;
+    for (const Shard& s : shards_)
+      if (!s.queue.empty()) t = std::min(t, s.queue.top_time());
+    if (t == kNoEvent) break;
+    const SimTime end = t + window_;
+    ++stats_.windows;
+    run_window(end);
+    for (const Shard& s : shards_) {
+      if (s.error == nullptr) continue;
+      stop_pool();
+      std::rethrow_exception(s.error);
+    }
+    // Everything the barrier schedules must land in a later window.
+    horizon_ = end;
+    if (barrier) barrier();
+  }
+  stop_pool();
+  SimTime final_time = 0;
+  for (const Shard& s : shards_) final_time = std::max(final_time, s.now);
+  return final_time;
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.executed;
+  return total;
+}
+
+std::size_t ShardedEngine::peak_queue_depth() const {
+  std::size_t peak = 0;
+  for (const Shard& s : shards_) peak = std::max(peak, s.queue.peak_size());
+  return peak;
+}
+
+EngineStats ShardedEngine::stats() const {
+  EngineStats out;
+  out.windows = stats_.windows;
+  std::uint64_t busy = 0;
+  out.shards.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    out.shards.push_back(ShardStats{s.executed, s.queue.peak_size(),
+                                    s.busy_windows});
+    busy += s.busy_windows;
+  }
+  out.idle_shard_windows =
+      stats_.windows * static_cast<std::uint64_t>(shards_.size()) - busy;
+  return out;
+}
+
+}  // namespace spb::sim

@@ -1,0 +1,148 @@
+// Deterministic conservative parallel discrete-event engine (PR 7).
+//
+// The event space is partitioned into `shards` (one per machine region —
+// see net/regions.h), each with its own EventQueue and clock.  Time
+// advances in bounded windows: every window starts at the earliest pending
+// timestamp T across all shards and spans [T, T + W), where W is the
+// minimum cross-shard lookahead of the model driving the engine
+// (mp::Runtime::lookahead_us derives it from the software-overhead and
+// network-latency floors).  Within a window every shard drains its own
+// queue independently — in (time, per-shard insertion) order, exactly like
+// the serial Simulator — and may only schedule follow-up events into
+// *itself*.  Cross-shard effects are deferred: the caller stages them
+// during the window and applies them in the single-threaded `barrier`
+// callback that runs between windows, in a canonical order of its own
+// choosing.  The lookahead contract makes that sound: anything the barrier
+// schedules must land at or after the next window (`t >= horizon`), which
+// at() asserts.
+//
+// Determinism: shard count, window width, and the barrier's canonical
+// order are all independent of the worker-thread count, and each shard's
+// queue is only ever touched by one thread at a time (its drainer inside a
+// window, the barrier between windows).  Results are therefore
+// byte-identical for every `threads >= 1`; threads only changes wall-clock
+// time.  `threads == 1` never creates a std::thread at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace spb::sim {
+
+/// Per-shard slice of the engine's run statistics.
+struct ShardStats {
+  std::uint64_t events = 0;
+  std::size_t peak_queue_depth = 0;
+  /// Windows in which this shard executed at least one event.
+  std::uint64_t busy_windows = 0;
+};
+
+/// Whole-run statistics; all fields are thread-count independent.
+struct EngineStats {
+  std::uint64_t windows = 0;
+  /// Shard-window slots that executed nothing: shards * windows minus the
+  /// busy slots.  The window-efficiency measure the perf harness exports.
+  std::uint64_t idle_shard_windows = 0;
+  std::vector<ShardStats> shards;
+};
+
+class ShardedEngine {
+ public:
+  /// `shards` >= 1 partitions the event space; `window_us` > 0 is the
+  /// conservative lookahead; `threads` caps the drain workers (clamped to
+  /// [1, shards]; only threads - 1 std::threads are ever created — the
+  /// caller's thread drains too).
+  ShardedEngine(int shards, double window_us, int threads);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  double window_us() const { return window_; }
+  /// Effective worker count after clamping.
+  int threads() const { return threads_; }
+
+  /// Clock of the shard this thread is currently draining.  Only valid
+  /// inside an event callback (current_shard() >= 0).
+  SimTime now() const;
+
+  /// Index of the shard currently draining on this thread, or -1 outside
+  /// event callbacks (before run(), or in barrier context).
+  int current_shard() const;
+
+  /// Schedules fn at absolute time t on `shard`.  Inside an event
+  /// callback only the executing shard may be targeted (cross-shard
+  /// traffic goes through the barrier); in barrier or pre-run context any
+  /// shard may be targeted, but t must not precede the lookahead horizon.
+  void at(SimTime t, int shard, EventFn fn);
+
+  using BarrierFn = std::function<void()>;
+
+  /// Runs windows until every shard queue is empty, invoking `barrier`
+  /// single-threadedly after each window (with all workers quiescent).
+  /// One-shot.  Returns the maximum shard clock.  An exception thrown by
+  /// an event aborts the run after its window completes; with several
+  /// failing shards the lowest shard index wins (deterministic).
+  SimTime run(const BarrierFn& barrier);
+
+  /// Total events executed across shards.
+  std::uint64_t events_executed() const;
+  /// Maximum per-shard queue high-water mark.
+  std::size_t peak_queue_depth() const;
+  EngineStats stats() const;
+
+ private:
+  /// Padded to a cache line so concurrent drainers never false-share.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    SimTime now = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t busy_windows = 0;
+    std::exception_ptr error;
+  };
+
+  void drain(int index, SimTime end);
+  void claim_and_drain(SimTime end);
+  void run_window(SimTime end);
+  void worker_loop();
+  void stop_pool();
+
+  std::vector<Shard> shards_;
+  double window_;
+  int threads_;
+  bool ran_ = false;
+  /// Barrier pushes must land at or after this (next window's floor).
+  SimTime horizon_ = 0;
+  EngineStats stats_;
+
+  // Worker pool (only populated when threads_ > 1).  Workers sleep between
+  // windows; epoch_ bumps wake them.  A waking worker registers in
+  // active_ *under the mutex* before claiming shards and deregisters when
+  // its claim loop ends, so the coordinator's wait for active_ == 0 (after
+  // finishing its own claims) proves every drain of the window completed —
+  // a late-waking worker either joins the current window consistently or
+  // finds all shards claimed and goes back to sleep.  The mutex hand-offs
+  // double as the memory fences that publish queue contents between the
+  // barrier and the drainers.
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  SimTime cur_end_ = 0;
+  bool stop_ = false;
+  std::atomic<int> next_shard_{0};
+};
+
+}  // namespace spb::sim

@@ -53,6 +53,13 @@ struct RunOptions {
   /// Off by default — the network hot path must stay probe-free in timed
   /// benches (bench/util statically asserts this).
   bool link_stats = false;
+  /// Worker threads for the sharded conservative-window simulation engine
+  /// (see mp::Runtime::enable_parallel).  0 — the default, statically
+  /// asserted by bench/util — keeps the classic serial loop; >= 1 requests
+  /// the sharded engine, whose outcome is byte-identical for every value
+  /// >= 1 and which falls back to serial automatically when tracing or
+  /// schedule recording is on, p < 2, or the lookahead is zero.
+  int sim_threads = 0;
 };
 
 /// Fluent alternative to aggregate-initializing RunOptions — reads better
@@ -91,6 +98,10 @@ class RunConfig {
                               std::uint64_t seed = 1) {
     opts_.faults = spec;
     opts_.fault_seed = seed;
+    return *this;
+  }
+  constexpr RunConfig& sim_threads(int threads) {
+    opts_.sim_threads = threads;
     return *this;
   }
 

@@ -1,0 +1,175 @@
+// Byte-identical outcomes of the sharded conservative-window engine across
+// worker-thread counts (see sim/sharded.h and mp::Runtime::enable_parallel).
+//
+// The engine's contract is that `sim_threads` only changes wall-clock
+// time, never results: the shard partition, window width and the barrier's
+// canonical reserve order are all thread-count independent.  These tests
+// fingerprint *everything* a run produces — makespan bits, every aggregate
+// metric, fault counters, network totals, per-link busy times, per-shard
+// engine statistics and the final payload of every rank — and require the
+// fingerprints to match exactly for sim_threads in {1, 2, 8}, on both
+// machine shapes of the acceptance matrix, with faults off and on.  Under
+// TSan this suite doubles as the data-race check for the engine's worker
+// pool and the runtime's per-shard state.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dist/distribution.h"
+#include "fault/fault.h"
+#include "machine/config.h"
+#include "stop/algorithm.h"
+#include "stop/problem.h"
+#include "stop/run.h"
+
+namespace spb {
+namespace {
+
+// Doubles are rendered as exact bit patterns: "identical" here means
+// byte-identical, not approximately equal.
+void put(std::ostringstream& os, double v) {
+  os << std::bit_cast<std::uint64_t>(v) << ',';
+}
+
+std::string fingerprint(const stop::RunResult& r) {
+  std::ostringstream os;
+  put(os, r.time_us);
+  const mp::RunMetrics& m = r.outcome.metrics;
+  os << m.total_sends << ',' << m.total_recvs << ',' << m.total_bytes_sent
+     << ',' << m.congestion << ',' << m.max_waits << ',' << m.max_send_recv
+     << ',' << m.iterations << ',' << m.transit_drops << ','
+     << m.retransmits << ',' << m.duplicates << ',';
+  put(os, m.av_msg_lgth);
+  put(os, m.av_act_proc);
+  const net::NetworkStats& n = r.outcome.network;
+  os << n.transfers << ',' << n.total_hops << ',' << n.total_bytes << ',';
+  put(os, n.total_link_busy_us);
+  put(os, n.max_link_busy_us);
+  put(os, n.total_stall_us);
+  for (const double b : r.outcome.link_busy_us) put(os, b);
+  os << '|' << r.outcome.events << ',' << r.outcome.peak_queue_depth << '|';
+  const mp::ParallelStats& ps = r.outcome.par;
+  os << ps.shards << ',' << ps.windows << ',' << ps.idle_shard_windows
+     << ',';
+  put(os, ps.window_us);
+  for (const mp::ParallelStats::Shard& s : ps.per_shard)
+    os << s.events << ':' << s.peak_queue_depth << ':' << s.busy_windows
+       << ';';
+  os << '|';
+  for (const auto& ph : r.outcome.phases) {
+    os << ph.name << ',' << ph.sends << ',' << ph.recvs << ',';
+    put(os, ph.total_span_us);
+    put(os, ph.max_span_us);
+  }
+  os << '|';
+  for (const mp::Payload& p : r.final_payloads) {
+    for (const mp::Chunk& c : p.chunks()) os << c.source << ':' << c.bytes << ';';
+    os << '/';
+  }
+  return os.str();
+}
+
+stop::RunResult run_with_threads(const machine::MachineConfig& machine,
+                                 int sources, Bytes bytes, int threads,
+                                 const fault::FaultSpec& faults = {}) {
+  const stop::Problem pb =
+      stop::make_problem(machine, dist::Kind::kRandom, sources, bytes, 11);
+  stop::RunConfig cfg;
+  cfg.sim_threads(threads);
+  if (faults.any()) cfg.faults(faults, 7);
+  return stop::run(*stop::make_br_lin(), pb, cfg);
+}
+
+void expect_identical_across_thread_counts(
+    const machine::MachineConfig& machine, int sources, Bytes bytes,
+    const fault::FaultSpec& faults, int expected_shards) {
+  const stop::RunResult one =
+      run_with_threads(machine, sources, bytes, 1, faults);
+  ASSERT_TRUE(one.outcome.par.parallel());
+  EXPECT_EQ(one.outcome.par.shards, expected_shards);
+  const std::string fp = fingerprint(one);
+  EXPECT_EQ(fp, fingerprint(run_with_threads(machine, sources, bytes, 2,
+                                             faults)));
+  EXPECT_EQ(fp, fingerprint(run_with_threads(machine, sources, bytes, 8,
+                                             faults)));
+}
+
+TEST(ParallelRun, Paragon8x8IdenticalAcrossThreadCounts) {
+  // 64 nodes -> 2 regions (net::region_count).
+  expect_identical_across_thread_counts(machine::paragon(8, 8), 8, 2048, {},
+                                        2);
+}
+
+TEST(ParallelRun, Paragon8x8IdenticalAcrossThreadCountsWithFaults) {
+  fault::FaultSpec faults;
+  faults.drop_rate = 0.05;
+  faults.stragglers = 3;
+  faults.straggle_factor = 2.0;
+  expect_identical_across_thread_counts(machine::paragon(8, 8), 8, 2048,
+                                        faults, 2);
+}
+
+TEST(ParallelRun, T3d512IdenticalAcrossThreadCounts) {
+  // 512 nodes -> the 16-region cap.
+  expect_identical_across_thread_counts(machine::t3d(512), 8, 1024, {}, 16);
+}
+
+TEST(ParallelRun, T3d512IdenticalAcrossThreadCountsWithFaults) {
+  fault::FaultSpec faults;
+  faults.drop_rate = 0.02;
+  expect_identical_across_thread_counts(machine::t3d(512), 8, 1024, faults,
+                                        16);
+}
+
+TEST(ParallelRun, ParallelMakespanMatchesSerial) {
+  // The conservative engine only reorders *concurrent* work; the makespan
+  // (and every count) must match the serial loop even when same-window
+  // event interleavings differ.  br_lin on a small machine has a single
+  // deterministic critical path, so the times agree exactly.
+  const machine::MachineConfig machine = machine::paragon(8, 8);
+  const stop::RunResult serial = run_with_threads(machine, 4, 4096, 0);
+  const stop::RunResult par = run_with_threads(machine, 4, 4096, 2);
+  EXPECT_FALSE(serial.outcome.par.parallel());
+  ASSERT_TRUE(par.outcome.par.parallel());
+  EXPECT_DOUBLE_EQ(serial.time_us, par.time_us);
+  EXPECT_EQ(serial.outcome.metrics.total_sends,
+            par.outcome.metrics.total_sends);
+  EXPECT_EQ(serial.outcome.metrics.total_recvs,
+            par.outcome.metrics.total_recvs);
+}
+
+TEST(ParallelRun, TracingFallsBackToSerialLoop) {
+  // Tracing needs the serial loop's global event order; requesting both
+  // must silently take the serial path (par stats empty, trace intact).
+  const stop::Problem pb = stop::make_problem(machine::paragon(4, 4),
+                                              dist::Kind::kEqual, 4, 512);
+  const stop::RunResult r = stop::run(
+      *stop::make_br_lin(), pb, stop::RunConfig{}.trace().sim_threads(8));
+  EXPECT_FALSE(r.outcome.par.parallel());
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(ParallelRun, WindowStatisticsAreConsistent) {
+  const stop::RunResult r =
+      run_with_threads(machine::paragon(8, 8), 8, 2048, 2);
+  const mp::ParallelStats& ps = r.outcome.par;
+  ASSERT_TRUE(ps.parallel());
+  EXPECT_GT(ps.window_us, 0.0);
+  EXPECT_GT(ps.windows, 0u);
+  ASSERT_EQ(static_cast<int>(ps.per_shard.size()), ps.shards);
+  std::uint64_t events = 0;
+  std::uint64_t busy = 0;
+  for (const auto& s : ps.per_shard) {
+    events += s.events;
+    busy += s.busy_windows;
+  }
+  EXPECT_EQ(events, r.outcome.events);
+  EXPECT_EQ(ps.windows * static_cast<std::uint64_t>(ps.shards) - busy,
+            ps.idle_shard_windows);
+}
+
+}  // namespace
+}  // namespace spb

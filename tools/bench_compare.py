@@ -11,6 +11,13 @@ on shared machines with unknown hardware, so its tolerance is generous —
 the gate exists to catch order-of-magnitude regressions (a lost fast path,
 an accidental O(n^2)), not 10%% noise.
 
+A gateable metric (time or rate) present in the current run but absent
+from the baseline is *reported loudly* rather than silently skipped: the
+run still passes (the metric is new, there is nothing to compare against)
+but a NEW-METRIC notice on stderr tells the author to re-baseline, after
+which the metric is gated like any other.  --fail-on-new upgrades the
+notice to a failure for CI legs that require a complete baseline.
+
   bench_compare.py baseline.json current.json [--max-regress 1.5]
 """
 
@@ -65,6 +72,12 @@ def main() -> int:
         default=1.5,
         help="allowed slowdown ratio per metric (default 1.5)",
     )
+    ap.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="treat gateable metrics missing from the baseline as failures"
+        " (for CI legs that require a fully re-baselined BENCH file)",
+    )
     args = ap.parse_args()
     if args.max_regress < 1.0:
         ap.error("--max-regress must be >= 1.0")
@@ -93,9 +106,30 @@ def main() -> int:
         if not ok:
             failures.append(f"{name}: {worse:.2f}x worse than baseline")
 
+    unbaselined = []
     for name in cur:
-        if name not in base:
+        if name in base:
+            continue
+        if classify(name) == "info":
             print(f"{name:36} {'new':>14} {cur[name]:14.2f} {'':>8}  info")
+            continue
+        print(
+            f"{name:36} {'new':>14} {cur[name]:14.2f} {'':>8}"
+            "  NEW (not gated)"
+        )
+        unbaselined.append(name)
+
+    if unbaselined:
+        print(
+            f"\n{len(unbaselined)} gateable metric(s) missing from the"
+            " baseline (re-run perf_harness and refresh"
+            " bench/BENCH_baseline.json to gate them):",
+            file=sys.stderr,
+        )
+        for name in unbaselined:
+            print(f"  {name}", file=sys.stderr)
+        if args.fail_on_new:
+            failures.extend(f"{name}: not in baseline" for name in unbaselined)
 
     if failures:
         print(f"\n{len(failures)} metric(s) regressed:", file=sys.stderr)

@@ -11,7 +11,13 @@ DETERMINISTIC_DIRS = ("src/sim/", "src/mp/", "src/plan/")
 
 # Zero-cost feature flags that must be proven default-off somewhere in the
 # scanned tree (they live in bench/util.h; .faults uses .any()).
-REQUIRED_FLAG_ASSERTS = ("trace", "record_schedule", "link_stats", "faults")
+REQUIRED_FLAG_ASSERTS = ("trace", "record_schedule", "link_stats", "faults",
+                         "sim_threads")
+
+# Directories whose hot paths may run on several drain workers at once
+# (the sharded engine, see sim/sharded.h): mutable static or
+# namespace-scope state there is a data race and a determinism leak.
+SHARD_SAFE_DIRS = ("src/sim/", "src/net/", "src/mp/")
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*(?:\w+\s*\.\s*)?(\w+)\s*\)")
@@ -20,6 +26,16 @@ BANNED_RANDOM = re.compile(
 GUARD_DECL = re.compile(
     r"\b(?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock)\s*[<\s]")
 CO_SUSPEND = re.compile(r"\bco_(?:await|yield)\b")
+# A declaration whose storage class makes it shared across calls: static,
+# thread_local, or an inline (namespace-scope) variable.  Function
+# declarations never match — the lazy body class excludes parentheses, so
+# the pattern dies at a parameter list before finding the `;` or `=`.
+STATIC_STATE = re.compile(
+    r"^[ \t]*(?:(?:static|thread_local|inline)\s+){1,3}[^;{}()\n]*?[;=]",
+    re.M)
+# Qualifiers that make shared state benign: immutable or atomic.
+BENIGN_STATE = re.compile(
+    r"\b(?:const|constexpr|consteval|constinit)\b|\batomic")
 
 
 def strip_comments(text: str) -> str:
@@ -153,6 +169,56 @@ def check_guard_across_suspend(path: Path, raw: str, text: str) -> list[str]:
     return findings
 
 
+def _suppressed_for(raw: str, text: str, idx: int, category: str) -> bool:
+    """True when the line carrying `idx` (or the one above it, via
+    NOLINTNEXTLINE) opts out of `category` with a rationale — the annotation
+    must carry the category name and a `:` followed by an explanation."""
+    start = text.rfind("\n", 0, idx) + 1
+    end = text.find("\n", idx)
+    end = len(text) if end < 0 else end
+    lines = [raw[start:end]]
+    prev_start = text.rfind("\n", 0, max(start - 1, 0)) + 1
+    if start > 0:
+        lines.append(raw[prev_start:start - 1])
+    annot = re.compile(
+        r"NOLINT(?:NEXTLINE)?\(" + re.escape(category) + r"\)\s*:\s*\S")
+    return any(annot.search(line) for line in lines)
+
+
+def check_mutable_static_state(path: Path, raw: str, text: str) -> list[str]:
+    """U5: mutable static / namespace-scope state in shard-visible code.
+
+    The sharded engine (sim/sharded.h) drains src/sim, src/mp and src/net
+    hot paths on several worker threads inside a window.  Any static or
+    namespace-scope variable they touch is therefore shared mutable state:
+    a data race and — because update order would depend on thread timing —
+    a determinism leak.  Such state must be immutable (const/constexpr),
+    std::atomic, per-shard (owned by a shard-indexed structure), or carry
+    an explicit NOLINT(spb-mutable-global): <rationale> annotation.
+    """
+    posix = path.as_posix()
+    if not any(d in posix for d in SHARD_SAFE_DIRS):
+        return []
+    findings = []
+    for m in STATIC_STATE.finditer(text):
+        decl = m.group(0)
+        if BENIGN_STATE.search(decl):
+            continue
+        # `inline namespace` and friends are not variable declarations.
+        if re.search(r"\b(?:namespace|using|typedef|class|struct|enum)\b",
+                     decl):
+            continue
+        if _suppressed_for(raw, text, m.start(), "spb-mutable-global"):
+            continue
+        findings.append(
+            f"{path}:{line_of(text, m.start())}: [mutable-global-state] "
+            f"mutable static/namespace-scope state reachable from the "
+            f"sharded engine's concurrent drains — make it const, "
+            f"std::atomic, per-shard, or annotate the line with "
+            f"NOLINT(spb-mutable-global): <why it is race-free>")
+    return findings
+
+
 def check_flag_static_asserts(files_text: dict[Path, str]) -> list[str]:
     """U4: each zero-cost feature flag has a default-off static_assert."""
     corpus = "\n".join(files_text.values())
@@ -192,6 +258,7 @@ def run(roots: list[str]) -> tuple[list[str], int]:
         findings.extend(check_unordered_iteration(f, raws[f], texts[f]))
         findings.extend(check_banned_randomness(f, raws[f], texts[f]))
         findings.extend(check_guard_across_suspend(f, raws[f], texts[f]))
+        findings.extend(check_mutable_static_state(f, raws[f], texts[f]))
     findings.extend(check_flag_static_asserts(texts))
     return findings, len(files)
 

@@ -22,7 +22,8 @@ def lint_snippet(body: str, rel: str = "src/coll/x.cpp") -> list[str]:
         text = rules.strip_comments(raw)
         return (rules.check_unordered_iteration(path, raw, text)
                 + rules.check_banned_randomness(path, raw, text)
-                + rules.check_guard_across_suspend(path, raw, text))
+                + rules.check_guard_across_suspend(path, raw, text)
+                + rules.check_mutable_static_state(path, raw, text))
 
 
 class UnorderedIteration(unittest.TestCase):
@@ -111,12 +112,72 @@ class GuardAcrossSuspend(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class MutableStaticState(unittest.TestCase):
+    def test_static_local_in_sim_is_flagged(self):
+        findings = lint_snippet(
+            "int next_id() {\n"
+            "  static int counter = 0;\n"
+            "  return counter++;\n"
+            "}\n", rel="src/sim/x.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("mutable-global-state", findings[0])
+
+    def test_namespace_scope_inline_variable_is_flagged(self):
+        findings = lint_snippet("inline int g_hits = 0;\n",
+                                rel="src/net/x.h")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("mutable-global-state", findings[0])
+
+    def test_thread_local_without_rationale_is_flagged(self):
+        findings = lint_snippet("thread_local int cursor = -1;\n",
+                                rel="src/mp/x.cpp")
+        self.assertEqual(len(findings), 1)
+
+    def test_constexpr_and_const_statics_are_fine(self):
+        findings = lint_snippet(
+            "static constexpr int kShards = 16;\n"
+            "static const char* const kName = \"x\";\n",
+            rel="src/sim/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_atomic_static_is_fine(self):
+        findings = lint_snippet("static std::atomic<int> hits{0};\n",
+                                rel="src/sim/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_static_member_function_is_not_a_variable(self):
+        findings = lint_snippet(
+            "struct S {\n"
+            "  static bool earlier(const Key& a, const Key& b);\n"
+            "};\n", rel="src/sim/x.h")
+        self.assertEqual(findings, [])
+
+    def test_same_code_outside_shard_dirs_is_fine(self):
+        findings = lint_snippet("static int counter = 0;\n",
+                                rel="src/stop/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_nolint_with_rationale_suppresses(self):
+        findings = lint_snippet(
+            "// NOLINTNEXTLINE(spb-mutable-global): per-thread cursor\n"
+            "thread_local int cursor = -1;\n",
+            rel="src/sim/x.cpp")
+        self.assertEqual(findings, [])
+
+    def test_nolint_without_rationale_does_not_suppress(self):
+        findings = lint_snippet(
+            "thread_local int cursor = -1;  // NOLINT\n",
+            rel="src/sim/x.cpp")
+        self.assertEqual(len(findings), 1)
+
+
 class FlagStaticAsserts(unittest.TestCase):
     COVERED = (
         "static_assert(!stop::RunOptions{}.trace, \"\");\n"
         "static_assert(!stop::RunOptions{}.record_schedule, \"\");\n"
         "static_assert(!stop::RunOptions{}.faults.any(), \"\");\n"
-        "static_assert(!stop::RunOptions{}.link_stats, \"\");\n")
+        "static_assert(!stop::RunOptions{}.link_stats, \"\");\n"
+        "static_assert(stop::RunOptions{}.sim_threads == 0, \"\");\n")
 
     def test_full_coverage_passes(self):
         text = rules.strip_comments(self.COVERED)
@@ -126,6 +187,7 @@ class FlagStaticAsserts(unittest.TestCase):
     def test_missing_flag_is_named(self):
         partial = "\n".join(line for line in self.COVERED.splitlines()
                             if "link_stats" not in line)
+        # sim_threads uses == 0 rather than ! — both forms must satisfy U4.
         text = rules.strip_comments(partial)
         findings = rules.check_flag_static_asserts({Path("u.h"): text})
         self.assertEqual(len(findings), 1)

@@ -45,6 +45,7 @@ struct Options {
   std::string out;           // report path ("" = stdout)
   std::string chrome_trace;  // "" = no export
   bool heatmap = false;
+  int sim_threads = 0;  // 0 = serial loop; >= 1 = sharded engine
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,6 +61,11 @@ struct Options {
       << "  --seed N         seed for the Rand distribution (default 1)\n"
       << "  --faults [SEED:]SPEC   deterministic fault injection\n"
       << "                   (e.g. 42:drop=0.1,straggle=1x3)\n"
+      << "  --sim-threads N  drain workers for the sharded simulation\n"
+      << "                   engine (default 0 = serial loop; any N >= 1\n"
+      << "                   yields byte-identical reports; disables\n"
+      << "                   tracing, so not combinable with\n"
+      << "                   --chrome-trace)\n"
       << "  --out FILE       write the JSON report here (default stdout)\n"
       << "  --chrome-trace FILE    also export the Perfetto/Chrome trace\n"
       << "  --heatmap        print an ASCII link heatmap to stderr\n"
@@ -98,6 +104,9 @@ Options parse(int argc, char** argv) {
         text = text.substr(colon + 1);
       }
       o.faults = fault::FaultSpec::parse(text);
+    } else if (a == "--sim-threads") {
+      o.sim_threads =
+          static_cast<int>(parse_u64_or_throw("--sim-threads", next(i)));
     } else if (a == "--out") {
       o.out = next(i);
     } else if (a == "--chrome-trace") {
@@ -131,10 +140,20 @@ int run_cli(int argc, char** argv) {
   const stop::Problem problem =
       stop::make_problem(machine, kind, s, opt.len, opt.seed);
 
-  const stop::RunResult result = stop::run(
-      *algorithm, problem,
-      stop::RunConfig{}.trace().link_stats().faults(opt.faults,
-                                                    opt.fault_seed));
+  // The sharded engine needs no global event order, but tracing does — so
+  // a parallel report runs without the trace (link accounting is fine:
+  // reserves happen at the single-threaded window barrier only).
+  SPB_REQUIRE(opt.sim_threads == 0 || opt.chrome_trace.empty(),
+              "--chrome-trace needs the serial loop's tracing; drop "
+              "--sim-threads or the trace export");
+  stop::RunConfig cfg;
+  cfg.link_stats().faults(opt.faults, opt.fault_seed);
+  if (opt.sim_threads > 0) {
+    cfg.sim_threads(opt.sim_threads);
+  } else {
+    cfg.trace();
+  }
+  const stop::RunResult result = stop::run(*algorithm, problem, cfg);
 
   obs::ReportContext ctx;
   ctx.algorithm = algorithm->name();

@@ -73,9 +73,37 @@ class BenchCompareGate(unittest.TestCase):
         self.assertIn("missing from current run", r.stderr)
         self.assertIn("sweep_ms", r.stderr)
 
-    def test_new_metric_in_current_is_informational(self):
+    def test_new_gateable_metric_is_reported_not_silent(self):
+        # A time/rate metric the baseline has never seen passes (nothing to
+        # compare against) but must be loudly flagged so the author
+        # re-baselines — after which it is gated like any other metric.
         r = run_compare(doc(run_ms=100.0), doc(run_ms=100.0, extra_ms=5.0))
-        self.assertEqual(r.returncode, 0)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("NEW (not gated)", r.stdout)
+        self.assertIn("missing from the baseline", r.stderr)
+        self.assertIn("extra_ms", r.stderr)
+
+    def test_new_gateable_metric_fails_with_fail_on_new(self):
+        r = run_compare(doc(run_ms=100.0), doc(run_ms=100.0, extra_ms=5.0),
+                        "--fail-on-new")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("not in baseline", r.stderr)
+
+    def test_new_info_metric_stays_silent(self):
+        r = run_compare(doc(run_ms=100.0),
+                        doc(run_ms=100.0, peak_queue_depth=7.0),
+                        "--fail-on-new")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertNotIn("NEW", r.stdout)
+
+    def test_baselined_metric_is_gated_thereafter(self):
+        # Once the new metric lands in the baseline, a regression on it
+        # fails — the "reported once, gated thereafter" contract.
+        r = run_compare(doc(run_ms=100.0, extra_ms=5.0),
+                        doc(run_ms=100.0, extra_ms=50.0),
+                        "--max-regress", "1.5")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("extra_ms", r.stderr)
 
 
 class BenchCompareInputValidation(unittest.TestCase):
