@@ -234,4 +234,85 @@ void write_run_report(std::ostream& os, const ReportContext& ctx,
   os << "\n";
 }
 
+void write_serve_report(std::ostream& os, const ServeSection& serve) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("machine", std::string_view(serve.machine));
+  w.field("workers", serve.workers);
+
+  w.key("requests");
+  w.begin_object();
+  w.field("plan", serve.requests_plan);
+  w.field("execute", serve.requests_execute);
+  w.field("stats", serve.requests_stats);
+  w.field("errors", serve.requests_error);
+  w.field("shed", serve.requests_shed);
+  w.field("total", serve.requests_plan + serve.requests_execute +
+                       serve.requests_stats + serve.requests_error +
+                       serve.requests_shed);
+  w.end_object();
+
+  w.key("queue");
+  w.begin_object();
+  w.field("limit", serve.queue_limit);
+  w.field("max_depth", serve.queue_max_depth);
+  w.end_object();
+
+  ServeSection::CacheShard total;
+  for (const ServeSection::CacheShard& s : serve.cache_shards) {
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.coalesced += s.coalesced;
+    total.size += s.size;
+  }
+  w.key("cache");
+  w.begin_object();
+  w.field("shards", static_cast<std::uint64_t>(serve.cache_shards.size()));
+  w.field("capacity", serve.cache_capacity);
+  w.field("size", total.size);
+  w.field("hits", total.hits);
+  w.field("misses", total.misses);
+  w.field("evictions", total.evictions);
+  w.field("coalesced", total.coalesced);
+  const std::uint64_t lookups = total.hits + total.misses;
+  w.field("hit_rate",
+          lookups == 0 ? 0.0
+                       : static_cast<double>(total.hits) /
+                             static_cast<double>(lookups),
+          4);
+  w.key("per_shard");
+  w.begin_array();
+  for (const ServeSection::CacheShard& s : serve.cache_shards) {
+    w.begin_object();
+    w.field("hits", s.hits);
+    w.field("misses", s.misses);
+    w.field("evictions", s.evictions);
+    w.field("coalesced", s.coalesced);
+    w.field("size", s.size);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("latency");
+  w.begin_object();
+  w.field("count", serve.latency_count);
+  w.field("p50_us", serve.latency_p50_us, 3);
+  w.field("p95_us", serve.latency_p95_us, 3);
+  w.field("p99_us", serve.latency_p99_us, 3);
+  w.field("max_us", serve.latency_max_us, 3);
+  w.end_object();
+
+  if (serve.wall_ms > 0) {
+    w.key("throughput");
+    w.begin_object();
+    w.field("wall_ms", serve.wall_ms, 3);
+    w.field("requests_per_sec", serve.requests_per_sec, 1);
+    w.end_object();
+  }
+  w.end_object();
+  os << "\n";
+}
+
 }  // namespace spb::obs

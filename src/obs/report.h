@@ -59,4 +59,49 @@ void write_run_report(std::ostream& os, const ReportContext& ctx,
                       const net::Topology* topo = nullptr,
                       const PlannerSection* planner = nullptr);
 
+/// One serving session distilled: request counters, queue pressure, the
+/// sharded plan-cache statistics, and per-request latency percentiles.
+/// Plain data like PlannerSection (obs must not depend on serve): the
+/// serve layer and its drivers copy the fields over, then emit the report
+/// with write_serve_report (spb_serve --report, bench/ext_serve).
+struct ServeSection {
+  std::string machine;
+  int workers = 0;
+
+  /// Requests answered, by outcome ("shed" = explicit overload responses).
+  std::uint64_t requests_plan = 0;
+  std::uint64_t requests_execute = 0;
+  std::uint64_t requests_stats = 0;
+  std::uint64_t requests_error = 0;
+  std::uint64_t requests_shed = 0;
+
+  std::uint64_t queue_limit = 0;
+  std::uint64_t queue_max_depth = 0;
+
+  struct CacheShard {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t size = 0;
+  };
+  /// Per-shard statistics; the writer also emits their field-wise sum.
+  std::vector<CacheShard> cache_shards;
+  std::uint64_t cache_capacity = 0;
+
+  /// Per-request latency distribution (plan + execute requests).
+  std::uint64_t latency_count = 0;
+  double latency_p50_us = 0;
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+  double latency_max_us = 0;
+
+  /// Filled by drivers that timed a whole session (0 = sections omitted).
+  double wall_ms = 0;
+  double requests_per_sec = 0;
+};
+
+/// Writes the serve report as a standalone JSON document.
+void write_serve_report(std::ostream& os, const ServeSection& serve);
+
 }  // namespace spb::obs

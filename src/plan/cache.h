@@ -1,72 +1,57 @@
 // The plan cache: canonical-signature -> Plan, bounded LRU, with hit /
 // miss / eviction statistics for the observability report.
 //
-// Thread-safe (one mutex around the table) so a batched request driver can
-// fan requests out over worker threads; determinism of the *plans* is free
-// because planning is a pure function of the signature — a hit returns
-// byte-identical tables to the miss that populated it.  Statistics totals
-// are order-independent as long as the working set fits the capacity
-// (misses = distinct signatures); under eviction pressure the exact
-// hit/miss split depends on arrival order, which is why the replay driver
-// sizes the cache to its working set.
+// Since the serve PR this is a thin veneer over ShardedPlanCache with a
+// single shard, which preserves the original global-LRU eviction order
+// exactly while picking up the coalescing semantics: concurrent misses on
+// one signature plan once and count once (the PR-5 implementation planned
+// outside the lock and counted every racer as a miss).  Code that fans
+// requests out over many threads — the serve layer — should hold a
+// ShardedPlanCache directly and spread the key space over several shards;
+// this class remains the convenient single-lock flavor for CLI drivers and
+// tests whose working sets are small.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "plan/planner.h"
+#include "plan/sharded_cache.h"
 
 namespace spb::plan {
 
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-
-  std::uint64_t lookups() const { return hits + misses; }
-  double hit_rate() const {
-    return lookups() == 0 ? 0.0
-                          : static_cast<double>(hits) /
-                                static_cast<double>(lookups());
-  }
-};
-
 class PlanCache {
  public:
-  static constexpr std::size_t kDefaultCapacity = 1024;
+  static constexpr std::size_t kDefaultCapacity =
+      ShardedPlanCache::kDefaultCapacity;
 
-  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : impl_(capacity, /*shards=*/1) {}
 
   /// The cached plan for the request's signature, planning through
   /// `planner` on a miss.  Returns by value: the caller's copy stays
   /// valid across later evictions and concurrent lookups.
   Plan plan(const Planner& planner, const std::vector<Rank>& sources,
             Bytes message_bytes, const std::string& dist_kind = "",
-            const std::string& context = "");
+            const std::string& context = "") {
+    return impl_.plan(planner, sources, message_bytes, dist_kind, context);
+  }
 
   /// Cached lookup without planning: true and fills `out` on a hit (does
   /// not count toward the statistics).
-  bool peek(const Signature& sig, Plan& out) const;
+  bool peek(const Signature& sig, Plan& out) const {
+    return impl_.peek(sig, out);
+  }
 
-  CacheStats stats() const;
-  std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
-  void clear();
+  CacheStats stats() const { return impl_.stats(); }
+  std::size_t size() const { return impl_.size(); }
+  std::size_t capacity() const { return impl_.capacity(); }
+  void clear() { impl_.clear(); }
 
  private:
-  using LruList = std::list<std::pair<std::uint64_t, Plan>>;
-
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  CacheStats stats_;
+  ShardedPlanCache impl_;
 };
 
 }  // namespace spb::plan

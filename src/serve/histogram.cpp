@@ -1,0 +1,69 @@
+#include "serve/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace spb::serve {
+
+int LatencyHistogram::bucket_of(double latency_us) {
+  if (!(latency_us > kBaseUs)) return 0;
+  // Half-octave index: two buckets per doubling.
+  const int idx =
+      static_cast<int>(std::floor(2.0 * std::log2(latency_us / kBaseUs)));
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+double LatencyHistogram::bucket_upper_us(int bucket) {
+  return kBaseUs * std::exp2(0.5 * (bucket + 1));
+}
+
+void LatencyHistogram::record(double latency_us) {
+  if (latency_us < 0 || std::isnan(latency_us)) latency_us = 0;
+  buckets_[static_cast<std::size_t>(bucket_of(latency_us))].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_bits_.load(std::memory_order_relaxed);
+  const std::uint64_t mine = std::bit_cast<std::uint64_t>(latency_us);
+  // Non-negative doubles order like their bit patterns.
+  while (std::bit_cast<double>(seen) < latency_us &&
+         !max_bits_.compare_exchange_weak(seen, mine,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    snap.total += snap.counts[static_cast<std::size_t>(i)];
+  }
+  snap.max_us =
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::percentile_us(double p) const {
+  if (total == 0) return 0;
+  if (p > 100) p = 100;
+  if (p <= 0) p = 0.0001;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      const double edge = bucket_upper_us(i);
+      return edge < max_us ? edge : max_us;
+    }
+  }
+  return max_us;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spb::serve

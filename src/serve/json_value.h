@@ -1,0 +1,52 @@
+// Minimal recursive-descent JSON reader for the serve protocol — the
+// parsing counterpart of obs::JsonWriter, equally dependency-free.  Parses
+// one document into a small value tree; object members keep their source
+// order (a vector of pairs, no hashing) because protocol requests are tiny
+// and deterministic iteration matters more than lookup speed.
+//
+// Strictness matches tests/obs/mini_json.h: full string-escape grammar
+// (\uXXXX decoded to UTF-8), numbers via strtod, no trailing garbage.
+// Errors come back as a position + message instead of an exception so a
+// serving loop can turn a malformed line into a structured error response
+// and keep going.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spb::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// First member with this name, or nullptr (objects only).
+  const JsonValue* find(std::string_view name) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::size_t error_pos = 0;  // byte offset of the failure
+  std::string error;          // "" when ok
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error).
+JsonParseResult parse_json(std::string_view text, JsonValue& out);
+
+}  // namespace spb::serve

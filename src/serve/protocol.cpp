@@ -1,0 +1,208 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "serve/json_value.h"
+
+namespace spb::serve {
+
+namespace {
+
+/// True when the number is a non-negative integer that fits `max`.
+bool as_u64(const JsonValue& v, std::uint64_t max, std::uint64_t& out) {
+  if (!v.is_number()) return false;
+  const double d = v.number_value;
+  if (d < 0 || std::floor(d) != d ||
+      d > static_cast<double>(max))
+    return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Fixed-point with 3 decimals, matching obs::JsonWriter::value(double, 3).
+void append_us(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// JSON string literal with obs::JsonWriter's escaping (quote, backslash,
+/// control characters; UTF-8 passes through).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string parse_request(std::string_view line, Request& out) {
+  out = Request{};
+  JsonValue doc;
+  const JsonParseResult parsed = parse_json(line, doc);
+  if (!parsed.ok)
+    return "malformed JSON at byte " + std::to_string(parsed.error_pos) +
+           ": " + parsed.error;
+  if (!doc.is_object()) return "request must be a JSON object";
+
+  bool saw_op = false;
+  for (const auto& [key, value] : doc.members) {
+    if (key == "op") {
+      if (!value.is_string()) return "\"op\" must be a string";
+      if (value.string_value == "plan")
+        out.op = Op::kPlan;
+      else if (value.string_value == "execute")
+        out.op = Op::kExecute;
+      else if (value.string_value == "stats")
+        out.op = Op::kStats;
+      else
+        return "unknown op \"" + value.string_value +
+               "\" (expected plan, execute or stats)";
+      saw_op = true;
+    } else if (key == "id") {
+      if (!as_u64(value, UINT64_MAX, out.id))
+        return "\"id\" must be a non-negative integer";
+      out.has_id = true;
+    } else if (key == "machine") {
+      if (!value.is_string()) return "\"machine\" must be a string";
+      out.machine = value.string_value;
+    } else if (key == "dist") {
+      if (!value.is_string()) return "\"dist\" must be a string";
+      out.dist = value.string_value;
+    } else if (key == "sources") {
+      std::uint64_t n = 0;
+      if (!as_u64(value, 1u << 20, n))
+        return "\"sources\" must be a non-negative integer";
+      out.sources = static_cast<int>(n);
+    } else if (key == "len") {
+      std::uint64_t n = 0;
+      if (!as_u64(value, 1ull << 40, n) || n == 0)
+        return "\"len\" must be a positive integer";
+      out.len = static_cast<Bytes>(n);
+    } else if (key == "seed") {
+      if (!as_u64(value, UINT64_MAX, out.seed))
+        return "\"seed\" must be a non-negative integer";
+    } else if (key == "faults") {
+      if (!value.is_string()) return "\"faults\" must be a string";
+      out.faults = value.string_value;
+    } else if (key == "ranked") {
+      if (!value.is_bool()) return "\"ranked\" must be a boolean";
+      out.ranked = value.bool_value;
+    } else if (key == "deterministic") {
+      if (!value.is_bool()) return "\"deterministic\" must be a boolean";
+      out.deterministic = value.bool_value;
+    } else {
+      return "unknown field \"" + key + "\"";
+    }
+  }
+  if (!saw_op) return "missing required field \"op\"";
+  return "";
+}
+
+std::string signature_hex(const plan::Signature& sig) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, sig.key());
+  return buf;
+}
+
+void write_plan_response(std::string& out, std::uint64_t id,
+                         const Request& req, const plan::Plan& plan) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"ok\":true,\"op\":\"plan\",\"signature\":\"";
+  out += signature_hex(plan.signature);
+  out += "\",\"best\":";
+  append_json_string(out, plan.best());
+  out += ",\"predicted_us\":";
+  append_us(out, plan.ranked.front().predicted_us);
+  out += ",\"planned_bytes\":";
+  append_u64(out, static_cast<std::uint64_t>(plan.planned_bytes));
+  if (req.ranked) {
+    out += ",\"ranked\":[";
+    bool first = true;
+    for (const plan::Plan::Entry& e : plan.ranked) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"algorithm\":";
+      append_json_string(out, e.algorithm);
+      out += ",\"predicted_us\":";
+      append_us(out, e.predicted_us);
+      out += '}';
+    }
+    out += ']';
+  }
+  out += "}\n";
+}
+
+void write_execute_response(std::string& out, std::uint64_t id,
+                            const Request& req, const std::string& algorithm,
+                            const stop::RunResult& result) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"ok\":true,\"op\":\"execute\",\"algorithm\":";
+  append_json_string(out, algorithm);
+  out += ",\"dist\":";
+  append_json_string(out, req.dist);
+  out += ",\"time_us\":";
+  append_us(out, result.time_us);
+  out += ",\"total_sends\":";
+  append_u64(out, result.outcome.metrics.total_sends);
+  out += ",\"total_bytes_sent\":";
+  append_u64(out,
+             static_cast<std::uint64_t>(result.outcome.metrics.total_bytes_sent));
+  out += "}\n";
+}
+
+void write_error_response(std::string& out, std::uint64_t id,
+                          std::string_view error) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"ok\":false,\"error\":";
+  append_json_string(out, error);
+  out += "}\n";
+}
+
+void write_overloaded_response(std::string& out, std::uint64_t id) {
+  write_error_response(out, id, "overloaded");
+}
+
+}  // namespace spb::serve

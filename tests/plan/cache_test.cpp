@@ -155,15 +155,16 @@ TEST(PlanCache, ConcurrentPlanningIsDeterministic) {
 
   for (int th = 1; th < kThreads; ++th)
     EXPECT_EQ(seen[static_cast<std::size_t>(th)], seen[0]);
-  // Every signature priced at most once per racing group: stats add up and
-  // misses never exceed the distinct problem count by more than the races
-  // that planned in parallel (each still counted once as a miss).
+  // Coalescing makes the books exact: racers on an in-flight signature
+  // wait for the owner's result and count as hits, so misses equal the
+  // distinct signature count — the planner ran exactly once per problem.
+  // (Before coalescing, every thread that found the entry absent planned
+  // it again outside the lock and each counted a miss.)
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.lookups(),
             static_cast<std::uint64_t>(kThreads) * kRounds * jobs.size());
   EXPECT_EQ(stats.misses + stats.hits, stats.lookups());
-  EXPECT_GE(stats.misses, jobs.size());
-  EXPECT_LE(stats.misses, static_cast<std::uint64_t>(kThreads) * jobs.size());
+  EXPECT_EQ(stats.misses, jobs.size());
   EXPECT_EQ(cache.size(), jobs.size());
 }
 

@@ -1,0 +1,106 @@
+// LatencyHistogram: bucket geometry, percentile ordering and clamping,
+// reset, and lossless counting under concurrent recording.
+#include "serve/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace spb::serve {
+namespace {
+
+TEST(LatencyHistogram, BucketEdgesAreMonotone) {
+  for (int b = 1; b < LatencyHistogram::kBuckets; ++b)
+    EXPECT_LT(LatencyHistogram::bucket_upper_us(b - 1),
+              LatencyHistogram::bucket_upper_us(b))
+        << "bucket " << b;
+}
+
+TEST(LatencyHistogram, BucketOfRespectsEdges) {
+  for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+    const double upper = LatencyHistogram::bucket_upper_us(b);
+    // Just under the edge stays in the bucket; the edge itself moves on.
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper * 0.999), b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper * 1.001), b + 1);
+  }
+  // The extremes saturate instead of indexing out of range.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(-5.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e18),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsAllZero) {
+  const LatencyHistogram h;
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.max_us, 0.0);
+  EXPECT_EQ(s.percentile_us(50), 0.0);
+  EXPECT_EQ(s.percentile_us(99), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreOrderedAndClamped) {
+  LatencyHistogram h;
+  // 90 fast requests, 9 slower, 1 slow outlier.
+  for (int i = 0; i < 90; ++i) h.record(10.0);
+  for (int i = 0; i < 9; ++i) h.record(500.0);
+  h.record(40000.0);
+
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 100u);
+  EXPECT_EQ(s.max_us, 40000.0);
+
+  const double p50 = s.percentile_us(50);
+  const double p95 = s.percentile_us(95);
+  const double p99 = s.percentile_us(99);
+  const double p100 = s.percentile_us(100);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p100);
+  // The bucket upper edge overestimates by at most the sqrt(2) ratio.
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 10.0 * 1.4143);
+  EXPECT_GE(p95, 500.0);
+  EXPECT_LE(p95, 500.0 * 1.4143);
+  // The tail percentile is clamped to the observed maximum, not the
+  // (larger) edge of the bucket the outlier landed in.
+  EXPECT_EQ(p100, 40000.0);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(100.0);
+  h.record(200.0);
+  ASSERT_EQ(h.count(), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(1 + (t * kPerThread + i) % 1000));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : s.counts) sum += c;
+  EXPECT_EQ(sum, s.total);
+  EXPECT_EQ(s.max_us, 1000.0);
+}
+
+}  // namespace
+}  // namespace spb::serve

@@ -1,0 +1,139 @@
+// serve::parse_json (the dependency-free protocol reader) and
+// serve::parse_request (field validation on top of it).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/json_value.h"
+#include "serve/protocol.h"
+
+namespace spb::serve {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  const JsonParseResult r = parse_json(text, v);
+  EXPECT_TRUE(r.ok) << text << " -> " << r.error << " at " << r.error_pos;
+  return v;
+}
+
+std::string parse_err(const std::string& text) {
+  JsonValue v;
+  const JsonParseResult r = parse_json(text, v);
+  EXPECT_FALSE(r.ok) << "unexpectedly parsed: " << text;
+  EXPECT_LE(r.error_pos, text.size());
+  return r.error;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_ok("true").bool_value, true);
+  EXPECT_EQ(parse_ok("false").bool_value, false);
+  EXPECT_EQ(parse_ok("null").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(parse_ok("42").number_value, 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.5e2").number_value, -350.0);
+  EXPECT_EQ(parse_ok("\"hi\"").string_value, "hi");
+  EXPECT_EQ(parse_ok("  1024  ").number_value, 1024.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b")").string_value, "a\"b");
+  EXPECT_EQ(parse_ok(R"("a\\b")").string_value, "a\\b");
+  EXPECT_EQ(parse_ok(R"("a\n\t\r")").string_value, "a\n\t\r");
+  EXPECT_EQ(parse_ok(R"("a\/b")").string_value, "a/b");
+  // \uXXXX decodes to UTF-8: ASCII, 2-byte, 3-byte.
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string_value, "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").string_value, "\xc3\xa9");
+  EXPECT_EQ(parse_ok("\"\\u2713\"").string_value, "\xe2\x9c\x93");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parse_ok("\"\xc3\xa9\"").string_value, "\xc3\xa9");
+}
+
+TEST(JsonParse, ObjectsKeepSourceOrder) {
+  const JsonValue v = parse_ok(R"({"b":1,"a":2,"c":[3,{"d":4}]})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "b");
+  EXPECT_EQ(v.members[1].first, "a");
+  EXPECT_EQ(v.members[2].first, "c");
+  ASSERT_EQ(v.members[2].second.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.members[2].second.items[0].number_value, 3.0);
+  const JsonValue* d = v.members[2].second.items[1].find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->number_value, 4.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  parse_err("");
+  parse_err("{");
+  parse_err("[1,2");
+  parse_err(R"({"a":})");
+  parse_err(R"({"a" 1})");
+  parse_err(R"({a:1})");
+  parse_err("\"unterminated");
+  parse_err(R"("bad \q escape")");
+  parse_err(R"("\u12g4")");
+  parse_err("1 2");          // trailing garbage
+  parse_err("{}try this");   // trailing garbage after a value
+  parse_err("nul");
+  parse_err("+1");
+  parse_err("\x01garbage");
+}
+
+TEST(JsonParse, ErrorPositionPointsAtTheFailure) {
+  JsonValue v;
+  const JsonParseResult r = parse_json(R"({"op":"plan",})", v);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error_pos, 13u);  // the '}' where a key was expected
+}
+
+TEST(ParseRequest, DefaultsAndFields) {
+  Request req;
+  EXPECT_EQ(parse_request(R"({"op":"plan"})", req), "");
+  EXPECT_EQ(req.op, Op::kPlan);
+  EXPECT_FALSE(req.has_id);
+  EXPECT_EQ(req.machine, "");
+  EXPECT_EQ(req.dist, "R");
+  EXPECT_EQ(req.sources, 0);
+  EXPECT_EQ(req.len, 2048u);
+  EXPECT_EQ(req.seed, 1u);
+  EXPECT_FALSE(req.ranked);
+
+  EXPECT_EQ(parse_request(
+                R"({"op":"execute","id":9,"machine":"t3d64","dist":"Sq",)"
+                R"("sources":8,"len":512,"seed":4,"faults":"drop=0.1",)"
+                R"("ranked":true,"deterministic":true})",
+                req),
+            "");
+  EXPECT_EQ(req.op, Op::kExecute);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 9u);
+  EXPECT_EQ(req.machine, "t3d64");
+  EXPECT_EQ(req.dist, "Sq");
+  EXPECT_EQ(req.sources, 8);
+  EXPECT_EQ(req.len, 512u);
+  EXPECT_EQ(req.seed, 4u);
+  EXPECT_EQ(req.faults, "drop=0.1");
+  EXPECT_TRUE(req.ranked);
+  EXPECT_TRUE(req.deterministic);
+}
+
+TEST(ParseRequest, RejectsBadRequests) {
+  Request req;
+  EXPECT_NE(parse_request("[1,2,3]", req), "");          // not an object
+  EXPECT_NE(parse_request("{}", req), "");               // missing op
+  EXPECT_NE(parse_request(R"({"op":"warp"})", req), "");  // unknown op
+  EXPECT_NE(parse_request(R"({"op":1})", req), "");       // op not a string
+  EXPECT_NE(parse_request(R"({"op":"plan","id":-1})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","id":1.5})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","len":0})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","len":"big"})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","sources":-4})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","ranked":"yes"})", req), "");
+  EXPECT_NE(parse_request(R"({"op":"plan","bogus":1})", req), "");
+  const std::string err = parse_request("{\"op\":\"plan\",}", req);
+  EXPECT_NE(err.find("malformed JSON"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace spb::serve

@@ -1,0 +1,111 @@
+// Protocol conformance: a golden JSONL transcript exercising every op and
+// the structured-error paths, replayed through a real Server.  The
+// response stream must match byte for byte (responses are deterministic:
+// the transcript ends in a "deterministic":true stats request and every
+// earlier response is a pure function of its request), and every line must
+// be a well-formed JSON document.
+//
+// Regenerate after an intentional wire-format change:
+//   SPB_UPDATE_GOLDEN=1 ./test_serve --gtest_filter=ProtocolGolden.*
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mini_json.h"
+#include "serve/server.h"
+
+namespace spb::serve {
+namespace {
+
+std::string data_path(const char* name) {
+  return std::string(SPB_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string replay(int workers) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = workers;
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    for (const std::string& line : read_lines(data_path("requests.jsonl")))
+      server.submit_line_wait(line);
+    server.drain();
+  }
+  return out.str();
+}
+
+TEST(ProtocolGolden, TranscriptMatchesByteForByte) {
+  const std::string got = replay(/*workers=*/2);
+
+  const std::string golden = data_path("responses.jsonl");
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test binary.
+  if (std::getenv("SPB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden;
+    out << got;
+    GTEST_SKIP() << "golden updated: " << golden;
+  }
+
+  std::ifstream in(golden);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden
+                         << " (run with SPB_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "wire format changed; regenerate with SPB_UPDATE_GOLDEN=1 if "
+         "intentional";
+}
+
+TEST(ProtocolGolden, SameTranscriptAtEveryWorkerCount) {
+  EXPECT_EQ(replay(1), replay(4));
+}
+
+TEST(ProtocolGolden, EveryResponseLineIsWellFormedJson) {
+  const std::string got = replay(/*workers=*/2);
+  std::istringstream is(got);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(test::MiniJson::validate(line), std::string::npos)
+        << "line " << count << ": " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, read_lines(data_path("requests.jsonl")).size())
+      << "exactly one response per request line";
+}
+
+TEST(ProtocolGolden, ErrorResponsesNameTheProblem) {
+  const std::string got = replay(/*workers=*/2);
+  const std::vector<std::string> requests =
+      read_lines(data_path("requests.jsonl"));
+  std::istringstream is(got);
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(is, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const bool is_error =
+        responses[i].find("\"ok\":false") != std::string::npos;
+    if (is_error) {
+      EXPECT_NE(responses[i].find("\"error\":\""), std::string::npos)
+          << "error response without a message: " << responses[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spb::serve

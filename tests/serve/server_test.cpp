@@ -1,0 +1,331 @@
+// serve::Server behavior: coalescing under simultaneous identical
+// requests (exactly one planner invocation), bounded-queue load shedding
+// with well-formed responses, in-order output, byte-identity across
+// worker counts, the stats fence, and error recovery.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mini_json.h"
+
+namespace spb::serve {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Server, CoalescesSimultaneousIdenticalRequests) {
+  // K workers all start the same plan request at the same time (a gate in
+  // job_hook holds them until all K are in flight): the planner must run
+  // exactly once, and every response must be identical.
+  constexpr int kConcurrent = 4;
+  std::atomic<int> plans{0};
+  std::atomic<int> in_jobs{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = kConcurrent;
+  options.job_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    if (in_jobs.fetch_add(1) + 1 == kConcurrent) {
+      open = true;
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return open; });
+    }
+  };
+  options.plan_hook = [&] { plans.fetch_add(1); };
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    for (int i = 0; i < kConcurrent; ++i)
+      server.submit_line(R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+    server.drain();
+
+    EXPECT_EQ(plans.load(), 1);
+    const plan::CacheStats stats = server.cache_stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kConcurrent) - 1);
+    // A racer that reaches the cache after the owner publishes lands as a
+    // plain LRU hit, so only an upper bound on coalesced is deterministic.
+    EXPECT_LE(stats.coalesced, static_cast<std::uint64_t>(kConcurrent) - 1);
+  }
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kConcurrent));
+  // Identical requests, identical responses — only the echoed id differs.
+  const std::string body0 = lines[0].substr(lines[0].find(','));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.substr(line.find(',')), body0);
+    EXPECT_EQ(test::MiniJson::validate(line), std::string::npos);
+  }
+}
+
+TEST(Server, BoundedQueueShedsWithWellFormedResponses) {
+  // One worker, held inside its first job; queue bounded at 2.  The two
+  // lines behind the running job queue up, everything further is answered
+  // "overloaded" immediately — and every single submission gets exactly
+  // one response.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 1;
+  options.max_queue = 2;
+  options.job_hook = [&] {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  std::ostringstream out;
+  constexpr int kTotal = 6;
+  {
+    Server server(options, out);
+    server.submit_line(R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+    while (started.load() < 1) std::this_thread::yield();  // job 0 running
+    for (int i = 1; i < kTotal; ++i)
+      server.submit_line(R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+
+    // Jobs 1 and 2 fit the queue; 3..5 were shed synchronously (the
+    // counters say so only after the ordered flush, checked post-drain —
+    // a shed response for seq N cannot flush while seq 0 is still open).
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    server.drain();
+    EXPECT_EQ(server.counters().shed, 3u);
+    EXPECT_EQ(server.counters().plan, 3u);
+    EXPECT_EQ(server.counters().errors, 0u);
+    EXPECT_EQ(server.queue_max_depth(), 2u);
+  }
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kTotal));
+  int shed = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(test::MiniJson::validate(line), std::string::npos);
+    if (line.find("\"error\":\"overloaded\"") != std::string::npos) {
+      ++shed;
+      EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(shed, 3);
+}
+
+TEST(Server, ShedCannotHappenUnderBlockingSubmission) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 2;
+  options.max_queue = 2;  // tiny on purpose
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    for (int i = 0; i < 64; ++i)
+      server.submit_line_wait(
+          R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+    server.drain();
+    EXPECT_EQ(server.counters().shed, 0u);
+    EXPECT_EQ(server.counters().plan, 64u);
+  }
+  EXPECT_EQ(lines_of(out.str()).size(), 64u);
+}
+
+TEST(Server, OutputIsInSubmissionOrder) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 4;
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    // Distinct ids in submission order; varied work so completion order
+    // scrambles with 4 workers.
+    for (int i = 0; i < 40; ++i) {
+      std::ostringstream line;
+      line << "{\"op\":\"plan\",\"id\":" << 1000 + i
+           << ",\"dist\":\"" << (i % 2 == 0 ? "R" : "B")
+           << "\",\"sources\":" << (i % 3 == 0 ? 4 : 8)
+           << ",\"len\":" << 512 * (1 + i % 5) << "}";
+      server.submit_line_wait(line.str());
+    }
+    server.drain();
+  }
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const std::string want = "{\"id\":" + std::to_string(1000 + i) + ",";
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)].substr(0, want.size()), want)
+        << "response " << i << " out of order";
+  }
+}
+
+std::string serve_trace(int workers, const std::vector<std::string>& trace) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = workers;
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    for (const std::string& line : trace) server.submit_line_wait(line);
+    server.drain();
+  }
+  return out.str();
+}
+
+TEST(Server, ByteIdenticalAcrossWorkerCounts) {
+  std::vector<std::string> trace;
+  for (int i = 0; i < 30; ++i) {
+    std::ostringstream line;
+    line << "{\"op\":\"plan\",\"dist\":\"" << (i % 2 == 0 ? "R" : "Sq")
+         << "\",\"sources\":" << (i % 4 == 0 ? 4 : 6)
+         << ",\"len\":" << 1024 * (1 + i % 3) << "}";
+    trace.push_back(line.str());
+  }
+  trace.push_back(R"({"op":"execute","dist":"R","sources":4,"len":1024})");
+  trace.push_back(R"({"op":"stats","deterministic":true})");
+  trace.push_back("not json at all");
+  trace.push_back(R"({"op":"plan","dist":"R","sources":4,"len":1024,"ranked":true})");
+
+  const std::string w1 = serve_trace(1, trace);
+  const std::string w2 = serve_trace(2, trace);
+  const std::string w8 = serve_trace(8, trace);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w8);
+}
+
+TEST(Server, StatsFenceCoversExactlyEarlierRequests) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 4;
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    for (int i = 0; i < 10; ++i)
+      server.submit_line_wait(
+          R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+    server.submit_line_wait(R"({"op":"stats","deterministic":true})");
+    for (int i = 0; i < 7; ++i)
+      server.submit_line_wait(
+          R"({"op":"plan","dist":"B","sources":8,"len":4096})");
+    server.drain();
+  }
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 18u);
+  const std::string& stats = lines[10];
+  EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos);
+  // The fence makes the snapshot exact: 10 plan responses before it, none
+  // of the 7 after it.
+  EXPECT_NE(stats.find("\"plan\":10"), std::string::npos) << stats;
+  // 10 identical requests -> 1 miss, 9 hits, whatever the worker count.
+  EXPECT_NE(stats.find("\"hits\":9"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos) << stats;
+}
+
+TEST(Server, MalformedLinesAnswerAndSessionContinues) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 2;
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    server.submit_line("{\"op\":\"plan\",\"len\":0}");        // bad value
+    server.submit_line("{\"op\":\"warp\"}");                   // unknown op
+    server.submit_line("{\"len\":1024}");                      // missing op
+    server.submit_line("{\"op\":\"plan\",\"bogus\":1}");       // unknown field
+    server.submit_line("\x01garbage");                          // not JSON
+    server.submit_line(
+        R"({"op":"plan","machine":"paragon9000","len":1024})");  // bad machine
+    server.submit_line(R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+    server.drain();
+    EXPECT_EQ(server.counters().errors, 6u);
+    EXPECT_EQ(server.counters().plan, 1u);
+  }
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 7u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(test::MiniJson::validate(lines[i]), std::string::npos)
+        << lines[i];
+    EXPECT_NE(lines[i].find("\"ok\":false"), std::string::npos) << lines[i];
+  }
+  EXPECT_NE(lines[6].find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Server, ExecuteRunsThePredictedBest) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 1;
+
+  std::ostringstream out;
+  {
+    Server server(options, out);
+    server.submit_line_wait(
+        R"({"op":"execute","dist":"R","sources":4,"len":1024})");
+    server.drain();
+    EXPECT_EQ(server.counters().execute, 1u);
+    // An execute request plans first (the signature lands in the cache).
+    EXPECT_EQ(server.cache_stats().misses, 1u);
+  }
+  const std::string line = lines_of(out.str()).at(0);
+  EXPECT_EQ(test::MiniJson::validate(line), std::string::npos);
+  EXPECT_NE(line.find("\"op\":\"execute\""), std::string::npos);
+  EXPECT_NE(line.find("\"algorithm\":"), std::string::npos);
+  EXPECT_NE(line.find("\"time_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"total_sends\":"), std::string::npos);
+}
+
+TEST(Server, ReportSectionReconcilesWithAccessors) {
+  ServerOptions options;
+  options.machine = "paragon4x4";
+  options.workers = 2;
+
+  std::ostringstream out;
+  Server server(options, out);
+  for (int i = 0; i < 12; ++i)
+    server.submit_line_wait(
+        R"({"op":"plan","dist":"R","sources":4,"len":2048})");
+  server.submit_line("definitely not json");
+  server.drain();
+
+  const obs::ServeSection section = server.report_section();
+  EXPECT_EQ(section.requests_plan, 12u);
+  EXPECT_EQ(section.requests_error, 1u);
+  EXPECT_EQ(section.workers, 2);
+  ASSERT_EQ(section.cache_shards.size(), server.cache().shard_count());
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const obs::ServeSection::CacheShard& s : section.cache_shards) {
+    hits += s.hits;
+    misses += s.misses;
+  }
+  EXPECT_EQ(hits, server.cache_stats().hits);
+  EXPECT_EQ(misses, server.cache_stats().misses);
+  EXPECT_EQ(section.latency_count, server.latency().total);
+}
+
+}  // namespace
+}  // namespace spb::serve

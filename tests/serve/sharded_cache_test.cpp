@@ -1,0 +1,272 @@
+// ShardedPlanCache: shard routing, per-shard LRU and statistics, the
+// multi-thread hammer (aggregate stats reconcile exactly with the per-shard
+// stats), coalescing (the planner runs exactly once per in-flight group),
+// and equivalence with the single-mutex PlanCache on the same trace.
+#include "plan/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "machine/config.h"
+#include "plan/cache.h"
+#include "stop/problem.h"
+
+namespace spb::plan {
+namespace {
+
+std::vector<Rank> sources_for(const machine::MachineConfig& m,
+                              dist::Kind kind, int s,
+                              std::uint64_t seed = 1) {
+  return stop::make_problem(m, kind, s, 1024, seed).sources;
+}
+
+struct Trace {
+  std::vector<Rank> sources;
+  Bytes len;
+  std::string label;
+};
+
+std::vector<Trace> mixed_trace(const machine::MachineConfig& m) {
+  const std::vector<dist::Kind> kinds = {
+      dist::Kind::kRow, dist::Kind::kColumn, dist::Kind::kBand,
+      dist::Kind::kSquare, dist::Kind::kRandom};
+  const std::vector<Bytes> lens = {512, 1024, 6144, 32768};
+  std::vector<Trace> trace;
+  for (const dist::Kind k : kinds)
+    for (const Bytes len : lens)
+      trace.push_back({sources_for(m, k, 16), len,
+                       std::string(dist::kind_name(k))});
+  return trace;
+}
+
+TEST(ShardedPlanCache, AggregateStatsAreExactShardSums) {
+  // The satellite check: after an 8-thread mixed hammer, stats() must be
+  // the exact field-wise sum of shard_stats() — no lost updates, no
+  // double counting.
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  ShardedPlanCache cache(/*capacity=*/64, /*shards=*/8);
+  const std::vector<Trace> trace = mixed_trace(m);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(static_cast<std::uint64_t>(th) + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t j = 0; j < trace.size(); ++j) {
+          const std::size_t pick = rng.next_below(trace.size());
+          cache.plan(planner, trace[pick].sources, trace[pick].len,
+                     trace[pick].label);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const CacheStats total = cache.stats();
+  const std::vector<CacheStats> per = cache.shard_stats();
+  ASSERT_EQ(per.size(), cache.shard_count());
+  CacheStats sum;
+  for (const CacheStats& s : per) sum += s;
+  EXPECT_EQ(total.hits, sum.hits);
+  EXPECT_EQ(total.misses, sum.misses);
+  EXPECT_EQ(total.evictions, sum.evictions);
+  EXPECT_EQ(total.coalesced, sum.coalesced);
+
+  // Every lookup is accounted exactly once, as a hit or a miss.
+  EXPECT_EQ(total.lookups(),
+            static_cast<std::uint64_t>(kThreads) * kRounds * trace.size());
+  // Coalescing: the planner ran once per distinct signature (capacity is
+  // ample, so nothing was evicted and re-planned).
+  EXPECT_EQ(total.misses, trace.size());
+  EXPECT_EQ(total.evictions, 0u);
+
+  std::size_t size_sum = 0;
+  for (std::size_t i = 0; i < cache.shard_count(); ++i)
+    size_sum += cache.shard_size(i);
+  EXPECT_EQ(cache.size(), size_sum);
+}
+
+TEST(ShardedPlanCache, MatchesSingleMutexCacheOnSameTrace) {
+  // Results (not just stats) must be what the old single-mutex PlanCache
+  // produces for the same request trace.
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  ShardedPlanCache sharded(/*capacity=*/64, /*shards=*/8);
+  PlanCache single(/*capacity=*/64);
+  const std::vector<Trace> trace = mixed_trace(m);
+
+  for (const Trace& t : trace) {
+    const Plan a = sharded.plan(planner, t.sources, t.len, t.label);
+    const Plan b = single.plan(planner, t.sources, t.len, t.label);
+    EXPECT_EQ(a.table_text(), b.table_text());
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.planned_bytes, b.planned_bytes);
+  }
+  // Identical request multiset, ample capacity: identical hit/miss books.
+  EXPECT_EQ(sharded.stats().hits, single.stats().hits);
+  EXPECT_EQ(sharded.stats().misses, single.stats().misses);
+}
+
+TEST(ShardedPlanCache, CoalescesConcurrentMissesToOneCompute) {
+  // K threads race the same signature while the first compute is held
+  // open: exactly one compute() runs, everyone gets its plan, and the
+  // books say 1 miss + (K-1) coalesced hits.
+  const machine::MachineConfig m = machine::paragon(4, 4);
+  const Planner planner(m);
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 4);
+  const Signature sig = make_signature(m, srcs, 2048, "R", "");
+  ShardedPlanCache cache(/*capacity=*/16, /*shards=*/4);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  std::atomic<int> arrived{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  const auto compute = [&] {
+    computes.fetch_add(1);
+    // Hold the in-flight window open until every thread has arrived at
+    // the cache (so the losers coalesce instead of hitting the LRU).
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return planner.plan(srcs, 2048, "R", "");
+  };
+
+  std::vector<std::string> tables(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      arrived.fetch_add(1);
+      const Plan p = cache.plan(sig, compute);
+      tables[static_cast<std::size_t>(th)] = p.table_text();
+    });
+  }
+  // Let the racers pile up, then open the gate.  (Threads that have not
+  // yet reached the cache when the owner publishes simply hit the LRU —
+  // still one compute either way.)
+  while (arrived.load() < kThreads) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // the PR-5 race counted every racer here
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads) - 1);
+  EXPECT_EQ(stats.lookups(), static_cast<std::uint64_t>(kThreads));
+  for (int th = 1; th < kThreads; ++th)
+    EXPECT_EQ(tables[static_cast<std::size_t>(th)], tables[0]);
+}
+
+TEST(ShardedPlanCache, ComputeFailurePropagatesAndRetries) {
+  const machine::MachineConfig m = machine::paragon(4, 4);
+  const Planner planner(m);
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 4);
+  const Signature sig = make_signature(m, srcs, 2048, "R", "");
+  ShardedPlanCache cache(/*capacity=*/4, /*shards=*/2);
+
+  EXPECT_THROW(
+      cache.plan(sig,
+                 []() -> Plan { throw CheckError("model exploded"); }),
+      CheckError);
+  // The failure was not cached: the next request plans again and succeeds.
+  const Plan p = cache.plan(
+      sig, [&] { return planner.plan(srcs, 2048, "R", ""); });
+  EXPECT_FALSE(p.ranked.empty());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedPlanCache, EvictionIsPerShard) {
+  // A hot shard evicts its own LRU tail only; keys on other shards stay.
+  ShardedPlanCache cache(/*capacity=*/4, /*shards=*/2);
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+
+  // Gather signatures until one shard owns 3 distinct keys (capacity per
+  // shard is 2), planning through different length buckets.
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+  std::vector<Signature> sigs;
+  for (Bytes len = 512; sigs.size() < 8; len *= 2)
+    sigs.push_back(make_signature(m, srcs, len, "R", ""));
+
+  std::vector<std::vector<Signature>> by_shard(cache.shard_count());
+  for (const Signature& s : sigs)
+    by_shard[cache.shard_of(s.key())].push_back(s);
+  std::size_t hot = 0;
+  for (std::size_t i = 0; i < by_shard.size(); ++i)
+    if (by_shard[i].size() > by_shard[hot].size()) hot = i;
+  ASSERT_GE(by_shard[hot].size(), 3u) << "length buckets spread unluckily";
+
+  for (const Signature& s : by_shard[hot])
+    cache.plan(s, [&] { return planner.plan(srcs, 2048, "R", ""); });
+  const std::vector<CacheStats> per = cache.shard_stats();
+  EXPECT_EQ(per[hot].evictions, by_shard[hot].size() - 2);
+  for (std::size_t i = 0; i < per.size(); ++i) {
+    if (i != hot) {
+      EXPECT_EQ(per[i].evictions, 0u);
+    }
+  }
+  EXPECT_EQ(cache.shard_size(hot), 2u);
+}
+
+TEST(ShardedPlanCache, SingleShardKeepsGlobalLruSemantics) {
+  // shards=1 is the PlanCache compatibility mode: global LRU order.
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  ShardedPlanCache cache(/*capacity=*/2, /*shards=*/1);
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+
+  cache.plan(planner, srcs, 1024, "R");
+  cache.plan(planner, srcs, 4096, "R");
+  cache.plan(planner, srcs, 1024, "R");   // refresh
+  cache.plan(planner, srcs, 16384, "R");  // evicts the 4096 bucket
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.plan(planner, srcs, 1024, "R");
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.plan(planner, srcs, 4096, "R");  // must be a miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ShardedPlanCache, PeekAndClear) {
+  const machine::MachineConfig m = machine::paragon(8, 8);
+  const Planner planner(m);
+  ShardedPlanCache cache(/*capacity=*/16, /*shards=*/4);
+  const std::vector<Rank> srcs = sources_for(m, dist::Kind::kRow, 8);
+  const Plan planned = cache.plan(planner, srcs, 6144, "R");
+
+  Plan out;
+  EXPECT_TRUE(cache.peek(planned.signature, out));
+  EXPECT_EQ(out.table_text(), planned.table_text());
+  EXPECT_EQ(cache.stats().lookups(), 1u);  // peek is not a lookup
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.peek(planned.signature, out));
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(ShardedPlanCache, RejectsZeroCapacityAndZeroShards) {
+  EXPECT_THROW(ShardedPlanCache(0, 1), CheckError);
+  EXPECT_THROW(ShardedPlanCache(16, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace spb::plan
