@@ -58,73 +58,109 @@ int main(int argc, char** argv) {
       for (const Bytes len : l_values) combos.push_back({kind, s, len});
 
   // Oracle: measure every algorithm on every combo (one deterministic
-  // simulation each), fanned out over --jobs workers.
-  std::vector<stop::Problem> problems;
-  problems.reserve(combos.size());
-  std::vector<bench::SweepCase> cases;
-  cases.reserve(combos.size() * algorithms.size());
-  for (const Combo& c : combos) {
-    problems.push_back(
-        stop::make_problem(machine, c.kind, c.sources, c.len, opt.seed_or(1)));
-    for (const auto& alg : algorithms)
-      cases.push_back({alg, problems.back()});
-  }
-  const std::vector<double> ms = bench::time_ms_sweep(cases, opt.jobs);
+  // simulation each), fanned out over --jobs workers; the planner picks
+  // from the cost model alone and pays its pick's measured time.  Returns
+  // the fraction of combos whose regret stays within `bound`.
+  const auto regret_section = [&](const machine::MachineConfig& m,
+                                  const std::vector<Combo>& cs,
+                                  std::vector<stop::Problem>& problems,
+                                  double bound, int* within, double* worst) {
+    const plan::Planner local_planner(m);
+    problems.clear();
+    problems.reserve(cs.size());
+    std::vector<bench::SweepCase> cases;
+    cases.reserve(cs.size() * algorithms.size());
+    for (const Combo& c : cs) {
+      problems.push_back(
+          stop::make_problem(m, c.kind, c.sources, c.len, opt.seed_or(1)));
+      for (const auto& alg : algorithms)
+        cases.push_back({alg, problems.back()});
+    }
+    const std::vector<double> ms = bench::time_ms_sweep(cases, opt.jobs);
 
-  TextTable t;
-  t.row()
-      .cell("dist")
-      .cell("s")
-      .cell("L")
-      .cell("oracle best")
-      .cell("[ms]")
-      .cell("planner pick")
-      .cell("[ms]")
-      .cell("regret");
+    TextTable t;
+    t.row()
+        .cell("dist")
+        .cell("s")
+        .cell("L")
+        .cell("oracle best")
+        .cell("[ms]")
+        .cell("planner pick")
+        .cell("[ms]")
+        .cell("regret");
+    *within = 0;
+    *worst = 0;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const Combo& c = cs[i];
+      const std::size_t base = i * algorithms.size();
+
+      std::size_t best_idx = 0;
+      for (std::size_t a = 1; a < algorithms.size(); ++a)
+        if (ms[base + a] < ms[base + best_idx]) best_idx = a;
+      const double oracle_ms = ms[base + best_idx];
+
+      const plan::Plan plan =
+          local_planner.plan(problems[i].sources, c.len,
+                             std::string(dist::kind_name(c.kind)));
+      const auto pick_it =
+          std::find_if(algorithms.begin(), algorithms.end(),
+                       [&plan](const stop::AlgorithmPtr& alg) {
+                         return alg->name() == plan.best();
+                       });
+      const std::size_t pick_idx =
+          static_cast<std::size_t>(pick_it - algorithms.begin());
+      const double pick_ms = ms[base + pick_idx];
+
+      const double regret = pick_ms / oracle_ms;
+      *worst = std::max(*worst, regret);
+      if (regret <= bound) ++*within;
+      t.row()
+          .cell(dist::kind_name(c.kind))
+          .num(static_cast<std::int64_t>(c.sources))
+          .num(static_cast<std::int64_t>(c.len))
+          .cell(algorithms[best_idx]->name())
+          .num(oracle_ms, 2)
+          .cell(plan.best())
+          .num(pick_ms, 2)
+          .num(regret, 3);
+    }
+    std::printf("== %s ==\n%s\n", m.name.c_str(), t.render().c_str());
+  };
+
+  std::vector<stop::Problem> problems;
   int within_bound = 0;
   double worst_regret = 0;
-  for (std::size_t i = 0; i < combos.size(); ++i) {
-    const Combo& c = combos[i];
-    const std::size_t base = i * algorithms.size();
-
-    std::size_t best_idx = 0;
-    for (std::size_t a = 1; a < algorithms.size(); ++a)
-      if (ms[base + a] < ms[base + best_idx]) best_idx = a;
-    const double oracle_ms = ms[base + best_idx];
-
-    const plan::Plan plan =
-        planner.plan(problems[i].sources, c.len,
-                     std::string(dist::kind_name(c.kind)));
-    const auto pick_it =
-        std::find_if(algorithms.begin(), algorithms.end(),
-                     [&plan](const stop::AlgorithmPtr& alg) {
-                       return alg->name() == plan.best();
-                     });
-    const std::size_t pick_idx =
-        static_cast<std::size_t>(pick_it - algorithms.begin());
-    const double pick_ms = ms[base + pick_idx];
-
-    const double regret = pick_ms / oracle_ms;
-    worst_regret = std::max(worst_regret, regret);
-    if (regret <= 1.15) ++within_bound;
-    t.row()
-        .cell(dist::kind_name(c.kind))
-        .num(static_cast<std::int64_t>(c.sources))
-        .num(static_cast<std::int64_t>(c.len))
-        .cell(algorithms[best_idx]->name())
-        .num(oracle_ms, 2)
-        .cell(plan.best())
-        .num(pick_ms, 2)
-        .num(regret, 3);
-  }
-  std::printf("%s\n", t.render().c_str());
-
+  regret_section(machine, combos, problems, 1.15, &within_bound,
+                 &worst_regret);
   const int total = static_cast<int>(combos.size());
   check.expect(within_bound * 10 >= total * 9,
                "planner regret <= 1.15x the measured best on >= 90% of "
                "combos (" + std::to_string(within_bound) + "/" +
                    std::to_string(total) + ", worst " +
                    fixed(worst_regret, 3) + ")");
+
+  // The registry's new machine families: the planner must carry its
+  // ranking bet onto the k-ary n-cube and the two-level cluster, where
+  // the candidate list includes the hierarchical algorithms.
+  for (const char* spec : {"torus4x4x4x4", "cluster8x4"}) {
+    const machine::MachineConfig m = machine::from_name(spec);
+    std::vector<Combo> cs;
+    for (const dist::Kind kind : dist::all_kinds())
+      for (const int s :
+           {std::max(2, (3 * m.p) / 16), std::max(2, (3 * m.p) / 8)})
+        for (const Bytes len : {Bytes{1024}, Bytes{32768}})
+          cs.push_back({kind, s, len});
+    std::vector<stop::Problem> pbs;
+    int within = 0;
+    double worst = 0;
+    regret_section(m, cs, pbs, 1.25, &within, &worst);
+    check.expect(within * 10 >= static_cast<int>(cs.size()) * 9,
+                 std::string(spec) +
+                     ": planner regret <= 1.25x the measured best on >= "
+                     "90% of combos (" + std::to_string(within) + "/" +
+                     std::to_string(cs.size()) + ", worst " +
+                     fixed(worst, 3) + ")");
+  }
 
   // Determinism across --jobs: plan every combo through a shared PlanCache
   // from 1 and from N worker threads; the concatenated ranked tables must

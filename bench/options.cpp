@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parse.h"
+#include "machine/registry.h"
 #include "sweep_runner.h"
 #include "util.h"
 
@@ -27,7 +28,7 @@ std::string usage_text(const std::string& argv0, const ParseSpec& spec) {
     os << " " << spec.positional_help;
   os << "\n";
   if (!spec.description.empty()) os << "  " << spec.description << "\n";
-  os << "  --machine M   paragonRxC | t3dP[:SEED] | hypercubeD\n"
+  os << "  --machine M   " << machine::Registry::instance().grammar() << "\n"
      << "  --dist D      R C E Dr Dl B Cr Sq Rand\n"
      << "  --sources N   source count\n"
      << "  --len N       message length in bytes\n"
@@ -133,6 +134,10 @@ Options parse_options(int argc, char** argv, const ParseSpec& spec) {
   const std::string err = parse_options_into(argc, argv, spec, out);
   if (err == "help") {
     std::cout << usage_text(argv[0], spec);
+    std::exit(0);
+  }
+  if (out.machine.has_value() && *out.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
     std::exit(0);
   }
   if (!err.empty()) {

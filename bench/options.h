@@ -2,7 +2,9 @@
 //
 // All 28 benches accept the same flag set through parse_options():
 //
-//   --machine M   paragonRxC | t3dP[:SEED] | hypercubeD
+//   --machine M   any machine::Registry spec (paragonRxC, t3dP[:SEED],
+//                 hypercubeD, torusK1xK2x..., clusterNxM); "list" prints
+//                 the registry catalogue and exits
 //   --dist D      R C E Dr Dl B Cr Sq Rand
 //   --sources N   source count
 //   --len N       message length in bytes

@@ -10,7 +10,7 @@ namespace spb::coll {
 
 sim::Task gather_to_root(mp::Comm& comm, Rank root,
                          std::shared_ptr<const std::vector<Rank>> senders,
-                         mp::Payload& data) {
+                         mp::Payload& data, int tag) {
   SPB_REQUIRE(senders != nullptr, "gather needs a sender list");
   const Rank me = comm.rank();
   const bool sending =
@@ -20,13 +20,13 @@ sim::Task gather_to_root(mp::Comm& comm, Rank root,
     int expected = static_cast<int>(senders->size());
     if (sending) --expected;  // the root's own data is already local
     for (int k = 0; k < expected; ++k) {
-      mp::Message m = co_await comm.recv(mp::kAnySource, mp::tags::kData);
+      mp::Message m = co_await comm.recv(mp::kAnySource, tag);
       // Gatherv semantics: each message lands at its pre-computed offset in
       // the root's buffer — no combining cost, unlike the Br_* merges.
       data.merge(m.payload);
     }
   } else if (sending) {
-    co_await comm.send(root, data);
+    co_await comm.send(root, data, tag);
   }
   comm.mark_iteration();
 }

@@ -16,9 +16,12 @@ namespace spb::coll {
 /// Runs rank `comm.rank()`'s part of the gather.  `senders` is the sorted
 /// list of ranks holding data (the root may or may not be among them);
 /// `data` is this rank's payload (the root accumulates into it, senders
-/// keep their copy).  Marks one metrics iteration.
+/// keep their copy).  Marks one metrics iteration.  `tag` stamps the
+/// gather's traffic — hierarchical algorithms pass mp::tags::kGather so
+/// the root's any-source receives cannot match a later phase's kData
+/// messages arriving early.
 sim::Task gather_to_root(mp::Comm& comm, Rank root,
                          std::shared_ptr<const std::vector<Rank>> senders,
-                         mp::Payload& data);
+                         mp::Payload& data, int tag = mp::tags::kData);
 
 }  // namespace spb::coll

@@ -4,56 +4,12 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "machine/registry.h"
 
 namespace spb::machine {
 
-namespace {
-
-/// Strict non-negative integer parse; SPB_REQUIREs on junk.
-int parse_int(const std::string& text, const std::string& what) {
-  SPB_REQUIRE(!text.empty(), "missing " << what << " in machine name");
-  std::size_t used = 0;
-  int v = 0;
-  try {
-    v = std::stoi(text, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  SPB_REQUIRE(used == text.size() && v >= 0,
-              "bad " << what << " '" << text << "' in machine name");
-  return v;
-}
-
-}  // namespace
-
 MachineConfig from_name(const std::string& name) {
-  // paragonRxC (e.g. paragon8x8), t3dP[:SEED] (e.g. t3d512, t3d256:0),
-  // hypercubeD (e.g. hypercube6).
-  if (name.rfind("paragon", 0) == 0) {
-    const std::string dims = name.substr(7);
-    const std::size_t x = dims.find('x');
-    SPB_REQUIRE(x != std::string::npos,
-                "machine '" << name << "': want paragonRxC, e.g. paragon8x8");
-    return paragon(parse_int(dims.substr(0, x), "rows"),
-                   parse_int(dims.substr(x + 1), "cols"));
-  }
-  if (name.rfind("t3d", 0) == 0) {
-    std::string rest = name.substr(3);
-    std::uint64_t seed = 1;
-    const std::size_t colon = rest.find(':');
-    if (colon != std::string::npos) {
-      seed = static_cast<std::uint64_t>(
-          parse_int(rest.substr(colon + 1), "scatter seed"));
-      rest = rest.substr(0, colon);
-    }
-    return t3d(parse_int(rest, "processor count"), seed);
-  }
-  if (name.rfind("hypercube", 0) == 0)
-    return hypercube(parse_int(name.substr(9), "dimension count"));
-  SPB_REQUIRE(false, "unknown machine '"
-                         << name
-                         << "' (want paragonRxC, t3dP[:SEED] or hypercubeD)");
-  return {};  // unreachable
+  return Registry::instance().parse(name);
 }
 
 mp::Runtime MachineConfig::make_runtime(bool mpi_flavored) const {
@@ -165,6 +121,73 @@ MachineConfig t3d(int p, std::uint64_t scatter_seed) {
   // Everything on the T3D already runs on MPI; no extra penalty.  The
   // MPI_AllGather broadcast phase is the vendor collective, which
   // pipelines large messages in segments.
+  m.mpi_extra_us = 0.0;
+  m.bcast_segment_bytes = 16384;
+  return m;
+}
+
+MachineConfig torus(const std::vector<int>& dims) {
+  auto topo = std::make_shared<net::TorusND>(dims);
+  MachineConfig m;
+  m.name = topo->name();
+  m.p = topo->node_count();
+  m.topology = std::move(topo);
+  balanced_factors(m.p, m.rows, m.cols);
+  m.mapping = net::RankMapping::identity(m.p);
+
+  // T3D-class interconnect and software (see t3d()), but a dedicated
+  // machine: the application owns the whole torus, so placement is
+  // contiguous instead of the T3D's uncontrollable scatter.
+  m.net.alpha_us = 2.0;
+  m.net.per_hop_us = 0.02;
+  m.net.bytes_per_us = 280.0;
+  m.net.inject_channels = 2;
+  m.net.eject_channels = 2;
+
+  m.comm.send_overhead_us = 25.0;
+  m.comm.recv_overhead_us = 35.0;
+  m.comm.combine_fixed_us = 15.0;
+  m.comm.combine_per_byte_us = 0.025;
+  m.comm.header_bytes = 32;
+  m.comm.chunk_header_bytes = 8;
+
+  m.mpi_extra_us = 0.0;
+  m.bcast_segment_bytes = 16384;
+  return m;
+}
+
+MachineConfig cluster(int nodes, int cores) {
+  // Inter-node mesh links run at a quarter of the crossbar rate; the
+  // topology reports this per link and the cost model prices it via
+  // inter_node_bw_scale.
+  constexpr double kMeshScale = 0.25;
+  auto topo = std::make_shared<net::Cluster>(nodes, cores, kMeshScale);
+  MachineConfig m;
+  m.name = topo->name();
+  m.p = topo->node_count();
+  m.rows = topo->nodes();  // one logical row per node
+  m.cols = cores;
+  m.topology = std::move(topo);
+  m.mapping = net::RankMapping::identity(m.p);
+  m.cores_per_node = cores;
+  m.inter_node_bw_scale = kMeshScale;
+
+  // Mid-90s SMP-cluster numbers: shared-memory-class crossbar inside a
+  // node, cabled mesh between boxes with a real per-hop head latency, a
+  // lean MPI stack everywhere.
+  m.net.alpha_us = 3.0;
+  m.net.per_hop_us = 0.3;
+  m.net.bytes_per_us = 320.0;
+  m.net.inject_channels = 1;
+  m.net.eject_channels = 1;
+
+  m.comm.send_overhead_us = 18.0;
+  m.comm.recv_overhead_us = 18.0;
+  m.comm.combine_fixed_us = 3.0;
+  m.comm.combine_per_byte_us = 0.006;
+  m.comm.header_bytes = 32;
+  m.comm.chunk_header_bytes = 8;
+
   m.mpi_extra_us = 0.0;
   m.bcast_segment_bytes = 16384;
   return m;

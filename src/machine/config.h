@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "mp/runtime.h"
@@ -57,6 +58,13 @@ struct MachineConfig {
   /// collective (Cray's MPI on the T3D).
   Bytes bcast_segment_bytes = 0;
 
+  /// Two-level cluster machines: processors per node (0 = flat machine)
+  /// and the inter-node link bandwidth as a fraction of net.bytes_per_us
+  /// (net carries the fast intra-node tier; 1.0 on flat machines).
+  /// Calibration::from_machine prices the two tiers separately from these.
+  int cores_per_node = 0;
+  double inter_node_bw_scale = 1.0;
+
   /// Builds a runtime for this machine, with `mpi_extra_us` applied if the
   /// algorithm runs on the portable MPI layer.
   mp::Runtime make_runtime(bool mpi_flavored) const;
@@ -65,9 +73,10 @@ struct MachineConfig {
 /// Intel Paragon submesh of rows x cols processors.
 MachineConfig paragon(int rows, int cols);
 
-/// Parses a CLI machine spec: "paragonRxC" (paragon8x8), "t3dP[:SEED]"
-/// (t3d512, t3d256:0 for the contiguous mapping) or "hypercubeD"
-/// (hypercube6).  Throws CheckError on anything else.
+/// Parses a CLI machine spec by delegating to machine::Registry: the
+/// registered families are paragonRxC, t3dP[:SEED], hypercubeD,
+/// torusK1xK2x... and clusterNxM.  Throws CheckError enumerating the
+/// registered patterns on anything else.
 MachineConfig from_name(const std::string& name);
 
 /// Cray T3D partition of p virtual processors on a 512-node torus.  The
@@ -91,5 +100,19 @@ void balanced_factors(int p, int& rows, int& cols);
 /// exchanges are contention-free here — bench/ext_hypercube measures the
 /// effect against a mesh of the same size.
 MachineConfig hypercube(int dims);
+
+/// k-ary n-cube torus machine (net::TorusND) with T3D-class links and
+/// software, dedicated to the application: ranks map to nodes
+/// contiguously, the logical grid is the most balanced factorization of
+/// the node count.  The machine axis ROADMAP item 4 asks for — tori the
+/// 1996 hardware could not reach (torus8x8x16, torus4x4x4x4, ...).
+MachineConfig torus(const std::vector<int>& dims);
+
+/// Two-level cluster of `nodes` compute nodes x `cores` processors each
+/// (net::Cluster): node-local crossbar at the full net rate, inter-node
+/// mesh at a quarter of it.  The logical grid is nodes x cores with one
+/// row per node, so row-oriented algorithms (and the Hier_* family) align
+/// with the machine hierarchy.
+MachineConfig cluster(int nodes, int cores);
 
 }  // namespace spb::machine

@@ -1,0 +1,162 @@
+#include "machine/registry.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/parse.h"
+
+namespace spb::machine {
+
+namespace {
+
+/// Strict positive-int parse for one machine-spec parameter; the error
+/// names the spec and the offending field.
+int parse_param(const std::string& spec, const std::string& what,
+                const std::string& text) {
+  int v = 0;
+  std::string err;
+  SPB_REQUIRE(try_parse_int(text, v, err),
+              "machine '" << spec << "': bad " << what << " '" << text
+                          << "' (" << err << ")");
+  return v;
+}
+
+/// Splits "4x4x16" on 'x' into ints (strictly parsed).
+std::vector<int> parse_dims(const std::string& spec, const std::string& what,
+                            const std::string& text) {
+  std::vector<int> dims;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t x = text.find('x', at);
+    dims.push_back(parse_param(
+        spec, what,
+        text.substr(at, x == std::string::npos ? std::string::npos : x - at)));
+    if (x == std::string::npos) break;
+    at = x + 1;
+  }
+  return dims;
+}
+
+}  // namespace
+
+Registry::Registry() {
+  // NOTE: spb_lint rule U6 checks that every entry carries a non-empty
+  // .description and .example; keep the designated initializers.
+  entries_.push_back({
+      .pattern = "paragonRxC",
+      .description =
+          "Intel Paragon XP/S: dedicated RxC wormhole 2-D mesh, NX software",
+      .example = "paragon8x8",
+      .prefix = "paragon",
+      .parse =
+          [](const std::string& spec) {
+            const auto d =
+                parse_dims(spec, "mesh dimensions", spec.substr(7));
+            SPB_REQUIRE(d.size() == 2,
+                        "machine '" << spec
+                                    << "': want paragonRxC, e.g. paragon8x8");
+            return paragon(d[0], d[1]);
+          },
+  });
+  entries_.push_back({
+      .pattern = "t3dP[:SEED]",
+      .description = "Cray T3D: P virtual processors scattered on a 512-node "
+                     "3-D torus (:0 = contiguous placement)",
+      .example = "t3d512",
+      .prefix = "t3d",
+      .parse =
+          [](const std::string& spec) {
+            std::string rest = spec.substr(3);
+            std::uint64_t seed = 1;
+            const std::size_t colon = rest.find(':');
+            if (colon != std::string::npos) {
+              seed = static_cast<std::uint64_t>(parse_param(
+                  spec, "scatter seed", rest.substr(colon + 1)));
+              rest = rest.substr(0, colon);
+            }
+            return t3d(parse_param(spec, "processor count", rest), seed);
+          },
+  });
+  entries_.push_back({
+      .pattern = "hypercubeD",
+      .description = "iPSC/860-style hypercube of 2^D processors, e-cube "
+                     "routed, Paragon-era software",
+      .example = "hypercube6",
+      .prefix = "hypercube",
+      .parse =
+          [](const std::string& spec) {
+            return hypercube(
+                parse_param(spec, "dimension count", spec.substr(9)));
+          },
+  });
+  entries_.push_back({
+      .pattern = "torusK1xK2x...",
+      .description = "k-ary n-cube: torus with wraparound in every dimension, "
+                     "T3D-class links, contiguous placement",
+      .example = "torus4x4x4x4",
+      .prefix = "torus",
+      .parse =
+          [](const std::string& spec) {
+            return torus(parse_dims(spec, "torus dimensions", spec.substr(5)));
+          },
+  });
+  entries_.push_back({
+      .pattern = "clusterNxM",
+      .description = "two-level cluster: N nodes x M cores, node-local "
+                     "crossbar + slower inter-node mesh",
+      .example = "cluster8x4",
+      .prefix = "cluster",
+      .parse =
+          [](const std::string& spec) {
+            const auto d =
+                parse_dims(spec, "cluster dimensions", spec.substr(7));
+            SPB_REQUIRE(d.size() == 2,
+                        "machine '" << spec
+                                    << "': want clusterNxM, e.g. cluster8x4");
+            return cluster(d[0], d[1]);
+          },
+  });
+}
+
+const Registry& Registry::instance() {
+  static const Registry registry;
+  return registry;
+}
+
+MachineConfig Registry::parse(const std::string& spec) const {
+  for (const auto& e : entries_)
+    if (spec.rfind(e.prefix, 0) == 0) return e.parse(spec);
+  std::ostringstream os;
+  os << "unknown machine '" << spec << "'; registered machine specs:";
+  for (const auto& e : entries_)
+    os << "\n  " << e.pattern << "  (e.g. " << e.example << ")";
+  SPB_REQUIRE(false, os.str());
+  return {};  // unreachable
+}
+
+std::string Registry::describe() const {
+  std::size_t width = 0;
+  for (const auto& e : entries_) width = std::max(width, e.pattern.size());
+  std::ostringstream os;
+  os << "registered machines (--machine SPEC):\n";
+  for (const auto& e : entries_) {
+    os << "  " << e.pattern
+       << std::string(width - e.pattern.size() + 2, ' ') << e.description
+       << " [e.g. " << e.example << "]\n";
+  }
+  return os.str();
+}
+
+std::string Registry::grammar() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    if (!out.empty()) out += " | ";
+    out += e.pattern;
+  }
+  out += " | list";
+  return out;
+}
+
+}  // namespace spb::machine

@@ -18,6 +18,10 @@ namespace tags {
 inline constexpr int kData = 0;      // broadcast payload traffic
 inline constexpr int kExchange = 1;  // Part_* final inter-group exchange
 inline constexpr int kPermute = 2;   // repositioning permutation
+inline constexpr int kGather = 3;    // Hier_* leader-gather phase: keeps the
+                                     // leaders' any-source gather from
+                                     // matching kData halving traffic that
+                                     // arrives early from other leaders
 }  // namespace tags
 
 struct Message {

@@ -28,7 +28,16 @@ NetworkModel::NetworkModel(std::shared_ptr<const Topology> topo,
               "latencies must be non-negative");
   SPB_REQUIRE(params_.inject_channels >= 1 && params_.eject_channels >= 1,
               "need at least one NI channel per direction");
-  links_.resize(static_cast<std::size_t>(topo_->link_space()));
+  const int link_space = topo_->link_space();
+  link_scale_.resize(static_cast<std::size_t>(link_space));
+  for (LinkId l = 0; l < link_space; ++l) {
+    const double s = topo_->link_bandwidth_scale(l);
+    SPB_REQUIRE(s > 0.0 && s <= 1.0,
+                "link bandwidth scale must be in (0, 1], got " << s);
+    link_scale_[static_cast<std::size_t>(l)] = s;
+    if (s != 1.0) uniform_scale_ = false;
+  }
+  links_.resize(static_cast<std::size_t>(link_space));
   inject_.resize(static_cast<std::size_t>(topo_->node_count()) *
                  static_cast<std::size_t>(params_.inject_channels));
   eject_.resize(static_cast<std::size_t>(topo_->node_count()) *
@@ -168,11 +177,21 @@ Transfer NetworkModel::reserve(NodeId src, NodeId dst, Bytes bytes,
   if (faulted) roll_window(ready);
 
   std::span<const LinkId> path = routes_.path(src, dst);
+  const bool degrade_now = faulted && plan_->window_active(ready);
+  if (degrade_now) path = faulted_path(src, dst, path);
+
   double serialize = static_cast<double>(bytes) / params_.bytes_per_us;
+  // Two-tier topologies: the slowest link on the path bounds the wormhole's
+  // drain rate.  Scales are <= 1, so uncontended_us stays a lower bound.
+  if (!uniform_scale_) {
+    double scale = 1.0;
+    for (const LinkId l : path)
+      scale = std::min(scale, link_scale_[static_cast<std::size_t>(l)]);
+    serialize /= scale;
+  }
   double extra_latency_us = 0;
 
-  if (faulted && plan_->window_active(ready)) {
-    path = faulted_path(src, dst, path);
+  if (degrade_now) {
     double worst = 1.0;
     for (const LinkId l : path) {
       if (!plan_->link_degraded(l)) continue;

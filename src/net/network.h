@@ -160,6 +160,11 @@ class NetworkModel {
   std::shared_ptr<const Topology> topo_;
   NetParams params_;
   RouteCache routes_;
+  // Per-link bandwidth scale from Topology::link_bandwidth_scale, sampled
+  // once at construction; uniform_scale_ short-circuits the per-path min
+  // for the (common) topologies where every link runs at the full rate.
+  std::vector<double> link_scale_;
+  bool uniform_scale_ = true;
   std::vector<Channel> links_;    // indexed by LinkId
   std::vector<Channel> inject_;   // node * inject_channels + idx
   std::vector<Channel> eject_;    // node * eject_channels + idx

@@ -18,7 +18,7 @@ std::string Topology::describe_link(LinkId id) const {
   static constexpr const char* kDir[6] = {"+x", "-x", "+y", "-y", "+z", "-z"};
   const Coord c = coord(node);
   std::ostringstream os;
-  os << "link(" << c.x << "," << c.y << "," << c.z << ")";
+  os << "link(" << c.x() << "," << c.y() << "," << c.z() << ")";
   // Mesh/torus slots have cardinal names; higher-degree topologies
   // (hypercubes) label the dimension index instead.
   if (slots <= 6) {
@@ -66,9 +66,9 @@ Coord Mesh2D::coord(NodeId n) const {
 }
 
 NodeId Mesh2D::node_at(const Coord& c) const {
-  SPB_REQUIRE(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_,
+  SPB_REQUIRE(c.x() >= 0 && c.x() < cols_ && c.y() >= 0 && c.y() < rows_,
               "coordinate out of range");
-  return c.y * cols_ + c.x;
+  return c.y() * cols_ + c.x();
 }
 
 std::vector<LinkId> Mesh2D::route_impl(NodeId a, NodeId b,
@@ -78,30 +78,30 @@ std::vector<LinkId> Mesh2D::route_impl(NodeId a, NodeId b,
   std::vector<LinkId> path;
   // Walk the X dimension at row `row`, appending to path.
   const auto walk_x = [&](int row) {
-    int x = ca.x;
-    const int xdir = cb.x > ca.x ? 0 : 1;  // slot 0 = +x, 1 = -x
-    const int xstep = cb.x > ca.x ? 1 : -1;
-    while (x != cb.x) {
+    int x = ca.x();
+    const int xdir = cb.x() > ca.x() ? 0 : 1;  // slot 0 = +x, 1 = -x
+    const int xstep = cb.x() > ca.x() ? 1 : -1;
+    while (x != cb.x()) {
       path.push_back(node_at({x, row, 0}) * 4 + xdir);
       x += xstep;
     }
   };
   // Walk the Y dimension at column `col`.
   const auto walk_y = [&](int col) {
-    int y = ca.y;
-    const int ydir = cb.y > ca.y ? 2 : 3;  // slot 2 = +y, 3 = -y
-    const int ystep = cb.y > ca.y ? 1 : -1;
-    while (y != cb.y) {
+    int y = ca.y();
+    const int ydir = cb.y() > ca.y() ? 2 : 3;  // slot 2 = +y, 3 = -y
+    const int ystep = cb.y() > ca.y() ? 1 : -1;
+    while (y != cb.y()) {
       path.push_back(node_at({col, y, 0}) * 4 + ydir);
       y += ystep;
     }
   };
   if (y_first) {
-    walk_y(ca.x);
-    walk_x(cb.y);
+    walk_y(ca.x());
+    walk_x(cb.y());
   } else {
-    walk_x(ca.y);
-    walk_y(cb.x);
+    walk_x(ca.y());
+    walk_y(cb.x());
   }
   return path;
 }
@@ -117,7 +117,7 @@ std::vector<LinkId> Mesh2D::alt_route(NodeId a, NodeId b) const {
 int Mesh2D::hops(NodeId a, NodeId b) const {
   const Coord ca = coord(a);
   const Coord cb = coord(b);
-  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  return std::abs(ca.x() - cb.x()) + std::abs(ca.y() - cb.y());
 }
 
 std::string Mesh2D::name() const {
@@ -136,9 +136,9 @@ Coord Hypercube::coord(NodeId n) const {
 }
 
 NodeId Hypercube::node_at(const Coord& c) const {
-  SPB_REQUIRE(c.x >= 0 && c.x < node_count() && c.y == 0 && c.z == 0,
+  SPB_REQUIRE(c.x() >= 0 && c.x() < node_count() && c.y() == 0 && c.z() == 0,
               "coordinate out of range");
-  return c.x;
+  return c.x();
 }
 
 std::vector<LinkId> Hypercube::route(NodeId a, NodeId b) const {
@@ -168,26 +168,46 @@ std::string Hypercube::name() const {
   return "hypercube " + std::to_string(dims_) + "d";
 }
 
-// ---------------------------------------------------------------- Torus3D
+// ---------------------------------------------------------------- TorusND
 
-Torus3D::Torus3D(int dx, int dy, int dz) : dx_(dx), dy_(dy), dz_(dz) {
-  SPB_REQUIRE(dx >= 1 && dy >= 1 && dz >= 1,
-              "Torus3D needs positive dimensions");
+TorusND::TorusND(std::vector<int> dims) : dims_(std::move(dims)) {
+  SPB_REQUIRE(!dims_.empty() && ndims() <= Coord::kMaxDims,
+              "torus needs 1.." << Coord::kMaxDims << " dimensions, got "
+                                << dims_.size());
+  std::int64_t nodes = 1;
+  for (const int d : dims_) {
+    SPB_REQUIRE(d >= 1, "torus dimensions must be positive");
+    nodes *= d;
+    SPB_REQUIRE(nodes <= (std::int64_t{1} << 22),
+                "torus too large (" << nodes << " nodes)");
+  }
+  nodes_ = static_cast<int>(nodes);
 }
 
-Coord Torus3D::coord(NodeId n) const {
-  SPB_REQUIRE(n >= 0 && n < node_count(), "node out of range");
-  return {n % dx_, (n / dx_) % dy_, n / (dx_ * dy_)};
+Coord TorusND::coord(NodeId n) const {
+  SPB_REQUIRE(n >= 0 && n < nodes_, "node out of range");
+  Coord c;
+  int rem = n;
+  for (int k = 0; k < ndims(); ++k) {
+    c[k] = rem % dim(k);
+    rem /= dim(k);
+  }
+  return c;
 }
 
-NodeId Torus3D::node_at(const Coord& c) const {
-  SPB_REQUIRE(c.x >= 0 && c.x < dx_ && c.y >= 0 && c.y < dy_ && c.z >= 0 &&
-                  c.z < dz_,
-              "coordinate out of range");
-  return (c.z * dy_ + c.y) * dx_ + c.x;
+NodeId TorusND::node_at(const Coord& c) const {
+  for (int k = ndims(); k < Coord::kMaxDims; ++k)
+    SPB_REQUIRE(c[k] == 0, "coordinate uses dimension " << k
+                                                        << " beyond the torus");
+  NodeId id = 0;
+  for (int k = ndims() - 1; k >= 0; --k) {
+    SPB_REQUIRE(c[k] >= 0 && c[k] < dim(k), "coordinate out of range");
+    id = id * dim(k) + c[k];
+  }
+  return id;
 }
 
-int Torus3D::torus_delta(int from, int to, int size) {
+int TorusND::torus_delta(int from, int to, int size) {
   int forward = to - from;
   if (forward < 0) forward += size;
   const int backward = forward - size;  // <= 0
@@ -195,65 +215,217 @@ int Torus3D::torus_delta(int from, int to, int size) {
   return forward <= -backward ? forward : backward;
 }
 
-std::vector<LinkId> Torus3D::route(NodeId a, NodeId b) const {
+std::vector<LinkId> TorusND::route_impl(NodeId a, NodeId b,
+                                        bool reverse) const {
   Coord at = coord(a);
   const Coord cb = coord(b);
   std::vector<LinkId> path;
+  const int slots = slots_per_node();
 
-  // Walk one dimension with wraparound; dim_size in {dx_, dy_, dz_},
-  // pos_slot/neg_slot are the channel slots for the two directions.
-  const auto walk = [&](int Coord::* axis, int dim_size, int pos_slot,
-                        int neg_slot) {
-    const int delta = torus_delta(at.*axis, cb.*axis, dim_size);
+  // Walk dimension k with wraparound, taking the shorter direction
+  // (positive on ties); slot 2k is +dim k, slot 2k+1 is -dim k.
+  const auto walk = [&](int k) {
+    const int size = dim(k);
+    const int delta = torus_delta(at[k], cb[k], size);
     const int step = delta >= 0 ? 1 : -1;
-    const int slot = delta >= 0 ? pos_slot : neg_slot;
+    const int slot = delta >= 0 ? 2 * k : 2 * k + 1;
     for (int i = 0; i != delta; i += step) {
-      path.push_back(node_at(at) * 6 + slot);
-      at.*axis = (at.*axis + step + dim_size) % dim_size;
+      path.push_back(node_at(at) * slots + slot);
+      at[k] = (at[k] + step + size) % size;
     }
   };
-  walk(&Coord::x, dx_, 0, 1);
-  walk(&Coord::y, dy_, 2, 3);
-  walk(&Coord::z, dz_, 4, 5);
+  if (reverse) {
+    for (int k = ndims() - 1; k >= 0; --k) walk(k);
+  } else {
+    for (int k = 0; k < ndims(); ++k) walk(k);
+  }
   SPB_CHECK(at == cb);
   return path;
 }
 
-std::vector<LinkId> Torus3D::alt_route(NodeId a, NodeId b) const {
-  Coord at = coord(a);
-  const Coord cb = coord(b);
-  std::vector<LinkId> path;
-
-  // Same shorter-wrap walk as route(), in the reverse dimension order
-  // (z, y, x) so a degraded link on the primary path can be bypassed.
-  const auto walk = [&](int Coord::* axis, int dim_size, int pos_slot,
-                        int neg_slot) {
-    const int delta = torus_delta(at.*axis, cb.*axis, dim_size);
-    const int step = delta >= 0 ? 1 : -1;
-    const int slot = delta >= 0 ? pos_slot : neg_slot;
-    for (int i = 0; i != delta; i += step) {
-      path.push_back(node_at(at) * 6 + slot);
-      at.*axis = (at.*axis + step + dim_size) % dim_size;
-    }
-  };
-  walk(&Coord::z, dz_, 4, 5);
-  walk(&Coord::y, dy_, 2, 3);
-  walk(&Coord::x, dx_, 0, 1);
-  SPB_CHECK(at == cb);
-  return path;
+std::vector<LinkId> TorusND::route(NodeId a, NodeId b) const {
+  return route_impl(a, b, /*reverse=*/false);
 }
 
-int Torus3D::hops(NodeId a, NodeId b) const {
+// Same shorter-wrap walk as route(), in the reverse dimension order so a
+// degraded link on the primary path can be bypassed.
+std::vector<LinkId> TorusND::alt_route(NodeId a, NodeId b) const {
+  return route_impl(a, b, /*reverse=*/true);
+}
+
+int TorusND::hops(NodeId a, NodeId b) const {
   const Coord ca = coord(a);
   const Coord cb = coord(b);
-  return std::abs(torus_delta(ca.x, cb.x, dx_)) +
-         std::abs(torus_delta(ca.y, cb.y, dy_)) +
-         std::abs(torus_delta(ca.z, cb.z, dz_));
+  int total = 0;
+  for (int k = 0; k < ndims(); ++k)
+    total += std::abs(torus_delta(ca[k], cb[k], dim(k)));
+  return total;
 }
 
+std::string TorusND::name() const {
+  std::string s = "torus ";
+  for (int k = 0; k < ndims(); ++k) {
+    if (k > 0) s += "x";
+    s += std::to_string(dim(k));
+  }
+  return s;
+}
+
+std::string TorusND::describe_link(LinkId id) const {
+  SPB_REQUIRE(id >= 0 && id < link_space(), "link id " << id
+                                                       << " out of range");
+  const int slots = slots_per_node();
+  const Coord c = coord(id / slots);
+  const int dir = id % slots;
+  std::ostringstream os;
+  os << "link(";
+  for (int k = 0; k < std::max(ndims(), 3); ++k) os << (k ? "," : "") << c[k];
+  os << ")";
+  static constexpr const char* kDir[6] = {"+x", "-x", "+y", "-y", "+z", "-z"};
+  if (slots <= 6) {
+    os << kDir[dir];
+  } else {
+    os << (dir % 2 != 0 ? "-d" : "+d") << dir / 2;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Torus3D
+
 std::string Torus3D::name() const {
-  return "torus3d " + std::to_string(dx_) + "x" + std::to_string(dy_) + "x" +
-         std::to_string(dz_);
+  return "torus3d " + std::to_string(dx()) + "x" + std::to_string(dy()) + "x" +
+         std::to_string(dz());
+}
+
+// ---------------------------------------------------------------- Cluster
+
+namespace {
+
+/// Most balanced factorization rows * cols == n, rows <= cols, for laying
+/// the cluster's nodes out as a near-square mesh.
+void near_square(int n, int& rows, int& cols) {
+  rows = 1;
+  for (int d = 1; static_cast<std::int64_t>(d) * d <= n; ++d)
+    if (n % d == 0) rows = d;
+  cols = n / rows;
+}
+
+}  // namespace
+
+Cluster::Cluster(int nodes, int cores, double mesh_bw_scale)
+    : cores_(cores), mesh_scale_(mesh_bw_scale) {
+  SPB_REQUIRE(nodes >= 1 && cores >= 1, "Cluster needs positive dimensions");
+  SPB_REQUIRE(mesh_bw_scale > 0.0 && mesh_bw_scale <= 1.0,
+              "mesh bandwidth scale must be in (0, 1]");
+  SPB_REQUIRE(static_cast<std::int64_t>(nodes) * cores <=
+                  (std::int64_t{1} << 22),
+              "cluster too large");
+  near_square(nodes, nrows_, ncols_);
+}
+
+Coord Cluster::coord(NodeId n) const {
+  SPB_REQUIRE(n >= 0 && n < node_count(), "node out of range");
+  const int node = n / cores_;
+  return {node % ncols_, node / ncols_, n % cores_};
+}
+
+NodeId Cluster::node_at(const Coord& c) const {
+  SPB_REQUIRE(c.x() >= 0 && c.x() < ncols_ && c.y() >= 0 && c.y() < nrows_ &&
+                  c.z() >= 0 && c.z() < cores_,
+              "coordinate out of range");
+  return (c.y() * ncols_ + c.x()) * cores_ + c.z();
+}
+
+std::vector<LinkId> Cluster::route_impl(NodeId a, NodeId b,
+                                        bool y_first) const {
+  SPB_REQUIRE(a >= 0 && a < node_count() && b >= 0 && b < node_count(),
+              "node out of range");
+  std::vector<LinkId> path;
+  if (a == b) return path;
+  const int na = a / cores_;
+  const int nb = b / cores_;
+  path.push_back(a * 6 + 0);  // core -> node switch
+  if (na != nb) {
+    // Walk the node mesh; every mesh channel belongs to its node's core 0.
+    int ax = na % ncols_;
+    int ay = na / ncols_;
+    const int bx = nb % ncols_;
+    const int by = nb / ncols_;
+    const auto base = [&](int x, int y) {
+      return static_cast<NodeId>((y * ncols_ + x) * cores_);
+    };
+    const auto walk_x = [&](int y) {
+      const int dir = bx > ax ? 2 : 3;  // slot 2 = +x, 3 = -x
+      const int step = bx > ax ? 1 : -1;
+      while (ax != bx) {
+        path.push_back(base(ax, y) * 6 + dir);
+        ax += step;
+      }
+    };
+    const auto walk_y = [&](int x) {
+      const int dir = by > ay ? 4 : 5;  // slot 4 = +y, 5 = -y
+      const int step = by > ay ? 1 : -1;
+      while (ay != by) {
+        path.push_back(base(x, ay) * 6 + dir);
+        ay += step;
+      }
+    };
+    if (y_first) {
+      walk_y(ax);
+      walk_x(by);
+    } else {
+      walk_x(ay);
+      walk_y(bx);
+    }
+  }
+  path.push_back(b * 6 + 1);  // node switch -> core
+  return path;
+}
+
+std::vector<LinkId> Cluster::route(NodeId a, NodeId b) const {
+  return route_impl(a, b, /*y_first=*/false);
+}
+
+std::vector<LinkId> Cluster::alt_route(NodeId a, NodeId b) const {
+  return route_impl(a, b, /*y_first=*/true);
+}
+
+int Cluster::hops(NodeId a, NodeId b) const {
+  SPB_REQUIRE(a >= 0 && a < node_count() && b >= 0 && b < node_count(),
+              "node out of range");
+  if (a == b) return 0;
+  const int na = a / cores_;
+  const int nb = b / cores_;
+  if (na == nb) return 2;
+  const int dx = std::abs(na % ncols_ - nb % ncols_);
+  const int dy = std::abs(na / ncols_ - nb / ncols_);
+  return 2 + dx + dy;
+}
+
+std::string Cluster::name() const {
+  return "cluster " + std::to_string(nodes()) + "x" + std::to_string(cores_);
+}
+
+std::string Cluster::describe_link(LinkId id) const {
+  SPB_REQUIRE(id >= 0 && id < link_space(), "link id " << id
+                                                       << " out of range");
+  const NodeId core = id / 6;
+  const int slot = id % 6;
+  const int node = core / cores_;
+  std::ostringstream os;
+  if (slot < 2) {
+    os << "xbar(n" << node << ".c" << core % cores_ << ")"
+       << (slot == 0 ? "in" : "out");
+  } else {
+    static constexpr const char* kDir[4] = {"+x", "-x", "+y", "-y"};
+    os << "node(" << node % ncols_ << "," << node / ncols_ << ")"
+       << kDir[slot - 2];
+  }
+  return os.str();
+}
+
+double Cluster::link_bandwidth_scale(LinkId id) const {
+  return id % 6 >= 2 ? mesh_scale_ : 1.0;
 }
 
 }  // namespace spb::net

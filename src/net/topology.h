@@ -1,16 +1,18 @@
-// Interconnect topologies: linear array, 2-D mesh (Intel Paragon style) and
-// 3-D torus (Cray T3D style).
+// Interconnect topologies: linear array, 2-D mesh (Intel Paragon style),
+// hypercube, the k-ary n-cube torus family (Cray T3D style in 3-D), and a
+// two-level cluster (node-local crossbar + slower inter-node mesh).
 //
 // A topology owns the geometry only — node coordinates, directed links, and
 // the deterministic dimension-ordered route between two nodes.  Timing and
 // contention live in net::NetworkModel.
 //
 // Link identifiers: every node has a fixed number of outgoing directed
-// channel slots (2 for the array, 4 for the mesh, 6 for the torus), and
-// LinkId = node * slots + direction.  Border slots of non-wrapping
-// topologies are simply never used by any route.
+// channel slots (2 for the array, 4 for the mesh, 2 per dimension for a
+// torus), and LinkId = node * slots + direction.  Border slots of
+// non-wrapping topologies are simply never used by any route.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,11 +21,28 @@
 
 namespace spb::net {
 
-/// Coordinates of a node; unused dimensions are zero.
+/// Coordinates of a node in up to kMaxDims dimensions; unused dimensions
+/// are zero.  The historical x/y/z accessors name the first three
+/// dimensions, so 2-D/3-D topologies keep a typed view while the k-ary
+/// n-cube family indexes dimensions directly.
 struct Coord {
-  int x = 0;
-  int y = 0;
-  int z = 0;
+  static constexpr int kMaxDims = 8;
+
+  constexpr Coord() = default;
+  constexpr Coord(int x, int y = 0, int z = 0) : d{x, y, z} {}
+
+  int& operator[](int dim) { return d[static_cast<std::size_t>(dim)]; }
+  int operator[](int dim) const { return d[static_cast<std::size_t>(dim)]; }
+
+  int& x() { return d[0]; }
+  int& y() { return d[1]; }
+  int& z() { return d[2]; }
+  int x() const { return d[0]; }
+  int y() const { return d[1]; }
+  int z() const { return d[2]; }
+
+  std::array<int, kMaxDims> d{};
+
   bool operator==(const Coord&) const = default;
 };
 
@@ -42,9 +61,10 @@ class Topology {
   virtual std::vector<LinkId> route(NodeId a, NodeId b) const = 0;
 
   /// A deterministic alternate route using the opposite dimension order,
-  /// where the topology has one (mesh: YX instead of XY, torus: ZYX instead
-  /// of XYZ).  The fault-aware network model tries it when the primary
-  /// route crosses a degraded link.  Defaults to the primary route.
+  /// where the topology has one (mesh: YX instead of XY, torus: the
+  /// dimensions highest-first instead of lowest-first).  The fault-aware
+  /// network model tries it when the primary route crosses a degraded
+  /// link.  Defaults to the primary route.
   virtual std::vector<LinkId> alt_route(NodeId a, NodeId b) const {
     return route(a, b);
   }
@@ -62,7 +82,14 @@ class Topology {
   virtual std::string name() const = 0;
 
   /// Human-readable link description for congestion diagnostics.
-  std::string describe_link(LinkId id) const;
+  virtual std::string describe_link(LinkId id) const;
+
+  /// Relative bandwidth of one directed link as a fraction of
+  /// NetParams::bytes_per_us, always in (0, 1].  Hierarchical machines
+  /// override this: NetParams carries the fastest tier (the intra-node
+  /// crossbar) and slower tiers scale down, so no transfer ever beats the
+  /// uncontended bound the flat model promises.
+  virtual double link_bandwidth_scale(LinkId) const { return 1.0; }
 
   /// Outgoing channel slots per node (2, 4 or 6).
   virtual int slots_per_node() const = 0;
@@ -78,7 +105,7 @@ class LinearArray final : public Topology {
   std::vector<LinkId> route(NodeId a, NodeId b) const override;
   int hops(NodeId a, NodeId b) const override;
   Coord coord(NodeId n) const override { return {n, 0, 0}; }
-  NodeId node_at(const Coord& c) const override { return c.x; }
+  NodeId node_at(const Coord& c) const override { return c.x(); }
   std::string name() const override;
   int slots_per_node() const override { return 2; }
 
@@ -142,18 +169,86 @@ class Hypercube final : public Topology {
   int dims_;
 };
 
-/// 3-D torus of dx x dy x dz nodes with wraparound in every dimension and
-/// dimension-ordered routing that takes the shorter wrap direction (positive
-/// direction on ties).  Models the T3D interconnect.
-class Torus3D final : public Topology {
+/// k-ary n-cube: a torus of arbitrary per-dimension sizes with wraparound
+/// in every dimension.  Node ids are mixed-radix with dimension 0 fastest
+/// (id = (..(c[n-1] * d[n-2] + c[n-2]) * .. ) * d[0] + c[0]); routing is
+/// dimension-ordered lowest-to-highest taking the shorter wrap direction
+/// (positive on ties), and alt_route walks the dimensions in the opposite
+/// order.  Every node owns two channel slots per dimension:
+/// slot 2k = +dim k, slot 2k + 1 = -dim k.
+class TorusND : public Topology {
  public:
-  Torus3D(int dx, int dy, int dz);
+  explicit TorusND(std::vector<int> dims);
 
-  int dx() const { return dx_; }
-  int dy() const { return dy_; }
-  int dz() const { return dz_; }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  int dim(int k) const { return dims_[static_cast<std::size_t>(k)]; }
+  const std::vector<int>& dims() const { return dims_; }
 
-  int node_count() const override { return dx_ * dy_ * dz_; }
+  int node_count() const override { return nodes_; }
+  int link_space() const override { return nodes_ * slots_per_node(); }
+  std::vector<LinkId> route(NodeId a, NodeId b) const override;
+  std::vector<LinkId> alt_route(NodeId a, NodeId b) const override;
+  int hops(NodeId a, NodeId b) const override;
+  Coord coord(NodeId n) const override;
+  NodeId node_at(const Coord& c) const override;
+  std::string name() const override;
+  std::string describe_link(LinkId id) const override;
+  int slots_per_node() const override { return 2 * ndims(); }
+
+  /// Signed step count along one dimension of size `size`: the shorter wrap
+  /// direction, positive on ties.
+  static int torus_delta(int from, int to, int size);
+
+ private:
+  std::vector<LinkId> route_impl(NodeId a, NodeId b, bool reverse) const;
+
+  std::vector<int> dims_;
+  int nodes_;
+};
+
+/// 3-D torus of dx x dy x dz nodes — the T3D interconnect.  A TorusND with
+/// the historical name and typed accessors; slot encoding, ids and routes
+/// are byte-identical to the general family's 3-D case.
+class Torus3D final : public TorusND {
+ public:
+  Torus3D(int dx, int dy, int dz) : TorusND({dx, dy, dz}) {}
+
+  int dx() const { return dim(0); }
+  int dy() const { return dim(1); }
+  int dz() const { return dim(2); }
+
+  std::string name() const override;
+};
+
+/// Two-level cluster: `nodes` compute nodes, each holding `cores`
+/// processors on a node-local crossbar, with the nodes joined by a slower
+/// 2-D mesh — the shared-vs-distributed-memory split.  Topology "nodes"
+/// are cores, id = node * cores + core; coordinates are
+/// (node column, node row, core).  Each core owns 6 channel slots:
+///
+///   slot 0 = crossbar port into the node switch (first hop of every route
+///            leaving the core),
+///   slot 1 = crossbar port out of the node switch (last hop of every
+///            route entering the core),
+///   slots 2..5 = the node's mesh channels +x/-x/+y/-y, owned by core 0 of
+///            the node, so all cores of a node contend on the same four
+///            inter-node links.
+///
+/// Inter-node routes are dimension-ordered XY over the node mesh (YX for
+/// alt_route); intra-node routes are [src crossbar-in, dst crossbar-out].
+/// Mesh links report bandwidth scale `mesh_bw_scale` < 1; crossbar ports
+/// run at the full NetParams rate.
+class Cluster final : public Topology {
+ public:
+  Cluster(int nodes, int cores, double mesh_bw_scale = 0.25);
+
+  int nodes() const { return nrows_ * ncols_; }
+  int cores() const { return cores_; }
+  int node_rows() const { return nrows_; }
+  int node_cols() const { return ncols_; }
+  double mesh_bw_scale() const { return mesh_scale_; }
+
+  int node_count() const override { return nodes() * cores_; }
   int link_space() const override { return node_count() * 6; }
   std::vector<LinkId> route(NodeId a, NodeId b) const override;
   std::vector<LinkId> alt_route(NodeId a, NodeId b) const override;
@@ -161,16 +256,17 @@ class Torus3D final : public Topology {
   Coord coord(NodeId n) const override;
   NodeId node_at(const Coord& c) const override;
   std::string name() const override;
+  std::string describe_link(LinkId id) const override;
+  double link_bandwidth_scale(LinkId id) const override;
   int slots_per_node() const override { return 6; }
 
  private:
-  /// Signed step count along one dimension of size `size`: the shorter wrap
-  /// direction, positive on ties.
-  static int torus_delta(int from, int to, int size);
+  std::vector<LinkId> route_impl(NodeId a, NodeId b, bool y_first) const;
 
-  int dx_;
-  int dy_;
-  int dz_;
+  int nrows_;
+  int ncols_;
+  int cores_;
+  double mesh_scale_;
 };
 
 }  // namespace spb::net

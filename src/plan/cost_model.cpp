@@ -49,6 +49,15 @@ Calibration Calibration::from_machine(const machine::MachineConfig& machine) {
   cal.mpi_extra_us = machine.mpi_extra_us;
   cal.combine_per_byte_us = machine.comm.combine_per_byte_us;
   cal.bcast_segment_bytes = machine.bcast_segment_bytes;
+  // Two-tier machines: net.bytes_per_us is the fast intra-node tier; the
+  // inter-node links (which almost all halving traffic crosses) run at the
+  // configured fraction of it.  Flat machines keep the tiers identical.
+  cal.intra_iter_overhead_us = cal.iter_overhead_us;
+  cal.intra_per_byte_us = cal.per_byte_us;
+  if (machine.cores_per_node > 0) {
+    cal.per_byte_us =
+        1.0 / (machine.net.bytes_per_us * machine.inter_node_bw_scale);
+  }
   return cal;
 }
 
@@ -73,6 +82,8 @@ const std::vector<std::string>& CostModel::algorithms() {
       "Allgatherv_RD",
       "AdaptiveRepos_xy_source",
       "Uncoord_1toAll",
+      "Hier_Lin",
+      "Hier_2Step",
   };
   return kNames;
 }
@@ -351,6 +362,77 @@ double CostModel::uncoordinated_us(const ProblemShape& shape) const {
          2.0 * static_cast<double>(shape.s()) * per_message;
 }
 
+double CostModel::hier_us(const ProblemShape& shape,
+                          bool two_step_leaders) const {
+  if (shape.s() == 0) return 0;
+  const double L = static_cast<double>(shape.message_bytes);
+  const int rows = shape.rows;
+  const int cols = shape.cols;
+
+  // Per-row (= per-node) source counts; a row leader that is itself a
+  // source keeps its data local during the gather.
+  std::vector<int> row_senders(static_cast<std::size_t>(rows), 0);
+  for (const Rank pos : shape.sources) {
+    const int row = pos / cols;
+    if (pos != static_cast<Rank>(row) * cols)  // the leader position
+      ++row_senders[static_cast<std::size_t>(row)];
+  }
+  std::vector<int> row_sources(static_cast<std::size_t>(rows), 0);
+  for (const Rank pos : shape.sources)
+    ++row_sources[static_cast<std::size_t>(pos / cols)];
+
+  // Phase 1: rows gather concurrently over the local tier; each leader's
+  // ejection channel serializes its row's senders.  Charge the slowest row.
+  double gather = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int senders = row_senders[static_cast<std::size_t>(r)];
+    if (senders == 0) continue;
+    gather = std::max(gather,
+                      static_cast<double>(senders) *
+                          (cal_.intra_iter_overhead_us / 2 +
+                           L * cal_.intra_per_byte_us));
+  }
+
+  // Phase 2: the leaders exchange the per-row buckets over the slow tier.
+  double leaders = 0;
+  if (rows > 1) {
+    if (two_step_leaders) {
+      // Second-level gather at the global root, then a one-to-all halving
+      // broadcast of the combined s*L payload across the leaders.
+      for (int r = 1; r < rows; ++r) {
+        const int src = row_sources[static_cast<std::size_t>(r)];
+        if (src == 0) continue;
+        leaders += cal_.iter_overhead_us / 2 +
+                   static_cast<double>(src) * L * cal_.per_byte_us;
+      }
+      const double total = static_cast<double>(shape.s()) * L;
+      leaders += static_cast<double>(ilog2_ceil(rows)) *
+                 (cal_.iter_overhead_us + total * cal_.per_byte_us);
+    } else {
+      // Recursive-halving allgather over the per-row loads.
+      std::vector<char> active(static_cast<std::size_t>(rows), 0);
+      std::vector<double> bytes(static_cast<std::size_t>(rows), 0);
+      for (int r = 0; r < rows; ++r) {
+        if (row_sources[static_cast<std::size_t>(r)] == 0) continue;
+        active[static_cast<std::size_t>(r)] = 1;
+        bytes[static_cast<std::size_t>(r)] =
+            static_cast<double>(row_sources[static_cast<std::size_t>(r)]) * L;
+      }
+      leaders = halving_cost(active, bytes, cal_, cal_.combine_per_byte_us);
+    }
+  }
+
+  // Phase 3: leaders fan the full s*L result out inside their rows over the
+  // local tier (store-and-forward halving, no combining).
+  double fanout = 0;
+  if (cols > 1) {
+    const double total = static_cast<double>(shape.s()) * L;
+    fanout = static_cast<double>(ilog2_ceil(cols)) *
+             (cal_.intra_iter_overhead_us + total * cal_.intra_per_byte_us);
+  }
+  return gather + leaders + fanout;
+}
+
 double CostModel::predict_us(const std::string& algorithm,
                              const ProblemShape& shape) const {
   require_valid(shape);
@@ -373,6 +455,8 @@ double CostModel::predict_us(const std::string& algorithm,
   if (algorithm == "Allgatherv_RD") return allgatherv_us(shape);
   if (algorithm == "AdaptiveRepos_xy_source") return adaptive_us(shape);
   if (algorithm == "Uncoord_1toAll") return uncoordinated_us(shape);
+  if (algorithm == "Hier_Lin") return hier_us(shape, false);
+  if (algorithm == "Hier_2Step") return hier_us(shape, true);
   SPB_REQUIRE(false, "cost model cannot price algorithm '" << algorithm
                                                            << "'");
   return 0;

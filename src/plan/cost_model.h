@@ -61,6 +61,12 @@ struct Calibration {
   double combine_per_byte_us = 0.0;
   /// 2-Step broadcast pipelining hint (0 = store-and-forward halving).
   Bytes bcast_segment_bytes = 0;
+  /// Local-tier constants for two-level (cluster) machines: the cost of an
+  /// iteration / a byte when both endpoints share a node.  On flat machines
+  /// they equal iter_overhead_us / per_byte_us, so the Hier_* predictions
+  /// degrade gracefully to the single-tier model.
+  double intra_iter_overhead_us = 45.0;
+  double intra_per_byte_us = 1.0 / 160.0;
 
   static Calibration from_machine(const machine::MachineConfig& machine);
 };
@@ -114,6 +120,7 @@ class CostModel {
   double allgatherv_us(const ProblemShape& shape) const;
   double adaptive_us(const ProblemShape& shape) const;
   double uncoordinated_us(const ProblemShape& shape) const;
+  double hier_us(const ProblemShape& shape, bool two_step_leaders) const;
   double base_us(const std::string& base, const ProblemShape& shape) const;
 
   Calibration cal_;

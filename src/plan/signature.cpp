@@ -47,6 +47,14 @@ Signature make_signature(const machine::MachineConfig& machine,
   mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.rows));
   mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.cols));
   mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.p));
+  // The logical grid does not pin down the physical network (torus 4x4x4
+  // and torus 2x2x16 can share p, rows, cols): mix in the topology's own
+  // name, which encodes its dimensions, plus the cluster tier parameters.
+  if (machine.topology != nullptr)
+    mh = dist::hash_mix(mh, hash_text(machine.topology->name()));
+  mh = dist::hash_mix(mh, static_cast<std::uint64_t>(machine.cores_per_node));
+  mh = dist::hash_mix(
+      mh, static_cast<std::uint64_t>(machine.inter_node_bw_scale * 1e6));
   sig.machine_hash = mh;
   sig.context_hash = hash_text(context);
   sig.source_hash = dist::source_multiset_hash(sources);

@@ -8,6 +8,7 @@
 #include "stop/uncoordinated.h"
 #include "stop/br_lin.h"
 #include "stop/br_xy.h"
+#include "stop/hierarchical.h"
 #include "stop/partition.h"
 #include "stop/pers_alltoall.h"
 #include "stop/reposition.h"
@@ -58,6 +59,8 @@ std::vector<AlgorithmPtr> all_algorithms() {
       make_allgatherv_rd(),
       make_adaptive_repositioning(make_br_xy_source()),
       make_uncoordinated(),
+      make_hier_lin(),
+      make_hier_2step(),
   };
 }
 

@@ -1,0 +1,184 @@
+#include "stop/hierarchical.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "coll/engine.h"
+#include "coll/gather.h"
+#include "coll/halving.h"
+#include "common/math.h"
+
+namespace spb::stop {
+
+namespace {
+
+/// The frame decomposed into its hierarchy: one logical grid row = one
+/// "node" of the two-level machine.  Computed once in prepare(), shared by
+/// all rank coroutines.
+struct HierPlan {
+  int cols = 1;
+  bool any_sources = false;
+
+  /// Leader rank of every non-empty row (the row's first position).
+  std::shared_ptr<const std::vector<Rank>> leaders;
+  /// Leaders of rows holding sources, sorted by rank (gather order).
+  std::shared_ptr<const std::vector<Rank>> active_leaders;
+  /// Hier_Lin: halving allgather across rows, source rows start active.
+  std::shared_ptr<const coll::HalvingSchedule> leader_allgather;
+  /// Hier_2Step: one-to-all halving across rows, only row 0 active.
+  std::shared_ptr<const coll::HalvingSchedule> leader_bcast;
+
+  // Per-row pieces, indexed by row.
+  std::vector<std::shared_ptr<const std::vector<Rank>>> row_ranks;
+  std::vector<std::shared_ptr<const std::vector<Rank>>> row_senders;
+  std::vector<std::shared_ptr<const coll::HalvingSchedule>> row_fanout;
+};
+
+using HierPlanPtr = std::shared_ptr<const HierPlan>;
+
+HierPlanPtr build_plan(const Frame& frame) {
+  auto plan = std::make_shared<HierPlan>();
+  const int n = frame.size();
+  const int cols = frame.cols();
+  plan->cols = cols;
+  plan->any_sources = !frame.sources().empty();
+  const int nrows = static_cast<int>(ceil_div(n, cols));
+
+  auto leaders = std::make_shared<std::vector<Rank>>();
+  std::vector<char> row_active(static_cast<std::size_t>(nrows), 0);
+  plan->row_ranks.resize(static_cast<std::size_t>(nrows));
+  plan->row_senders.resize(static_cast<std::size_t>(nrows));
+  plan->row_fanout.resize(static_cast<std::size_t>(nrows));
+
+  // Per-row sorted source lists (frame.sources() is sorted by rank, so the
+  // per-row slices stay sorted).
+  std::vector<std::vector<Rank>> senders(static_cast<std::size_t>(nrows));
+  for (const Rank src : frame.sources()) {
+    const int row = frame.position_of(src) / cols;
+    senders[static_cast<std::size_t>(row)].push_back(src);
+    row_active[static_cast<std::size_t>(row)] = 1;
+  }
+
+  // Fanout schedules are shared between rows of equal length (all rows but
+  // possibly the last): one-to-all halving, position 0 (the leader) active.
+  std::shared_ptr<const coll::HalvingSchedule> full_fanout;
+  for (int r = 0; r < nrows; ++r) {
+    const int begin = r * cols;
+    const int len = std::min(cols, n - begin);
+    leaders->push_back(frame.rank_at(begin));
+    auto ranks = std::make_shared<std::vector<Rank>>();
+    ranks->reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) ranks->push_back(frame.rank_at(begin + i));
+    plan->row_ranks[static_cast<std::size_t>(r)] = std::move(ranks);
+    plan->row_senders[static_cast<std::size_t>(r)] =
+        std::make_shared<const std::vector<Rank>>(
+            std::move(senders[static_cast<std::size_t>(r)]));
+    if (plan->any_sources && len > 1) {
+      if (len != cols || full_fanout == nullptr) {
+        std::vector<char> only_leader(static_cast<std::size_t>(len), 0);
+        only_leader[0] = 1;
+        auto sched = std::make_shared<const coll::HalvingSchedule>(
+            coll::HalvingSchedule::compute(only_leader));
+        if (len == cols) full_fanout = sched;
+        plan->row_fanout[static_cast<std::size_t>(r)] = std::move(sched);
+      } else {
+        plan->row_fanout[static_cast<std::size_t>(r)] = full_fanout;
+      }
+    }
+  }
+
+  auto active_leaders = std::make_shared<std::vector<Rank>>();
+  for (int r = 0; r < nrows; ++r)
+    if (row_active[static_cast<std::size_t>(r)] != 0)
+      active_leaders->push_back((*leaders)[static_cast<std::size_t>(r)]);
+  std::sort(active_leaders->begin(), active_leaders->end());
+
+  plan->leader_allgather = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(row_active));
+  std::vector<char> only_root(static_cast<std::size_t>(nrows), 0);
+  if (plan->any_sources) only_root[0] = 1;
+  plan->leader_bcast = std::make_shared<const coll::HalvingSchedule>(
+      coll::HalvingSchedule::compute(only_root));
+
+  plan->leaders = std::move(leaders);
+  plan->active_leaders = std::move(active_leaders);
+  return plan;
+}
+
+/// One rank's program.  `pos` is its frame position; leaders additionally
+/// run the cross-row phase (allgather for Hier_Lin, gather+broadcast for
+/// Hier_2Step).
+sim::Task hier_program(mp::Comm& comm, mp::Payload& data, HierPlanPtr plan,
+                       int pos, bool two_step_leaders) {
+  const int row = pos / plan->cols;
+  const auto r = static_cast<std::size_t>(row);
+  const bool is_leader = pos % plan->cols == 0;
+
+  // Phase 1: the row's sources land on the row leader over the local tier.
+  if (!plan->row_senders[r]->empty()) {
+    comm.begin_phase("gather");
+    co_await coll::gather_to_root(comm, (*plan->leaders)[r],
+                                  plan->row_senders[r], data,
+                                  mp::tags::kGather);
+    comm.end_phase();
+  }
+
+  // Phase 2 (leaders only): spread the per-row buckets across all rows.
+  if (is_leader && plan->any_sources && plan->leaders->size() > 1) {
+    const int my_leader_pos = row;
+    if (two_step_leaders) {
+      const Rank root = plan->leaders->front();
+      comm.begin_phase("leaders");
+      co_await coll::gather_to_root(comm, root, plan->active_leaders, data,
+                                    mp::tags::kGather);
+      comm.end_phase();
+      co_await coll::run_halving(
+          comm, plan->leaders, my_leader_pos, plan->leader_bcast, data,
+          coll::HalvingOptions{.mark_iterations = true,
+                               .combine_cost = false,
+                               .phase = "leaders"});
+    } else {
+      co_await coll::run_halving(
+          comm, plan->leaders, my_leader_pos, plan->leader_allgather, data,
+          coll::HalvingOptions{.mark_iterations = true,
+                               .combine_cost = true,
+                               .phase = "leaders"});
+    }
+  }
+
+  // Phase 3: leaders fan the full result out inside their rows.
+  if (plan->row_fanout[r] != nullptr) {
+    co_await coll::run_halving(
+        comm, plan->row_ranks[r], pos % plan->cols, plan->row_fanout[r],
+        data,
+        coll::HalvingOptions{.mark_iterations = true,
+                             .combine_cost = false,
+                             .phase = "fanout"});
+  }
+}
+
+ProgramFactory prepare_hier(const Frame& frame, bool two_step_leaders) {
+  HierPlanPtr plan = build_plan(frame);
+  return [frame, plan, two_step_leaders](mp::Comm& comm, mp::Payload& data) {
+    return hier_program(comm, data, plan, frame.position_of(comm.rank()),
+                        two_step_leaders);
+  };
+}
+
+}  // namespace
+
+ProgramFactory HierLin::prepare(const Frame& frame) const {
+  return prepare_hier(frame, /*two_step_leaders=*/false);
+}
+
+ProgramFactory Hier2Step::prepare(const Frame& frame) const {
+  return prepare_hier(frame, /*two_step_leaders=*/true);
+}
+
+AlgorithmPtr make_hier_lin() { return std::make_shared<const HierLin>(); }
+
+AlgorithmPtr make_hier_2step() { return std::make_shared<const Hier2Step>(); }
+
+}  // namespace spb::stop

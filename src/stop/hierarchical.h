@@ -1,0 +1,42 @@
+// Hierarchical (two-level) s-to-p broadcasting — the algorithm family for
+// cluster machines (machine::cluster), where one logical grid row is one
+// compute node: gather each row's sources at the row leader over the fast
+// local tier, broadcast between the leaders over the slow tier, fan out
+// locally.  The family is machine-independent (it only reads the frame's
+// logical grid), so it runs — and is certified — on every machine; it wins
+// when intra-row links are much cheaper than inter-row ones.
+//
+// Wildcard safety: the leader-gather phases stamp their traffic
+// mp::tags::kGather, so a leader's any-source gather can never match
+// another leader's kData halving message arriving early (see mp/message.h).
+#pragma once
+
+#include "stop/algorithm.h"
+
+namespace spb::stop {
+
+/// Hier_Lin: per-row gather at the row leaders, recursive-halving
+/// allgather among the leaders (rows holding sources start active), then
+/// store-and-forward fanout inside each row.  Degenerates to Br_Lin when
+/// every row has one member and to 2-Step-like gather+fanout when there is
+/// a single row.
+class HierLin final : public Algorithm {
+ public:
+  std::string name() const override { return "Hier_Lin"; }
+  ProgramFactory prepare(const Frame& frame) const override;
+};
+
+/// Hier_2Step: per-row gather at the row leaders, second-level gather at
+/// the global root (leader of row 0), one-to-all halving broadcast across
+/// the leaders, then the same local fanout as Hier_Lin.  The hierarchical
+/// analogue of the paper's 2-Step.
+class Hier2Step final : public Algorithm {
+ public:
+  std::string name() const override { return "Hier_2Step"; }
+  ProgramFactory prepare(const Frame& frame) const override;
+};
+
+AlgorithmPtr make_hier_lin();
+AlgorithmPtr make_hier_2step();
+
+}  // namespace spb::stop

@@ -1,0 +1,135 @@
+// The machine registry: the `--machine list` catalogue is golden-pinned
+// (every CLI prints this byte-for-byte), every registered example spec must
+// round-trip through from_name, and the unknown-spec error must enumerate
+// the registered patterns.
+//
+// Regenerate the catalogue after an intentional registry change:
+//   SPB_UPDATE_GOLDEN=1 ./test_machine --gtest_filter=Registry.*
+#include "machine/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "machine/config.h"
+#include "net/topology.h"
+
+namespace spb::machine {
+namespace {
+
+std::string what_of(const std::string& spec) {
+  try {
+    from_name(spec);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected '" << spec << "' to be rejected";
+  return "";
+}
+
+TEST(Registry, DescribeMatchesGolden) {
+  const std::string got = Registry::instance().describe();
+  const std::string golden =
+      std::string(SPB_TEST_DATA_DIR) + "/golden/machine_list.txt";
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test binary.
+  if (std::getenv("SPB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden;
+    out << got;
+    GTEST_SKIP() << "golden updated: " << golden;
+  }
+  std::ifstream in(golden);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden
+                         << " (run with SPB_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "--machine list output changed; regenerate with SPB_UPDATE_GOLDEN=1 "
+         "if intentional";
+}
+
+TEST(Registry, EveryEntryHasDescriptionAndExample) {
+  ASSERT_FALSE(Registry::instance().entries().empty());
+  for (const MachineSpec& e : Registry::instance().entries()) {
+    EXPECT_FALSE(e.pattern.empty());
+    EXPECT_FALSE(e.description.empty()) << e.pattern;
+    EXPECT_FALSE(e.example.empty()) << e.pattern;
+    EXPECT_FALSE(e.prefix.empty()) << e.pattern;
+    EXPECT_EQ(e.pattern.rfind(e.prefix, 0), 0u)
+        << e.pattern << ": pattern must start with its prefix";
+  }
+}
+
+TEST(Registry, ExampleSpecsRoundTripThroughFromName) {
+  for (const MachineSpec& e : Registry::instance().entries()) {
+    const MachineConfig m = from_name(e.example);
+    EXPECT_GE(m.p, 1) << e.example;
+    EXPECT_FALSE(m.name.empty()) << e.example;
+    EXPECT_NE(m.topology, nullptr) << e.example;
+    EXPECT_EQ(m.rows * m.cols, m.p) << e.example;
+  }
+}
+
+TEST(Registry, UnknownSpecEnumeratesEveryPattern) {
+  const std::string msg = what_of("vax11x780");
+  EXPECT_NE(msg.find("unknown machine 'vax11x780'"), std::string::npos) << msg;
+  for (const MachineSpec& e : Registry::instance().entries()) {
+    EXPECT_NE(msg.find(e.pattern), std::string::npos)
+        << "error must list pattern " << e.pattern << ": " << msg;
+    EXPECT_NE(msg.find(e.example), std::string::npos)
+        << "error must list example " << e.example << ": " << msg;
+  }
+}
+
+TEST(Registry, GrammarListsEveryPatternAndList) {
+  const std::string g = Registry::instance().grammar();
+  for (const MachineSpec& e : Registry::instance().entries())
+    EXPECT_NE(g.find(e.pattern), std::string::npos) << g;
+  EXPECT_NE(g.find("list"), std::string::npos) << g;
+}
+
+TEST(Registry, MalformedParametersNameTheField) {
+  EXPECT_NE(what_of("paragon8").find("want paragonRxC"), std::string::npos);
+  EXPECT_NE(what_of("torus4xq").find("torus dimensions"), std::string::npos);
+  EXPECT_NE(what_of("cluster8").find("want clusterNxM"), std::string::npos);
+  EXPECT_NE(what_of("t3d64:x").find("scatter seed"), std::string::npos);
+  EXPECT_NE(what_of("hypercube").find("dimension count"), std::string::npos);
+}
+
+TEST(TorusMachine, ShapeAndConstants) {
+  const MachineConfig m = from_name("torus4x4x4x4");
+  EXPECT_EQ(m.p, 256);
+  EXPECT_EQ(m.rows * m.cols, 256);
+  EXPECT_LE(m.rows, m.cols);
+  EXPECT_EQ(m.topology->name(), "torus 4x4x4x4");
+  EXPECT_EQ(m.topology->node_count(), 256);
+  EXPECT_EQ(m.cores_per_node, 0) << "flat machine";
+  // Dedicated machine: identity placement, T3D-class wire.
+  for (Rank r = 0; r < m.p; r += 37) EXPECT_EQ(m.mapping.node_of(r), r);
+  EXPECT_GT(m.net.bytes_per_us, paragon(8, 8).net.bytes_per_us);
+  // The registry and the factory agree.
+  const MachineConfig direct = torus({4, 4, 4, 4});
+  EXPECT_EQ(direct.name, m.name);
+  EXPECT_EQ(direct.p, m.p);
+}
+
+TEST(ClusterMachine, TwoTierShape) {
+  const MachineConfig m = from_name("cluster8x4");
+  EXPECT_EQ(m.p, 32);
+  EXPECT_EQ(m.rows, 8) << "one logical row per node";
+  EXPECT_EQ(m.cols, 4);
+  EXPECT_EQ(m.cores_per_node, 4);
+  EXPECT_GT(m.inter_node_bw_scale, 0.0);
+  EXPECT_LT(m.inter_node_bw_scale, 1.0) << "inter-node tier must be slower";
+  EXPECT_EQ(m.topology->name(), "cluster 8x4");
+  const auto* cluster = dynamic_cast<const net::Cluster*>(m.topology.get());
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_DOUBLE_EQ(cluster->mesh_bw_scale(), m.inter_node_bw_scale);
+}
+
+}  // namespace
+}  // namespace spb::machine

@@ -50,7 +50,7 @@ TEST(AltRoute, OppositeDimensionOrderOnTheMesh) {
       const auto alt = mesh.alt_route(a, b);
       ASSERT_EQ(alt.size(), primary.size()) << a << "->" << b;
       const Coord ca = mesh.coord(a), cb = mesh.coord(b);
-      if (ca.x != cb.x && ca.y != cb.y) {
+      if (ca.x() != cb.x() && ca.y() != cb.y()) {
         // Both dimensions move: YX and XY take different corners.
         EXPECT_NE(alt, primary) << a << "->" << b;
       } else {

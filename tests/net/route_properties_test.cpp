@@ -21,21 +21,18 @@ NodeId step(const Topology& topo, LinkId link) {
   const Coord c = topo.coord(node);
   if (const auto* mesh = dynamic_cast<const Mesh2D*>(&topo)) {
     Coord n = c;
-    if (dir == 0) ++n.x;
-    if (dir == 1) --n.x;
-    if (dir == 2) ++n.y;
-    if (dir == 3) --n.y;
+    if (dir == 0) ++n.x();
+    if (dir == 1) --n.x();
+    if (dir == 2) ++n.y();
+    if (dir == 3) --n.y();
     return mesh->node_at(n);
   }
-  if (const auto* torus = dynamic_cast<const Torus3D*>(&topo)) {
+  // Covers Torus3D too: slot 2k is +dim k, slot 2k+1 is -dim k.
+  if (const auto* torus = dynamic_cast<const TorusND*>(&topo)) {
     Coord n = c;
-    const auto wrap = [](int v, int size) { return (v + size) % size; };
-    if (dir == 0) n.x = wrap(n.x + 1, torus->dx());
-    if (dir == 1) n.x = wrap(n.x - 1, torus->dx());
-    if (dir == 2) n.y = wrap(n.y + 1, torus->dy());
-    if (dir == 3) n.y = wrap(n.y - 1, torus->dy());
-    if (dir == 4) n.z = wrap(n.z + 1, torus->dz());
-    if (dir == 5) n.z = wrap(n.z - 1, torus->dz());
+    const int k = dir / 2;
+    const int delta = dir % 2 == 0 ? 1 : -1;
+    n[k] = (n[k] + delta + torus->dim(k)) % torus->dim(k);
     return torus->node_at(n);
   }
   if (dynamic_cast<const Hypercube*>(&topo) != nullptr) {
@@ -78,6 +75,10 @@ TEST(RouteProperties, WalksAreConnectedEverywhere) {
   check_routes(Torus3D(5, 3, 2), 400, 4);
   check_routes(Hypercube(7), 400, 5);
   check_routes(LinearArray(23), 400, 6);
+  check_routes(TorusND({4, 4, 4, 4}), 400, 7);
+  check_routes(TorusND({8, 8, 16}), 400, 8);
+  check_routes(TorusND({5, 3, 2, 2, 3}), 400, 9);
+  check_routes(TorusND({17}), 400, 10);
 }
 
 TEST(RouteProperties, TorusTieBreaksPositive) {

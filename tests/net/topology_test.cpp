@@ -32,8 +32,8 @@ TEST(Mesh2D, CoordinatesAreRowMajor) {
   Mesh2D m(10, 10);
   EXPECT_EQ(m.node_count(), 100);
   // Node 37 sits at row 3, column 7.
-  EXPECT_EQ(m.coord(37).y, 3);
-  EXPECT_EQ(m.coord(37).x, 7);
+  EXPECT_EQ(m.coord(37).y(), 3);
+  EXPECT_EQ(m.coord(37).x(), 7);
   EXPECT_EQ(m.node_at({7, 3, 0}), 37);
   for (NodeId n = 0; n < m.node_count(); ++n)
     EXPECT_EQ(m.node_at(m.coord(n)), n);
@@ -124,9 +124,81 @@ TEST(Topology, InvalidArgumentsThrow) {
   EXPECT_THROW(LinearArray(0), CheckError);
   EXPECT_THROW(Mesh2D(0, 5), CheckError);
   EXPECT_THROW(Torus3D(2, 0, 2), CheckError);
+  EXPECT_THROW(TorusND({}), CheckError);
+  EXPECT_THROW(TorusND({2, -1}), CheckError);
+  EXPECT_THROW(TorusND({2, 2, 2, 2, 2, 2, 2, 2, 2}), CheckError);
+  EXPECT_THROW(Cluster(0, 4), CheckError);
+  EXPECT_THROW(Cluster(4, 4, /*mesh_bw_scale=*/0.0), CheckError);
   Mesh2D m(2, 2);
   EXPECT_THROW(m.route(0, 4), CheckError);
   EXPECT_THROW(m.coord(-1), CheckError);
+}
+
+TEST(TorusND, MatchesTorus3DExactly) {
+  // Torus3D is TorusND({dx,dy,dz}); routes, ids and names must line up so
+  // T3D machine behaviour is unchanged by the generalization.
+  const Torus3D t3(4, 3, 2);
+  const TorusND tn({4, 3, 2});
+  ASSERT_EQ(t3.node_count(), tn.node_count());
+  for (NodeId a = 0; a < tn.node_count(); ++a) {
+    EXPECT_EQ(t3.coord(a), tn.coord(a));
+    for (NodeId b = 0; b < tn.node_count(); ++b) {
+      EXPECT_EQ(t3.route(a, b), tn.route(a, b));
+      EXPECT_EQ(t3.alt_route(a, b), tn.alt_route(a, b));
+      EXPECT_EQ(t3.hops(a, b), tn.hops(a, b));
+    }
+  }
+}
+
+TEST(TorusND, DescribeLinkLabelsHighDimensions) {
+  const TorusND t({2, 2, 2, 2});
+  EXPECT_EQ(t.slots_per_node(), 8);
+  // Node 0, +dim 3 and -dim 3.
+  EXPECT_EQ(t.describe_link(6), "link(0,0,0,0)+d3");
+  EXPECT_EQ(t.describe_link(7), "link(0,0,0,0)-d3");
+  const Torus3D t3(2, 2, 2);
+  EXPECT_EQ(t3.describe_link(0), "link(0,0,0)+x");
+}
+
+TEST(Cluster, CoordinateRoundTripAndHops) {
+  const Cluster c(6, 4);  // 6 nodes laid out 2x3, 4 cores each
+  EXPECT_EQ(c.node_count(), 24);
+  EXPECT_EQ(c.slots_per_node(), 6);
+  EXPECT_EQ(c.nodes(), 6);
+  EXPECT_EQ(c.cores(), 4);
+  for (NodeId n = 0; n < c.node_count(); ++n)
+    EXPECT_EQ(c.node_at(c.coord(n)), n);
+  EXPECT_EQ(c.hops(0, 0), 0);
+  EXPECT_EQ(c.hops(0, 3), 2);       // same node: inject + eject
+  EXPECT_EQ(c.hops(0, 4), 3);       // adjacent node: + one mesh hop
+  EXPECT_EQ(c.hops(0, 23), 2 + 3);  // corner to corner of the 2x3 mesh
+}
+
+TEST(Cluster, IntraNodeRoutesSkipTheMesh) {
+  const Cluster c(4, 4);
+  // Core 1 -> core 3 of node 0: inject at 1, eject at 3, nothing else.
+  EXPECT_EQ(c.route(1, 3), (std::vector<LinkId>{1 * 6 + 0, 3 * 6 + 1}));
+  // Inter-node routes cross mesh channels owned by core 0 of each node.
+  const auto path = c.route(1, 7);  // node 0 -> node 1
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 1 * 6 + 0);
+  EXPECT_EQ(path[1], 0 * 6 + 2);  // node 0 base core, +x
+  EXPECT_EQ(path[2], 7 * 6 + 1);
+  // Route and alt_route agree on hop count.
+  for (NodeId a = 0; a < c.node_count(); a += 3)
+    for (NodeId b = 0; b < c.node_count(); b += 5) {
+      EXPECT_EQ(static_cast<int>(c.route(a, b).size()), c.hops(a, b));
+      EXPECT_EQ(static_cast<int>(c.alt_route(a, b).size()), c.hops(a, b));
+    }
+}
+
+TEST(Cluster, MeshLinksRunSlower) {
+  const Cluster c(4, 2, /*mesh_bw_scale=*/0.25);
+  EXPECT_DOUBLE_EQ(c.link_bandwidth_scale(0), 1.0);   // crossbar inject
+  EXPECT_DOUBLE_EQ(c.link_bandwidth_scale(1), 1.0);   // crossbar eject
+  EXPECT_DOUBLE_EQ(c.link_bandwidth_scale(2), 0.25);  // mesh +x
+  EXPECT_EQ(c.describe_link(0), "xbar(n0.c0)in");
+  EXPECT_EQ(c.describe_link(2), "node(0,0)+x");
 }
 
 }  // namespace

@@ -88,6 +88,38 @@ TEST(Signature, MachineChangeChangesKey) {
   EXPECT_NE(b.key(), c.key());
 }
 
+TEST(Signature, TorusDimensionsChangeKeyAtEqualNodeCount) {
+  // Same p, same near-square rows x cols grid — only the topology shape
+  // (captured via the topology name) separates these, so the hash must
+  // mix it in.
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  const Signature a =
+      make_signature(machine::torus({4, 4, 4}), sources, 6144, "R", "");
+  const Signature b =
+      make_signature(machine::torus({2, 2, 16}), sources, 6144, "R", "");
+  const Signature c =
+      make_signature(machine::torus({8, 8}), sources, 6144, "R", "");
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(b.key(), c.key());
+}
+
+TEST(Signature, ClusterTieringChangesKey) {
+  // cluster8x4 and cluster4x8 have the same p = 32; the cores_per_node
+  // tier split must separate them, and a cluster never collides with a
+  // flat 32-processor machine.
+  const std::vector<Rank> sources = {0, 9, 18, 27};
+  const Signature a =
+      make_signature(machine::cluster(8, 4), sources, 6144, "R", "");
+  const Signature b =
+      make_signature(machine::cluster(4, 8), sources, 6144, "R", "");
+  const Signature flat =
+      make_signature(machine::paragon(4, 8), sources, 6144, "R", "");
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), flat.key());
+  EXPECT_NE(b.key(), flat.key());
+}
+
 TEST(Signature, FaultContextChangesKey) {
   const machine::MachineConfig m = machine::paragon(8, 8);
   const std::vector<Rank> sources = {0, 9, 18, 27};

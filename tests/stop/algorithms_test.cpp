@@ -143,7 +143,7 @@ TEST(Algorithms, NamesAreUniqueAndFindable) {
     EXPECT_TRUE(names.insert(alg->name()).second) << alg->name();
     EXPECT_EQ(find_algorithm(alg->name())->name(), alg->name());
   }
-  EXPECT_EQ(names.size(), 17u);
+  EXPECT_EQ(names.size(), 19u);
   EXPECT_THROW(find_algorithm("nope"), CheckError);
 }
 

@@ -1,11 +1,13 @@
 // The acceptance matrix of the fault-injection subsystem: every algorithm
-// in the registry, on the two Paragon meshes and the scattered T3D, under
-// the full adverse load (10% drops, a quarter of the links at 4x slower,
-// one straggler) must complete and pass verification — the retransmit /
-// reorder / detour machinery makes faults invisible to the algorithms.
+// in the registry, on the two Paragon meshes, the scattered T3D, a 4-D
+// torus and a two-level cluster, under the full adverse load (10% drops, a
+// quarter of the links at 4x slower, one straggler) must complete and pass
+// verification — the retransmit / reorder / detour machinery makes faults
+// invisible to the algorithms.
 #include <gtest/gtest.h>
 
 #include "fault/fault.h"
+#include "machine/registry.h"
 #include "stop/algorithm.h"
 #include "stop/run.h"
 
@@ -24,11 +26,9 @@ RunOptions adverse_options() {
 class FaultMatrix : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(FaultMatrix, EveryAlgorithmSurvivesTheAdverseLoad) {
-  const std::string which = GetParam();
-  const machine::MachineConfig machine =
-      which == "paragon4x4"   ? machine::paragon(4, 4)
-      : which == "paragon8x8" ? machine::paragon(8, 8)
-                              : machine::t3d(512);
+  // Machines come through the registry grammar, so the matrix doubles as
+  // an end-to-end check that every registered family plans and runs.
+  const machine::MachineConfig machine = machine::from_name(GetParam());
   // Small s and L keep the matrix fast; the fault machinery runs per
   // message, so the coverage comes from the send count, not the bytes.
   const Problem pb = make_problem(machine, dist::Kind::kDiagRight,
@@ -44,7 +44,8 @@ TEST_P(FaultMatrix, EveryAlgorithmSurvivesTheAdverseLoad) {
 
 INSTANTIATE_TEST_SUITE_P(Machines, FaultMatrix,
                          ::testing::Values("paragon4x4", "paragon8x8",
-                                           "t3d512"),
+                                           "t3d512", "torus4x4x4x4",
+                                           "cluster8x4"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });

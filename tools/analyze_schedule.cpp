@@ -30,6 +30,7 @@
 #include "dist/distribution.h"
 #include "fault/fault.h"
 #include "machine/config.h"
+#include "machine/registry.h"
 #include "stop/algorithm.h"
 #include "sweep_runner.h"
 
@@ -50,10 +51,9 @@ std::vector<MachineChoice> make_machines(const std::string& filter) {
   if (filter == "all") return all;
   for (auto& m : all)
     if (m.key == filter) return {std::move(m)};
-  SPB_REQUIRE(false, "unknown machine '"
-                         << filter
-                         << "' (paragon4x4, paragon8x8, t3d512, all)");
-  return {};
+  // Any registered machine spec narrows the sweep to that one machine
+  // (machine::Registry throws the pattern-enumerating error on junk).
+  return {{filter, machine::from_name(filter)}};
 }
 
 struct Options {
@@ -76,7 +76,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --machine M    paragon4x4 | paragon8x8 | t3d512 | all\n"
+      << "  --machine M    all (default sweep) | "
+      << machine::Registry::instance().grammar() << "\n"
       << "  --algo A       algorithm name (see --list) | all\n"
       << "  --dist D       R C E Dr Dl B Cr Sq Rand | all\n"
       << "  --s N          source count (default p/4, min 2)\n"
@@ -171,6 +172,10 @@ Options parse(int argc, char** argv) {
 
 int run_cli(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
+    return 0;
+  }
 
   std::vector<stop::AlgorithmPtr> algorithms;
   if (opt.algo == "all") {

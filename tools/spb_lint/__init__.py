@@ -1,7 +1,7 @@
 """spb_lint — determinism lint for the S-to-P broadcasting codebase.
 
 Source-level invariants that keep simulated runs bit-reproducible and the
-road to intra-run parallelism safe (see DESIGN.md §11).  Four rules:
+road to intra-run parallelism safe (see DESIGN.md §11).  Six rules:
 
 U1 unordered-iteration   Range-for over a std::unordered_map/unordered_set
                          variable.  Iteration order is unspecified and
@@ -24,6 +24,20 @@ U4 flag-static-asserts   Every zero-cost feature flag (RunOptions{}.trace,
                          .record_schedule, .link_stats, .faults) must be
                          covered by a static_assert proving it defaults to
                          off, so a stray default never taxes the hot path.
+U5 mutable-global-state  Mutable static / namespace-scope state in src/sim,
+                         src/net or src/mp.  The sharded engine drains
+                         those hot paths on several worker threads, so
+                         shared mutable state is a data race and a
+                         determinism leak.  Make it const, std::atomic,
+                         per-shard, or annotate with
+                         NOLINT(spb-mutable-global): <rationale>.
+U6 registry-catalogue    Every machine-registry entry
+                         (entries_.push_back({...}) in
+                         src/machine/registry.cpp) must fill .pattern,
+                         .description, .example and .prefix with non-empty
+                         string literals — `--machine list`, the usage
+                         grammar and the unknown-spec error are generated
+                         from them.
 
 Suppress a finding by putting NOLINT (with a rationale) on the line.
 

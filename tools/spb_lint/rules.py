@@ -36,6 +36,12 @@ STATIC_STATE = re.compile(
 # Qualifiers that make shared state benign: immutable or atomic.
 BENIGN_STATE = re.compile(
     r"\b(?:const|constexpr|consteval|constinit)\b|\batomic")
+# Fields every machine-registry catalogue entry must fill with a non-empty
+# string literal (rule U6): the `--machine list` catalogue, the CLI usage
+# grammar and the unknown-spec error are all built from them.
+REGISTRY_ENTRY_FIELDS = ("pattern", "description", "example", "prefix")
+REGISTRY_PUSH = re.compile(r"entries_\.push_back\s*\(\s*\{")
+NONEMPTY_LITERAL = re.compile(r'"(?:[^"\\\n]|\\.)+"')
 
 
 def strip_comments(text: str) -> str:
@@ -219,6 +225,48 @@ def check_mutable_static_state(path: Path, raw: str, text: str) -> list[str]:
     return findings
 
 
+def _matching_brace(text: str, open_idx: int) -> int:
+    """Index just past the `}` closing the `{` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def check_registry_catalogue(path: Path, raw: str, text: str) -> list[str]:
+    """U6: every machine-registry entry documents itself.
+
+    Each `entries_.push_back({...})` in the machine registry must set
+    .pattern, .description, .example and .prefix to non-empty string
+    literals — `--machine list`, the usage grammar and the unknown-spec
+    error are generated from these fields, so an empty one silently
+    degrades every CLI.  Matching runs on the raw source because
+    strip_comments blanks string-literal contents.
+    """
+    findings = []
+    for m in REGISTRY_PUSH.finditer(text):
+        open_idx = m.end() - 1
+        block = raw[open_idx:_matching_brace(text, open_idx)]
+        line = line_of(text, m.start())
+        for field in REGISTRY_ENTRY_FIELDS:
+            value = re.search(
+                r"\.\s*" + field + r"\s*=\s*((?:\s*\"(?:[^\"\\\n]|\\.)*\")+)",
+                block)
+            if value is None or not NONEMPTY_LITERAL.search(value.group(1)):
+                findings.append(
+                    f"{path}:{line}: [registry-catalogue] machine-registry "
+                    f"entry with a missing or empty .{field} — the "
+                    f"--machine list catalogue, the usage grammar and the "
+                    f"unknown-spec error are built from it; fill every "
+                    f"field with a string literal")
+    return findings
+
+
 def check_flag_static_asserts(files_text: dict[Path, str]) -> list[str]:
     """U4: each zero-cost feature flag has a default-off static_assert."""
     corpus = "\n".join(files_text.values())
@@ -259,6 +307,7 @@ def run(roots: list[str]) -> tuple[list[str], int]:
         findings.extend(check_banned_randomness(f, raws[f], texts[f]))
         findings.extend(check_guard_across_suspend(f, raws[f], texts[f]))
         findings.extend(check_mutable_static_state(f, raws[f], texts[f]))
+        findings.extend(check_registry_catalogue(f, raws[f], texts[f]))
     findings.extend(check_flag_static_asserts(texts))
     return findings, len(files)
 

@@ -23,7 +23,8 @@ def lint_snippet(body: str, rel: str = "src/coll/x.cpp") -> list[str]:
         return (rules.check_unordered_iteration(path, raw, text)
                 + rules.check_banned_randomness(path, raw, text)
                 + rules.check_guard_across_suspend(path, raw, text)
-                + rules.check_mutable_static_state(path, raw, text))
+                + rules.check_mutable_static_state(path, raw, text)
+                + rules.check_registry_catalogue(path, raw, text))
 
 
 class UnorderedIteration(unittest.TestCase):
@@ -192,6 +193,64 @@ class FlagStaticAsserts(unittest.TestCase):
         findings = rules.check_flag_static_asserts({Path("u.h"): text})
         self.assertEqual(len(findings), 1)
         self.assertIn("link_stats", findings[0])
+
+
+class RegistryCatalogue(unittest.TestCase):
+    COMPLETE = (
+        "Registry::Registry() {\n"
+        "  entries_.push_back({\n"
+        "      .pattern = \"meshRxC\",\n"
+        "      .description = \"a mesh of \"\n"
+        "                     \"R x C processors\",\n"
+        "      .example = \"mesh4x4\",\n"
+        "      .prefix = \"mesh\",\n"
+        "      .parse = [](const std::string& s) { return mesh(s); },\n"
+        "  });\n"
+        "}\n")
+
+    def test_complete_entry_passes(self):
+        findings = lint_snippet(self.COMPLETE,
+                                rel="src/machine/registry.cpp")
+        self.assertEqual(findings, [])
+
+    def test_missing_example_is_flagged(self):
+        body = "\n".join(line for line in self.COMPLETE.splitlines()
+                         if ".example" not in line)
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("registry-catalogue", findings[0])
+        self.assertIn(".example", findings[0])
+
+    def test_empty_description_is_flagged(self):
+        body = self.COMPLETE.replace(
+            "      .description = \"a mesh of \"\n"
+            "                     \"R x C processors\",\n",
+            "      .description = \"\",\n")
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn(".description", findings[0])
+
+    def test_real_registry_shape_passes(self):
+        # Two entries, one with a lambda containing braces: the brace
+        # matcher must not leak one entry's fields into the next.
+        body = self.COMPLETE.replace(
+            "  });\n}", "  });\n  entries_.push_back({\n"
+            "      .pattern = \"ringN\",\n"
+            "      .description = \"a ring\",\n"
+            "      .example = \"ring8\",\n"
+            "      .prefix = \"ring\",\n"
+            "      .parse = [](const std::string& s) {\n"
+            "        if (s.empty()) { throw 1; }\n"
+            "        return ring(s);\n"
+            "      },\n"
+            "  });\n}")
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(findings, [])
+
+    def test_files_without_registry_entries_are_fine(self):
+        findings = lint_snippet("void f() { entries.push_back(3); }\n",
+                                rel="src/machine/config.cpp")
+        self.assertEqual(findings, [])
 
 
 class MainEntry(unittest.TestCase):

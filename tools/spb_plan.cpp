@@ -26,6 +26,7 @@
 #include "dist/distribution.h"
 #include "fault/fault.h"
 #include "machine/config.h"
+#include "machine/registry.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "plan/cache.h"
@@ -56,8 +57,9 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --machine M        paragonRxC | t3dP[:SEED] | hypercubeD\n"
-      << "                     (default paragon8x8)\n"
+      << "  --machine M        " << machine::Registry::instance().grammar()
+      << "\n"
+      << "                     (default paragon8x8; list = catalogue)\n"
       << "  --dist D           R C E Dr Dl B Cr Sq Rand (default R)\n"
       << "  --sources N        source count (default p/4, min 2)\n"
       << "  --len N            message length L in bytes (default 2048)\n"
@@ -343,6 +345,10 @@ void run_replay(std::ostream& os, const Options& opt,
 
 int run_cli(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
+    return 0;
+  }
   const machine::MachineConfig machine = machine::from_name(opt.machine);
   const plan::Planner planner(machine);
 

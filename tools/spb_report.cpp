@@ -21,6 +21,7 @@
 #include "dist/distribution.h"
 #include "fault/fault.h"
 #include "machine/config.h"
+#include "machine/registry.h"
 #include "obs/chrome_trace.h"
 #include "obs/heatmap.h"
 #include "obs/report.h"
@@ -51,8 +52,9 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --machine M      paragonRxC | t3dP[:SEED] | hypercubeD\n"
-      << "                   (default paragon8x8)\n"
+      << "  --machine M      " << machine::Registry::instance().grammar()
+      << "\n"
+      << "                   (default paragon8x8; list = catalogue)\n"
       << "  --dist D         R C E Dr Dl B Cr Sq Rand (default R)\n"
       << "  --algo A         algorithm name, exact or normalized\n"
       << "                   (two_step = 2-Step; see --list; default 2-Step)\n"
@@ -131,6 +133,10 @@ Options parse(int argc, char** argv) {
 
 int run_cli(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
+    return 0;
+  }
 
   const machine::MachineConfig machine = machine::from_name(opt.machine);
   const stop::AlgorithmPtr algorithm = stop::find_algorithm(opt.algo);

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "dist/distribution.h"
 #include "machine/config.h"
+#include "machine/registry.h"
 #include "obs/report.h"
 #include "serve/server.h"
 
@@ -45,7 +46,9 @@ struct Options {
   std::cerr
       << "usage: " << argv0 << " [options] < requests.jsonl\n"
       << "  --machine M         default machine for requests that do not\n"
-      << "                      name one (default paragon8x8)\n"
+      << "                      name one (default paragon8x8; list =\n"
+      << "                      catalogue): "
+      << machine::Registry::instance().grammar() << "\n"
       << "  --workers N         worker threads (default 4)\n"
       << "  --shards N          plan-cache shards (default 8)\n"
       << "  --cache-capacity N  plan-cache entries (default 4096)\n"
@@ -149,6 +152,10 @@ void submit_demo(serve::Server& server, const machine::MachineConfig& mc,
 
 int run_cli(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.server.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
+    return 0;
+  }
 
   std::ofstream out_file;
   if (!opt.out.empty()) {

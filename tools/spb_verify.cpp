@@ -32,6 +32,7 @@
 #include "common/rng.h"
 #include "dist/distribution.h"
 #include "machine/config.h"
+#include "machine/registry.h"
 #include "obs/json.h"
 #include "stop/algorithm.h"
 #include "stop/problem.h"
@@ -59,7 +60,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --machine M    paragonRxC | t3dP[:SEED] | hypercubeD\n"
+      << "  --machine M    " << machine::Registry::instance().grammar()
+      << "\n"
       << "  --algo A       algorithm name | all\n"
       << "  --dist D       R C E Dr Dl B Cr Sq Rand\n"
       << "  --s N          source count (default p/4, min 2)\n"
@@ -143,6 +145,10 @@ void report(const Options& opt, const stop::AlgorithmPtr& alg,
 
 int run_cli(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.machine == "list") {
+    std::cout << machine::Registry::instance().describe();
+    return 0;
+  }
 
   std::vector<stop::AlgorithmPtr> algorithms;
   if (opt.algo == "all") {
