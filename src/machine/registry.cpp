@@ -118,6 +118,21 @@ Registry::Registry() {
             return cluster(d[0], d[1]);
           },
   });
+
+  // parse() dispatches on the first matching prefix, so an entry whose
+  // prefix is a prefix of a *later* entry's prefix would shadow it — a
+  // hypothetical "t3" entry registered before "t3d" would claim every t3d
+  // spec.  Fail construction rather than mis-parse; spb_lint rule U6
+  // enforces the same property statically on this file.
+  for (std::size_t a = 0; a < entries_.size(); ++a)
+    for (std::size_t b = a + 1; b < entries_.size(); ++b)
+      SPB_REQUIRE(
+          entries_[b].prefix.rfind(entries_[a].prefix, 0) != 0,
+          "machine registry: entry '"
+              << entries_[a].pattern << "' (prefix '" << entries_[a].prefix
+              << "') shadows later entry '" << entries_[b].pattern
+              << "' (prefix '" << entries_[b].prefix
+              << "') — register the longer prefix first");
 }
 
 const Registry& Registry::instance() {

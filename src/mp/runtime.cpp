@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -382,9 +383,10 @@ int Runtime::phase_id(std::string_view name) {
 
 void Runtime::enable_parallel(int threads) {
   SPB_REQUIRE(!ran_, "enable_parallel() after run()");
-  SPB_REQUIRE(threads >= 1, "enable_parallel() needs threads >= 1 (got "
-                                << threads << "); 0 means the serial loop "
-                                << "— simply do not call it");
+  SPB_REQUIRE(threads >= 1 || threads == -1,
+              "enable_parallel() needs threads >= 1 or -1 for auto (got "
+                  << threads << "); 0 means the serial loop "
+                  << "— simply do not call it");
   par_threads_ = threads;
 }
 
@@ -424,6 +426,7 @@ void Runtime::stage_send(Message msg, SimTime ready,
   x.h = h;
   x.kind = StagedXfer::Kind::kSend;
   staged_[static_cast<std::size_t>(shard)].push_back(std::move(x));
+  engine_->note_stage(engine_->now());
 }
 
 void Runtime::sched_retransmit(SimTime t, std::uint32_t slot, int attempt) {
@@ -441,6 +444,7 @@ void Runtime::sched_retransmit(SimTime t, std::uint32_t slot, int attempt) {
                   x.kind = StagedXfer::Kind::kRetransmit;
                   staged_[static_cast<std::size_t>(engine_->current_shard())]
                       .push_back(std::move(x));
+                  engine_->note_stage(engine_->now());
                 });
   } else {
     sim_.at(t, [this, slot, attempt]() {
@@ -450,30 +454,32 @@ void Runtime::sched_retransmit(SimTime t, std::uint32_t slot, int attempt) {
 }
 
 void Runtime::sequencer_flush() {
-  // Canonical order: (initiate time, staging shard, staging order).  The
-  // per-shard staging order is the shard's deterministic drain order, and
-  // the shard partition is thread-count independent, so this order — and
-  // therefore every reserve() result — is too.
-  struct Ref {
-    SimTime initiate;
-    std::uint32_t shard;
-    std::uint32_t index;
-  };
-  std::vector<Ref> order;
-  for (std::size_t s = 0; s < staged_.size(); ++s)
-    for (std::size_t i = 0; i < staged_[s].size(); ++i)
-      order.push_back(Ref{staged_[s][i].initiate,
-                          static_cast<std::uint32_t>(s),
-                          static_cast<std::uint32_t>(i)});
-  if (order.empty()) return;
-  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
-    if (a.initiate != b.initiate) return a.initiate < b.initiate;
-    if (a.shard != b.shard) return a.shard < b.shard;
-    return a.index < b.index;
-  });
-
-  for (const Ref& ref : order) {
-    StagedXfer& x = staged_[ref.shard][ref.index];
+  // Canonical order: (initiate time, staging shard, staging order) — the
+  // same global order PR 7 produced with a sort, maintained incrementally:
+  // each shard's staging vector is already initiate-ordered (drains are
+  // time-ordered, and a shard's frontier separates the windows), so the
+  // barrier k-way-merges the unconsumed vector tails.  Because per-region
+  // sub-windows let shards drain ahead of each other, a staged transfer
+  // may only be executed once no shard can possibly stage an earlier one
+  // — initiate below the engine's safe horizon; later entries stay parked
+  // (cursor not advanced) for a future barrier, which keeps the reserve
+  // order identical to the serial run's.
+  const SimTime safe = engine_->safe_horizon();
+  const std::size_t shards = staged_.size();
+  for (;;) {
+    std::size_t best = shards;
+    SimTime best_t = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (staged_cursor_[s] >= staged_[s].size()) continue;
+      const SimTime t = staged_[s][staged_cursor_[s]].initiate;
+      if (t >= safe) continue;  // held back for a later barrier
+      if (best == shards || t < best_t) {
+        best = s;
+        best_t = t;
+      }
+    }
+    if (best == shards) break;
+    StagedXfer& x = staged_[best][staged_cursor_[best]++];
     if (x.kind == StagedXfer::Kind::kSend) {
       const Rank src = x.msg.src;
       const Rank dst = x.msg.dst;
@@ -494,7 +500,12 @@ void Runtime::sequencer_flush() {
       retransmit(x.slot, x.attempt, x.ready);
     }
   }
-  for (std::vector<StagedXfer>& v : staged_) v.clear();
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (staged_cursor_[s] == staged_[s].size()) {
+      staged_[s].clear();
+      staged_cursor_[s] = 0;
+    }
+  }
 }
 
 void Runtime::merge_shard_phases() {
@@ -642,18 +653,48 @@ RunOutcome Runtime::run() {
   // records interleave across ranks in execution order).  The fallback is
   // automatic so callers can set sim_threads unconditionally.
   const double window = lookahead_us();
-  const bool use_par = par_threads_ >= 1 && p >= 2 && window > 0 &&
+  const bool use_par = par_threads_ != 0 && p >= 2 && window > 0 &&
                        !trace_enabled_ && !schedule_enabled_;
   if (use_par) {
     const int nodes = net_.topology().node_count();
     const int shards = net::region_count(nodes);
-    engine_ = std::make_unique<sim::ShardedEngine>(shards, window,
-                                                   par_threads_);
+    int threads = par_threads_;
+    if (threads < 0) {
+      // Auto mode: size the pool to the host (capped by the shard count —
+      // more workers than shards can never engage).  The per-window worker
+      // engagement inside the engine then follows live window occupancy.
+      threads = std::clamp(
+          static_cast<int>(std::thread::hardware_concurrency()), 1, shards);
+    }
+    engine_ = std::make_unique<sim::ShardedEngine>(shards, window, threads);
+    // Per-region sub-windows: a transfer initiated in region r cannot
+    // produce an event in region s before the sender-side software floor
+    // (zero under message faults — retransmits inject with ready ==
+    // initiate) plus the wire floor over the regions' minimum hop
+    // distance.  The matrix is a pure function of topology and parameters,
+    // so the sub-window plan — like everything else — is thread-count
+    // independent.
+    const net::RegionMap& rmap = net::RegionMap::of(net_.topology(), shards);
+    const bool faulty = plan_ != nullptr && plan_->spec().message_faults();
+    const double base =
+        (faulty ? 0.0 : params_.send_overhead_us + params_.mpi_extra_us) +
+        net_.params().alpha_us;
+    std::vector<double> delays(
+        static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards),
+        window);
+    for (int r = 0; r < shards; ++r)
+      for (int s = 0; s < shards; ++s)
+        if (r != s)
+          delays[static_cast<std::size_t>(r * shards + s)] = std::max(
+              window,
+              base + rmap.min_hops(r, s) * net_.params().per_hop_us);
+    engine_->set_cross_delays(delays);
     shard_of_rank_.resize(static_cast<std::size_t>(p));
     for (Rank r = 0; r < p; ++r)
       shard_of_rank_[static_cast<std::size_t>(r)] =
           net::region_of_node(mapping_.node_of(r), nodes, shards);
     staged_.resize(static_cast<std::size_t>(shards));
+    staged_cursor_.assign(static_cast<std::size_t>(shards), 0);
     inflight_free_par_.resize(static_cast<std::size_t>(shards));
     phase_names_par_.resize(static_cast<std::size_t>(shards));
   }
@@ -756,12 +797,16 @@ RunOutcome Runtime::run() {
     const sim::EngineStats es = engine_->stats();
     out.par.shards = engine_->shard_count();
     out.par.window_us = engine_->window_us();
+    out.par.lookahead_min_us = engine_->min_cross_delay_us();
+    out.par.lookahead_max_us = engine_->max_cross_delay_us();
     out.par.windows = es.windows;
     out.par.idle_shard_windows = es.idle_shard_windows;
+    out.par.staged_xfers = es.staged_xfers;
+    out.par.held_xfers = es.held_xfers;
     out.par.per_shard.reserve(es.shards.size());
     for (const sim::ShardStats& s : es.shards)
-      out.par.per_shard.push_back(
-          ParallelStats::Shard{s.events, s.peak_queue_depth, s.busy_windows});
+      out.par.per_shard.push_back(ParallelStats::Shard{
+          s.events, s.peak_queue_depth, s.busy_windows, s.idle_windows});
   } else {
     out.events = sim_.events_executed();
     out.peak_queue_depth = sim_.peak_queue_depth();

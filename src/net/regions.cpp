@@ -1,0 +1,93 @@
+#include "net/regions.h"
+
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace spb::net {
+
+RegionMap RegionMap::build(const Topology& topo, int regions) {
+  SPB_REQUIRE(regions >= 1, "RegionMap needs at least one region");
+  const int n = topo.node_count();
+  RegionMap map;
+  map.regions_ = regions;
+  map.hops_.assign(
+      static_cast<std::size_t>(regions) * static_cast<std::size_t>(regions),
+      0);
+  if (regions == 1) return map;
+
+  auto at = [&](int r, int s) -> int& {
+    return map.hops_[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(regions) +
+                     static_cast<std::size_t>(s)];
+  };
+
+  if (n > kExactNodeCap) {
+    // Too many pairs to scan: one hop between distinct regions is always a
+    // sound lower bound (routes between different nodes have >= 1 link).
+    for (int r = 0; r < regions; ++r)
+      for (int s = 0; s < regions; ++s)
+        if (r != s) at(r, s) = 1;
+    return map;
+  }
+
+  for (int r = 0; r < regions; ++r)
+    for (int s = 0; s < regions; ++s)
+      if (r != s) at(r, s) = std::numeric_limits<int>::max();
+  for (NodeId a = 0; a < n; ++a) {
+    const int r = region_of_node(a, n, regions);
+    for (NodeId b = 0; b < n; ++b) {
+      const int s = region_of_node(b, n, regions);
+      if (r == s) continue;
+      int& cur = at(r, s);
+      // 1 is the floor for distinct nodes; no point computing more hops.
+      if (cur <= 1) continue;
+      cur = std::min(cur, topo.hops(a, b));
+    }
+  }
+  for (int r = 0; r < regions; ++r)
+    for (int s = 0; s < regions; ++s)
+      if (r != s)
+        SPB_CHECK_MSG(at(r, s) >= 1 &&
+                          at(r, s) != std::numeric_limits<int>::max(),
+                      "region pair (" << r << ", " << s
+                                      << ") has no node pair");
+  return map;
+}
+
+const RegionMap& RegionMap::of(const Topology& topo, int regions) {
+  struct Entry {
+    std::string name;
+    int node_count;
+    int link_space;
+    int regions;
+    std::unique_ptr<RegionMap> map;
+  };
+  // Process-wide memo: the exact scan is O(n^2) hop queries (a few
+  // milliseconds for a 512-node torus, tens for the 2048-node cap), and
+  // sweeps construct the same few machines thousands of times.  Guarded by
+  // a mutex and append-only, so returned references stay valid; the cache
+  // is keyed by topology identity alone and therefore cannot make results
+  // depend on thread count or call order.
+  // NOLINTNEXTLINE(spb-mutable-global): append-only memo keyed by topology identity; guarded by mu below
+  static std::vector<Entry> cache;
+  // NOLINTNEXTLINE(spb-mutable-global): guards the memo above
+  static std::mutex mu;
+
+  const std::string name = topo.name();
+  const std::lock_guard<std::mutex> lk(mu);
+  for (const Entry& e : cache)
+    if (e.regions == regions && e.node_count == topo.node_count() &&
+        e.link_space == topo.link_space() && e.name == name)
+      return *e.map;
+  cache.push_back(Entry{name, topo.node_count(), topo.link_space(), regions,
+                        std::make_unique<RegionMap>(build(topo, regions))});
+  return *cache.back().map;
+}
+
+}  // namespace spb::net

@@ -147,8 +147,12 @@ void write_parallel(JsonWriter& w, const mp::ParallelStats& ps) {
   w.begin_object();
   w.field("shards", static_cast<std::int64_t>(ps.shards));
   w.field("window_us", ps.window_us, 3);
+  w.field("lookahead_min_us", ps.lookahead_min_us, 3);
+  w.field("lookahead_max_us", ps.lookahead_max_us, 3);
   w.field("windows", ps.windows);
   w.field("idle_shard_windows", ps.idle_shard_windows);
+  w.field("staged_xfers", ps.staged_xfers);
+  w.field("held_xfers", ps.held_xfers);
   const std::uint64_t slots =
       ps.windows * static_cast<std::uint64_t>(ps.shards);
   w.field("window_efficiency",
@@ -163,6 +167,7 @@ void write_parallel(JsonWriter& w, const mp::ParallelStats& ps) {
     w.field("events", s.events);
     w.field("peak_queue_depth", s.peak_queue_depth);
     w.field("busy_windows", s.busy_windows);
+    w.field("idle_windows", s.idle_windows);
     w.end_object();
   }
   w.end_array();

@@ -18,13 +18,28 @@ double LatencyHistogram::bucket_upper_us(int bucket) {
 }
 
 void LatencyHistogram::record(double latency_us) {
-  if (latency_us < 0 || std::isnan(latency_us)) latency_us = 0;
+  // Normalize to strictly non-negative, non-NaN values.  The old clamp
+  // (`< 0`) let -0.0 through; its bit pattern (0x8000...) is the *largest*
+  // unsigned value, so a -0.0 sample would wedge a bit-pattern-compared
+  // maximum at "zero" forever.  The comparison below is done on doubles,
+  // so -0.0 is only a correctness hazard for the stored initial state —
+  // but normalizing keeps every stored pattern canonical and the invariant
+  // trivially checkable.
+  if (!(latency_us > 0)) latency_us = 0;
   buckets_[static_cast<std::size_t>(bucket_of(latency_us))].fetch_add(
       1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free running maximum.  Ordering argument: the CAS loop compares
+  // *as doubles* (never as bit patterns) and only ever replaces a strictly
+  // smaller value.  Every stored pattern is a normalized non-negative
+  // double (+0.0 initial state, reset, and the clamp above), so there is
+  // no -0.0/NaN pattern that could mis-order.  On CAS failure `seen` is
+  // reloaded, so the loop terminates as soon as some thread has published
+  // a value >= ours; relaxed ordering suffices because the histogram
+  // promises only that max >= every recorded sample once the recording
+  // threads are quiescent (ServeStats uses its own fence for that).
   std::uint64_t seen = max_bits_.load(std::memory_order_relaxed);
   const std::uint64_t mine = std::bit_cast<std::uint64_t>(latency_us);
-  // Non-negative doubles order like their bit patterns.
   while (std::bit_cast<double>(seen) < latency_us &&
          !max_bits_.compare_exchange_weak(seen, mine,
                                           std::memory_order_relaxed)) {

@@ -56,9 +56,12 @@ struct RunOptions {
   /// Worker threads for the sharded conservative-window simulation engine
   /// (see mp::Runtime::enable_parallel).  0 — the default, statically
   /// asserted by bench/util — keeps the classic serial loop; >= 1 requests
-  /// the sharded engine, whose outcome is byte-identical for every value
-  /// >= 1 and which falls back to serial automatically when tracing or
-  /// schedule recording is on, p < 2, or the lookahead is zero.
+  /// the sharded engine with that worker cap; -1 requests it with an
+  /// auto-sized pool (host core count, clamped to the shard count, with
+  /// per-window engagement driven by live window occupancy).  The outcome
+  /// is byte-identical for every non-zero value, and the engine falls back
+  /// to serial automatically when tracing or schedule recording is on,
+  /// p < 2, or the lookahead is zero.
   int sim_threads = 0;
 };
 

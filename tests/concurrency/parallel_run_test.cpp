@@ -7,10 +7,11 @@
 // fingerprint *everything* a run produces — makespan bits, every aggregate
 // metric, fault counters, network totals, per-link busy times, per-shard
 // engine statistics and the final payload of every rank — and require the
-// fingerprints to match exactly for sim_threads in {1, 2, 8}, on both
-// machine shapes of the acceptance matrix, with faults off and on.  Under
-// TSan this suite doubles as the data-race check for the engine's worker
-// pool and the runtime's per-shard state.
+// fingerprints to match exactly for sim_threads in {1, 2, 8, -1}, on the
+// four machine shapes of the acceptance matrix (paragon8x8, t3d512,
+// torus4x4x4x4, cluster8x4), with faults off and on.  Under TSan this
+// suite doubles as the data-race check for the engine's worker pool and
+// the runtime's per-shard state.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -53,11 +54,13 @@ std::string fingerprint(const stop::RunResult& r) {
   os << '|' << r.outcome.events << ',' << r.outcome.peak_queue_depth << '|';
   const mp::ParallelStats& ps = r.outcome.par;
   os << ps.shards << ',' << ps.windows << ',' << ps.idle_shard_windows
-     << ',';
+     << ',' << ps.staged_xfers << ',' << ps.held_xfers << ',';
   put(os, ps.window_us);
+  put(os, ps.lookahead_min_us);
+  put(os, ps.lookahead_max_us);
   for (const mp::ParallelStats::Shard& s : ps.per_shard)
     os << s.events << ':' << s.peak_queue_depth << ':' << s.busy_windows
-       << ';';
+       << ':' << s.idle_windows << ';';
   os << '|';
   for (const auto& ph : r.outcome.phases) {
     os << ph.name << ',' << ph.sends << ',' << ph.recvs << ',';
@@ -95,6 +98,9 @@ void expect_identical_across_thread_counts(
                                              faults)));
   EXPECT_EQ(fp, fingerprint(run_with_threads(machine, sources, bytes, 8,
                                              faults)));
+  // -1 = auto-sized pool (host core count); same contract.
+  EXPECT_EQ(fp, fingerprint(run_with_threads(machine, sources, bytes, -1,
+                                             faults)));
 }
 
 TEST(ParallelRun, Paragon8x8IdenticalAcrossThreadCounts) {
@@ -122,6 +128,36 @@ TEST(ParallelRun, T3d512IdenticalAcrossThreadCountsWithFaults) {
   faults.drop_rate = 0.02;
   expect_identical_across_thread_counts(machine::t3d(512), 8, 1024, faults,
                                         16);
+}
+
+TEST(ParallelRun, Torus4x4x4x4IdenticalAcrossThreadCounts) {
+  // 256 nodes -> 8 regions; the k-ary n-cube exercises the hop-distance
+  // lookahead matrix on a wraparound topology.
+  expect_identical_across_thread_counts(machine::torus({4, 4, 4, 4}), 8,
+                                        1024, {}, 8);
+}
+
+TEST(ParallelRun, Torus4x4x4x4IdenticalAcrossThreadCountsWithFaults) {
+  fault::FaultSpec faults;
+  faults.drop_rate = 0.03;
+  faults.stragglers = 2;
+  faults.straggle_factor = 1.5;
+  expect_identical_across_thread_counts(machine::torus({4, 4, 4, 4}), 8,
+                                        1024, faults, 8);
+}
+
+TEST(ParallelRun, Cluster8x4IdenticalAcrossThreadCounts) {
+  // 8 nodes x 4 cores = 32 ranks -> the 2-region floor; the two-level
+  // machine has strongly asymmetric intra/inter-node latencies.
+  expect_identical_across_thread_counts(machine::cluster(8, 4), 6, 2048, {},
+                                        2);
+}
+
+TEST(ParallelRun, Cluster8x4IdenticalAcrossThreadCountsWithFaults) {
+  fault::FaultSpec faults;
+  faults.drop_rate = 0.05;
+  expect_identical_across_thread_counts(machine::cluster(8, 4), 6, 2048,
+                                        faults, 2);
 }
 
 TEST(ParallelRun, ParallelMakespanMatchesSerial) {
@@ -160,15 +196,25 @@ TEST(ParallelRun, WindowStatisticsAreConsistent) {
   EXPECT_GT(ps.window_us, 0.0);
   EXPECT_GT(ps.windows, 0u);
   ASSERT_EQ(static_cast<int>(ps.per_shard.size()), ps.shards);
+  EXPECT_GE(ps.lookahead_min_us, ps.window_us);
+  EXPECT_GE(ps.lookahead_max_us, ps.lookahead_min_us);
   std::uint64_t events = 0;
   std::uint64_t busy = 0;
+  std::uint64_t idle = 0;
   for (const auto& s : ps.per_shard) {
     events += s.events;
     busy += s.busy_windows;
+    idle += s.idle_windows;
+    // Per shard, every window was either busy or idle — never both, never
+    // neither (the underflow bug this PR fixes reported a *derived* idle
+    // count that silently went wrong when the tiling broke).
+    EXPECT_EQ(s.busy_windows + s.idle_windows, ps.windows);
   }
   EXPECT_EQ(events, r.outcome.events);
-  EXPECT_EQ(ps.windows * static_cast<std::uint64_t>(ps.shards) - busy,
-            ps.idle_shard_windows);
+  EXPECT_EQ(idle, ps.idle_shard_windows);
+  EXPECT_EQ(busy + idle, ps.windows * static_cast<std::uint64_t>(ps.shards));
+  // br_lin on 64 nodes definitely crosses regions.
+  EXPECT_GT(ps.staged_xfers, 0u);
 }
 
 }  // namespace

@@ -92,6 +92,42 @@ TEST(Registry, GrammarListsEveryPatternAndList) {
   EXPECT_NE(g.find("list"), std::string::npos) << g;
 }
 
+TEST(Registry, NoPrefixShadowsALaterEntry) {
+  // parse() dispatches on the *first* matching prefix, so an entry whose
+  // prefix is a prefix of a later entry's prefix would silently claim that
+  // entry's specs (a hypothetical "t3" before "t3d", or "torus" before a
+  // future "torus3d").  The ctor SPB_REQUIREs this; mirror the invariant
+  // here so a failure names the offending pair even if someone relaxes
+  // the ctor check.
+  const auto& entries = Registry::instance().entries();
+  for (std::size_t a = 0; a < entries.size(); ++a)
+    for (std::size_t b = a + 1; b < entries.size(); ++b)
+      EXPECT_NE(entries[b].prefix.rfind(entries[a].prefix, 0), 0u)
+          << "prefix '" << entries[a].prefix << "' (entry " << a
+          << ") shadows later prefix '" << entries[b].prefix << "' (entry "
+          << b << ")";
+}
+
+TEST(Registry, SimilarPrefixesDispatchToTheRightParser) {
+  // The torus/t3d/cluster trio all start differently today, but their
+  // specs are the ones a shadowing bug would mis-route (t3d512 parsed as
+  // a torus, cluster8x4 as something 2-D).  Pin the exact machines.
+  const MachineConfig t3d512 = from_name("t3d512");
+  EXPECT_EQ(t3d512.p, 512);
+  EXPECT_NE(t3d512.name.find("t3d"), std::string::npos) << t3d512.name;
+  EXPECT_EQ(t3d512.topology->name(), "torus3d 8x8x8")
+      << "t3d lives on the dedicated 512-node 3-D torus";
+
+  const MachineConfig torus = from_name("torus4x4x4x4");
+  EXPECT_EQ(torus.p, 256);
+  EXPECT_EQ(torus.topology->name(), "torus 4x4x4x4");
+
+  const MachineConfig cluster = from_name("cluster8x4");
+  EXPECT_EQ(cluster.p, 32);
+  EXPECT_EQ(cluster.cores_per_node, 4);
+  EXPECT_EQ(cluster.topology->name(), "cluster 8x4");
+}
+
 TEST(Registry, MalformedParametersNameTheField) {
   EXPECT_NE(what_of("paragon8").find("want paragonRxC"), std::string::npos);
   EXPECT_NE(what_of("torus4xq").find("torus dimensions"), std::string::npos);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -78,6 +79,56 @@ TEST(LatencyHistogram, ResetClearsEverything) {
   const LatencyHistogram::Snapshot s = h.snapshot();
   EXPECT_EQ(s.total, 0u);
   EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencyHistogram, NegativeZeroDoesNotWedgeTheMaximum) {
+  // Regression: record() used to clamp with `< 0`, which -0.0 passes; its
+  // bit pattern (sign bit set) is the largest unsigned value, so a -0.0
+  // sample stored early would win every at-a-glance bit comparison and a
+  // later real maximum could be lost if any comparison fell back to bits.
+  // The fix normalizes every non-positive (and NaN) sample to +0.0.
+  LatencyHistogram h;
+  h.record(-0.0);
+  EXPECT_EQ(h.snapshot().max_us, 0.0);
+  EXPECT_FALSE(std::signbit(h.snapshot().max_us));
+  h.record(42.0);
+  EXPECT_EQ(h.snapshot().max_us, 42.0);
+  h.record(-0.0);  // a late -0.0 must not replace the maximum either
+  EXPECT_EQ(h.snapshot().max_us, 42.0);
+}
+
+TEST(LatencyHistogram, ConcurrentMaxIsTheTrueMax) {
+  // Hammer the lock-free running maximum from many threads, with a known
+  // per-thread supremum, plenty of near-max contention and -0.0 samples
+  // mixed in; the reported max must equal the true max exactly.
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  constexpr double kTrueMax = 9999.0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 997 == 0) {
+          h.record(-0.0);
+        } else {
+          // Values ramp toward the shared maximum so every thread keeps
+          // contending on the CAS right up to the end; only thread 0 ever
+          // records kTrueMax itself (on its last iteration).
+          const double frac =
+              static_cast<double>(i) / static_cast<double>(kPerThread - 1);
+          const double ceiling = t == 0 ? kTrueMax : kTrueMax - 1.0;
+          h.record(frac * ceiling);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.max_us, kTrueMax);
 }
 
 TEST(LatencyHistogram, ConcurrentRecordLosesNothing) {

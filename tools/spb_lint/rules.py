@@ -247,8 +247,16 @@ def check_registry_catalogue(path: Path, raw: str, text: str) -> list[str]:
     error are generated from these fields, so an empty one silently
     degrades every CLI.  Matching runs on the raw source because
     strip_comments blanks string-literal contents.
+
+    Additionally, no entry's .prefix may be a prefix of a *later* entry's
+    .prefix: Registry::parse dispatches on the first matching prefix in
+    registration order, so the earlier entry would shadow the later one
+    and claim its specs (a "t3" entry before "t3d" would swallow every
+    t3d512).  The registry constructor enforces the same property at run
+    time; this catches it at lint time.
     """
     findings = []
+    prefixes = []  # (line, literal) in registration order
     for m in REGISTRY_PUSH.finditer(text):
         open_idx = m.end() - 1
         block = raw[open_idx:_matching_brace(text, open_idx)]
@@ -264,6 +272,18 @@ def check_registry_catalogue(path: Path, raw: str, text: str) -> list[str]:
                     f"--machine list catalogue, the usage grammar and the "
                     f"unknown-spec error are built from it; fill every "
                     f"field with a string literal")
+            elif field == "prefix":
+                literal = NONEMPTY_LITERAL.search(value.group(1))
+                prefixes.append((line, literal.group(0)[1:-1]))
+    for i, (line, early) in enumerate(prefixes):
+        for later_line, later in prefixes[i + 1:]:
+            if later.startswith(early):
+                findings.append(
+                    f"{path}:{line}: [registry-catalogue] machine-registry "
+                    f"prefix '{early}' shadows the later entry with prefix "
+                    f"'{later}' (line {later_line}) — parse() dispatches on "
+                    f"the first matching prefix, so the later entry is "
+                    f"unreachable; register the longer prefix first")
     return findings
 
 

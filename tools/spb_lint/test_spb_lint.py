@@ -247,6 +247,67 @@ class RegistryCatalogue(unittest.TestCase):
         findings = lint_snippet(body, rel="src/machine/registry.cpp")
         self.assertEqual(findings, [])
 
+    def test_prefix_shadowing_is_flagged(self):
+        # A "t3" entry registered before "t3d": parse() would route every
+        # t3d spec to the t3 parser, making the t3d entry unreachable.
+        body = (
+            "Registry::Registry() {\n"
+            "  entries_.push_back({\n"
+            "      .pattern = \"t3N\",\n"
+            "      .description = \"a t3\",\n"
+            "      .example = \"t38\",\n"
+            "      .prefix = \"t3\",\n"
+            "      .parse = [](const std::string& s) { return t3(s); },\n"
+            "  });\n"
+            "  entries_.push_back({\n"
+            "      .pattern = \"t3dP\",\n"
+            "      .description = \"a t3d\",\n"
+            "      .example = \"t3d512\",\n"
+            "      .prefix = \"t3d\",\n"
+            "      .parse = [](const std::string& s) { return t3d(s); },\n"
+            "  });\n"
+            "}\n")
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("registry-catalogue", findings[0])
+        self.assertIn("prefix 't3' shadows", findings[0])
+        self.assertIn("'t3d'", findings[0])
+
+    def test_longer_prefix_registered_first_passes(self):
+        # The reverse order is the correct one: "t3d" before "t3".
+        body = (
+            "Registry::Registry() {\n"
+            "  entries_.push_back({\n"
+            "      .pattern = \"t3dP\",\n"
+            "      .description = \"a t3d\",\n"
+            "      .example = \"t3d512\",\n"
+            "      .prefix = \"t3d\",\n"
+            "      .parse = [](const std::string& s) { return t3d(s); },\n"
+            "  });\n"
+            "  entries_.push_back({\n"
+            "      .pattern = \"t3N\",\n"
+            "      .description = \"a t3\",\n"
+            "      .example = \"t38\",\n"
+            "      .prefix = \"t3\",\n"
+            "      .parse = [](const std::string& s) { return t3(s); },\n"
+            "  });\n"
+            "}\n")
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(findings, [])
+
+    def test_duplicate_prefixes_are_flagged(self):
+        body = RegistryCatalogue.COMPLETE.replace(
+            "  });\n}", "  });\n  entries_.push_back({\n"
+            "      .pattern = \"meshN\",\n"
+            "      .description = \"another mesh\",\n"
+            "      .example = \"mesh9\",\n"
+            "      .prefix = \"mesh\",\n"
+            "      .parse = [](const std::string& s) { return mesh2(s); },\n"
+            "  });\n}")
+        findings = lint_snippet(body, rel="src/machine/registry.cpp")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("shadows", findings[0])
+
     def test_files_without_registry_entries_are_fine(self):
         findings = lint_snippet("void f() { entries.push_back(3); }\n",
                                 rel="src/machine/config.cpp")

@@ -46,7 +46,7 @@ struct Options {
   std::string out;           // report path ("" = stdout)
   std::string chrome_trace;  // "" = no export
   bool heatmap = false;
-  int sim_threads = 0;  // 0 = serial loop; >= 1 = sharded engine
+  int sim_threads = 0;  // 0 = serial; >= 1 = sharded; -1 = sharded auto
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +65,8 @@ struct Options {
       << "                   (e.g. 42:drop=0.1,straggle=1x3)\n"
       << "  --sim-threads N  drain workers for the sharded simulation\n"
       << "                   engine (default 0 = serial loop; any N >= 1\n"
-      << "                   yields byte-identical reports; disables\n"
+      << "                   yields byte-identical reports; -1 auto-sizes\n"
+      << "                   the pool to the host's cores; disables\n"
       << "                   tracing, so not combinable with\n"
       << "                   --chrome-trace)\n"
       << "  --out FILE       write the JSON report here (default stdout)\n"
@@ -107,8 +108,13 @@ Options parse(int argc, char** argv) {
       }
       o.faults = fault::FaultSpec::parse(text);
     } else if (a == "--sim-threads") {
-      o.sim_threads =
-          static_cast<int>(parse_u64_or_throw("--sim-threads", next(i)));
+      const std::string v = next(i);
+      if (v == "-1") {
+        o.sim_threads = -1;  // auto: parse_u64 rejects the sign
+      } else {
+        o.sim_threads =
+            static_cast<int>(parse_u64_or_throw("--sim-threads", v));
+      }
     } else if (a == "--out") {
       o.out = next(i);
     } else if (a == "--chrome-trace") {
@@ -154,7 +160,7 @@ int run_cli(int argc, char** argv) {
               "--sim-threads or the trace export");
   stop::RunConfig cfg;
   cfg.link_stats().faults(opt.faults, opt.fault_seed);
-  if (opt.sim_threads > 0) {
+  if (opt.sim_threads != 0) {
     cfg.sim_threads(opt.sim_threads);
   } else {
     cfg.trace();
